@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark runs a full (simulated) crowd workload, so each one executes
+exactly once per session (``rounds=1``) — the interesting output is the table
+of cost / accuracy / latency numbers each benchmark prints, mirroring the
+corresponding figure or dashboard panel of the paper.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,94 @@
+"""Crowd sort strategies and the Task Model (classifier replacing humans).
+
+Part 1 orders a products table by crowd-judged size using the two sort
+implementations (pairwise comparisons vs per-item ratings) and reports the
+cost/quality trade-off.
+
+Part 2 runs a crowd filter over a large product catalog with the learned Task
+Model enabled: after enough crowd-labelled examples the logistic-regression
+model starts answering confidently-classified items itself, and the dashboard
+metric "classifier savings" grows.
+
+Run with::
+
+    python examples/crowd_sort_and_learning.py
+"""
+
+from repro import QueryConfig, QurkEngine
+from repro.workloads import ProductsWorkload
+
+
+def crowd_sort_comparison() -> None:
+    print("=== Part 1: crowd ORDER BY — comparisons vs ratings ===")
+    for label, spec_builder, batch in (
+        ("pairwise comparisons", "size_compare_spec", 5),
+        ("1-7 ratings", "size_rating_spec", 5),
+    ):
+        workload = ProductsWorkload(n_products=25, seed=29)
+        engine = QurkEngine(seed=29, default_query_config=QueryConfig(adaptive=False))
+        workload.install(engine.database)
+        oracle = workload.oracle()
+        engine.register_oracle("biggerItem", oracle)
+        engine.register_oracle("rateSize", oracle)
+        spec = getattr(workload, spec_builder)(assignments=3, batch_size=batch)
+        engine.define_task(spec, payload=lambda row: {"name": row["name"]})
+        handle = engine.query(f"SELECT name FROM products ORDER BY {spec.name}(name)")
+        rows = handle.wait()
+        observed = [row["name"] for row in rows]
+        rho = workload.rank_correlation(workload.true_size_order(), observed)
+        print(
+            f"  {label:24s} HITs={handle.stats.hits_posted:4d}  cost=${handle.total_cost:6.2f}  "
+            f"rank correlation={rho:+.3f}"
+        )
+    print()
+
+
+def task_model_learning() -> None:
+    print("=== Part 2: the Task Model learns to replace the crowd ===")
+    workload = ProductsWorkload(n_products=120, seed=31, feature_noise=0.05)
+    # Cache off so the second pass genuinely re-asks every question; only the
+    # learned classifier can make it cheaper.  Adaptive redundancy is off so
+    # the cost difference between the passes is attributable to the model.
+    engine = QurkEngine(
+        seed=31,
+        enable_task_model=True,
+        enable_cache=False,
+        default_query_config=QueryConfig(adaptive=False),
+    )
+    workload.install(engine.database)
+    engine.register_oracle("isTargetColor", workload.oracle())
+    entry = engine.define_task(
+        workload.color_filter_spec(assignments=3, batch_size=5), learnable=True
+    )
+    # Swap in a more aggressive learner than the default (faster SGD, lower
+    # confidence bar) so the demo converges within one catalog pass.
+    from repro.core.tasks.task_model import LearnedTaskModel
+
+    model = LearnedTaskModel(entry.spec, learning_rate=0.5, confidence_threshold=0.6)
+    engine.task_models.register("isTargetColor", model)
+
+    training = engine.query("SELECT name FROM products WHERE isTargetColor(name)")
+    training.wait()
+    print(
+        f"  pass 1 (crowd labels train the model): cost=${training.total_cost:.2f}, "
+        f"model trusted={model.is_trusted}, holdout accuracy={model.stats.holdout_accuracy:.0%}"
+    )
+
+    second = engine.query("SELECT name FROM products WHERE isTargetColor(name)")
+    rows = second.wait()
+    quality = workload.filter_accuracy(rows, name_column="name")
+    print(
+        f"  pass 2 (classifier answers confident items): cost=${second.total_cost:.2f}, "
+        f"model answered {second.stats.model_answers}/{second.stats.tasks_completed} tasks"
+    )
+    print(f"  pass 2 precision={quality['precision']:.2f}, recall={quality['recall']:.2f}")
+    print(f"  dollars saved by the classifier so far: ${model.stats.dollars_saved:.2f}")
+
+
+def main() -> None:
+    crowd_sort_comparison()
+    task_model_learning()
+
+
+if __name__ == "__main__":
+    main()

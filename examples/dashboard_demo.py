@@ -1,0 +1,91 @@
+"""The demo experience: the Query Status Dashboard and the Task Completion
+Interface (Sections 4.1 and 4.2 of the paper).
+
+Starts the paper's two demo queries, periodically renders the dashboard while
+they run (budget, spend, estimates, cache/classifier savings, per-operator
+progress), and has an "audience member" complete one HIT by hand through the
+Task Completion Interface.
+
+Run with::
+
+    python examples/dashboard_demo.py
+"""
+
+from repro import QurkEngine
+from repro.dashboard import QueryDashboard
+from repro.ui import TaskCompletionInterface
+from repro.workloads import CelebrityWorkload, CompaniesWorkload
+
+QUERY_1 = (
+    "SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone "
+    "FROM companies BUDGET 3.00"
+)
+QUERY_2 = (
+    "SELECT celebrities.name, spottedstars.id "
+    "FROM celebrities, spottedstars "
+    "WHERE samePerson(celebrities.image, spottedstars.image) BUDGET 2.00"
+)
+
+
+def main() -> None:
+    companies = CompaniesWorkload(n_companies=20, seed=3)
+    celebrities = CelebrityWorkload(n_celebrities=10, n_spotted=10, seed=3)
+
+    engine = QurkEngine(seed=3)
+    companies.install(engine.database)
+    celebrities.install(engine.database)
+    engine.register_oracle("findCEO", companies.oracle())
+    engine.register_oracle("samePerson", celebrities.oracle())
+    engine.define_task(companies.findceo_spec())
+    engine.define_task(
+        celebrities.sameperson_spec(),
+        left_payload=celebrities.left_payload,
+        right_payload=celebrities.right_payload,
+    )
+
+    query1 = engine.query(QUERY_1)
+    query2 = engine.query(QUERY_2)
+    dashboard = QueryDashboard(engine)
+
+    # --- an audience member completes one findCEO HIT by hand -------------
+    while not engine.platform.open_hits():
+        query1.step()
+    interface = TaskCompletionInterface(engine.platform, participant_id="audience-member-1")
+    hit = interface.open_hits()[0]
+    print("An audience member opens the Task Completion Interface and sees:\n")
+    print(interface.describe_hit(hit.hit_id))
+    directory = companies.directory()
+    answers = {
+        item.item_id: {
+            "CEO": directory[item.payload["companyName"]].ceo,
+            "Phone": directory[item.payload["companyName"]].phone,
+        }
+        for item in hit.content.items
+    }
+    interface.submit_answers(hit.hit_id, answers)
+    print("\n...they submit their answers, and the query advances.\n")
+
+    # --- watch both queries on the dashboard while they run ----------------
+    checkpoints = [0.25, 0.5, 0.75]
+    for fraction in checkpoints:
+        target_time = engine.clock.now + 600 * fraction
+        query1.run_until(target_time)
+        query2.run_until(target_time)
+        print(f"--- dashboard at simulated t={engine.clock.now:,.0f}s ---")
+        print(dashboard.render(query1.query_id))
+        print()
+        print(dashboard.render(query2.query_id))
+        print()
+
+    rows1 = query1.wait()
+    rows2 = query2.wait()
+    print("=== final dashboard ===")
+    print(dashboard.render_all())
+    print()
+    print(f"Query 1 produced {len(rows1)} rows for ${query1.total_cost:.2f}")
+    print(f"Query 2 produced {len(rows2)} rows for ${query2.total_cost:.2f}")
+    print(f"Total simulated wall-clock: {engine.clock.now/3600:.1f} hours")
+
+
+if __name__ == "__main__":
+    main()

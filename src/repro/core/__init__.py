@@ -1,0 +1,1 @@
+"""Qurk core: answers, tasks, operators, execution, optimizer and language."""

@@ -1,0 +1,256 @@
+"""Answer lists and user-defined aggregates (Section 3 of the paper).
+
+Qurk's data model differs from the plain relational model in one way: because
+a HIT is run by several turkers, an attribute produced by the crowd is a
+*list* of answers rather than a single value.  The paper deliberately avoids
+an uncertainty model; instead, answer lists are reduced with user-defined
+aggregates.  This module provides the answer-list container and the built-in
+aggregates used by the operators and the query language (``MajorityVote`` is
+the default for categorical answers, ``MeanRating`` for numeric ones).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import AggregateError
+
+__all__ = [
+    "AnswerList",
+    "Aggregate",
+    "MajorityVote",
+    "WeightedVote",
+    "First",
+    "ListAll",
+    "MeanRating",
+    "MedianRating",
+    "FieldwiseMajority",
+    "majority_confidence",
+    "get_aggregate",
+    "register_aggregate",
+]
+
+
+@dataclass(frozen=True)
+class AnswerList:
+    """The answers several workers gave to the same task.
+
+    ``answers`` holds one entry per assignment, in submission order.
+    ``worker_ids`` is parallel to ``answers`` and may be empty when worker
+    attribution is unavailable (e.g. answers synthesised by the Task Model).
+    """
+
+    answers: tuple[Any, ...]
+    worker_ids: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.worker_ids and len(self.worker_ids) != len(self.answers):
+            raise AggregateError("worker_ids must be empty or parallel to answers")
+
+    @classmethod
+    def of(cls, answers: Iterable[Any], worker_ids: Iterable[str] = ()) -> "AnswerList":
+        return cls(tuple(answers), tuple(worker_ids))
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.answers[index]
+
+    def agreement(self) -> float:
+        """Fraction of answers equal to the most common answer (1.0 if empty)."""
+        if not self.answers:
+            return 1.0
+        counts = Counter(self._hashable_answers())
+        return counts.most_common(1)[0][1] / len(self.answers)
+
+    def _hashable_answers(self) -> list[Any]:
+        return [_freeze(a) for a in self.answers]
+
+    def reduce(self, aggregate: "Aggregate") -> Any:
+        """Reduce this answer list with ``aggregate``."""
+        return aggregate(self)
+
+
+def _freeze(value: Any) -> Any:
+    """Convert an answer into a hashable key for vote counting."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+class Aggregate:
+    """Base class for user-defined aggregates over answer lists."""
+
+    #: Name used by the query language (``Combiner: MajorityVote``).
+    name = "Aggregate"
+
+    def __call__(self, answers: AnswerList) -> Any:
+        if not isinstance(answers, AnswerList):
+            answers = AnswerList.of(answers)
+        if len(answers) == 0:
+            raise AggregateError(f"{self.name} cannot reduce an empty answer list")
+        return self.reduce(answers)
+
+    def reduce(self, answers: AnswerList) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class MajorityVote(Aggregate):
+    """Return the most common answer; ties break toward the earliest answer.
+
+    This is the default combiner for boolean predicates (filters, join
+    predicates) and categorical form fields.
+    """
+
+    name = "MajorityVote"
+
+    def reduce(self, answers: AnswerList) -> Any:
+        counts = Counter()
+        first_seen: dict[Any, int] = {}
+        originals: dict[Any, Any] = {}
+        for position, answer in enumerate(answers):
+            key = _freeze(answer)
+            counts[key] += 1
+            first_seen.setdefault(key, position)
+            originals.setdefault(key, answer)
+        best = max(counts, key=lambda key: (counts[key], -first_seen[key]))
+        return originals[best]
+
+
+class WeightedVote(Aggregate):
+    """Majority vote where each worker's vote is weighted.
+
+    Weights come from a ``{worker_id: weight}`` mapping (e.g. historical
+    accuracy from the Statistics Manager).  Unknown workers get
+    ``default_weight``.
+    """
+
+    name = "WeightedVote"
+
+    def __init__(self, weights: Mapping[str, float], default_weight: float = 1.0):
+        self.weights = dict(weights)
+        self.default_weight = default_weight
+
+    def reduce(self, answers: AnswerList) -> Any:
+        if not answers.worker_ids:
+            return MajorityVote().reduce(answers)
+        totals: dict[Any, float] = {}
+        originals: dict[Any, Any] = {}
+        for answer, worker_id in zip(answers.answers, answers.worker_ids):
+            key = _freeze(answer)
+            weight = self.weights.get(worker_id, self.default_weight)
+            totals[key] = totals.get(key, 0.0) + weight
+            originals.setdefault(key, answer)
+        best = max(totals, key=lambda key: totals[key])
+        return originals[best]
+
+
+class First(Aggregate):
+    """Return the first answer received (cheapest possible combiner)."""
+
+    name = "First"
+
+    def reduce(self, answers: AnswerList) -> Any:
+        return answers[0]
+
+
+class ListAll(Aggregate):
+    """Return the raw answer list (the paper's default: let the user decide)."""
+
+    name = "ListAll"
+
+    def reduce(self, answers: AnswerList) -> Any:
+        return list(answers.answers)
+
+
+class MeanRating(Aggregate):
+    """Arithmetic mean of numeric answers (used by rating-based operators)."""
+
+    name = "MeanRating"
+
+    def reduce(self, answers: AnswerList) -> float:
+        values = [self._as_number(a) for a in answers]
+        return sum(values) / len(values)
+
+    @staticmethod
+    def _as_number(value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise AggregateError(f"MeanRating needs numeric answers, got {value!r}")
+        return float(value)
+
+
+class MedianRating(Aggregate):
+    """Median of numeric answers; more robust to spammer ratings than the mean."""
+
+    name = "MedianRating"
+
+    def reduce(self, answers: AnswerList) -> float:
+        values = sorted(MeanRating._as_number(a) for a in answers)
+        middle = len(values) // 2
+        if len(values) % 2 == 1:
+            return values[middle]
+        return (values[middle - 1] + values[middle]) / 2.0
+
+
+class FieldwiseMajority(Aggregate):
+    """Majority vote applied independently to each field of form answers.
+
+    Query 1's ``findCEO`` returns ``{"CEO": ..., "Phone": ...}`` per worker;
+    reducing field-by-field tolerates a worker who got the CEO right but the
+    phone number wrong.
+    """
+
+    name = "FieldwiseMajority"
+
+    def reduce(self, answers: AnswerList) -> dict[str, Any]:
+        if not all(isinstance(a, Mapping) for a in answers):
+            raise AggregateError("FieldwiseMajority needs mapping-valued answers")
+        fields: set[str] = set()
+        for answer in answers:
+            fields.update(answer.keys())
+        result: dict[str, Any] = {}
+        for field_name in sorted(fields):
+            votes = [a[field_name] for a in answers if field_name in a]
+            result[field_name] = MajorityVote().reduce(AnswerList.of(votes))
+        return result
+
+
+def majority_confidence(answers: AnswerList) -> float:
+    """Simple confidence proxy: agreement of the winning answer.
+
+    Not a calibrated probability (the paper explicitly declines to model
+    uncertainty), but useful for adaptive redundancy decisions.
+    """
+    return answers.agreement()
+
+
+_REGISTRY: dict[str, Callable[[], Aggregate]] = {}
+
+
+def register_aggregate(name: str, factory: Callable[[], Aggregate]) -> None:
+    """Register an aggregate under ``name`` for use from the query language."""
+    _REGISTRY[name.lower()] = factory
+
+
+def get_aggregate(name: str) -> Aggregate:
+    """Instantiate a registered aggregate by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise AggregateError(f"unknown aggregate {name!r}; known: {known}") from None
+
+
+for _factory in (MajorityVote, First, ListAll, MeanRating, MedianRating, FieldwiseMajority):
+    register_aggregate(_factory.name, _factory)

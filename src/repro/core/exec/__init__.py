@@ -1,0 +1,14 @@
+"""Asynchronous query execution: context, executor and query handles."""
+
+from repro.core.exec.context import ExecutionContext, QueryConfig
+from repro.core.exec.executor import ExecutorMetrics, QueryExecutor
+from repro.core.exec.handle import QueryHandle, QueryStatus
+
+__all__ = [
+    "ExecutionContext",
+    "QueryConfig",
+    "QueryExecutor",
+    "ExecutorMetrics",
+    "QueryHandle",
+    "QueryStatus",
+]

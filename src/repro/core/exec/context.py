@@ -1,0 +1,65 @@
+"""Execution context shared by every operator of one running query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.optimizer.budget import BudgetLedger
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.tasks.spec import TaskSpec
+from repro.core.tasks.task_manager import TaskManager
+from repro.crowd.clock import SimulationClock
+from repro.storage.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - avoids import cycle with the optimizer
+    from repro.core.optimizer.optimizer import QueryOptimizer
+
+__all__ = ["QueryConfig", "ExecutionContext"]
+
+
+@dataclass
+class QueryConfig:
+    """Per-query tuning knobs, mostly set by the optimizer.
+
+    ``default_assignments`` is the redundancy used when a task spec does not
+    override it; ``target_confidence`` drives the adaptive assignment rule
+    (see :class:`repro.core.optimizer.optimizer.QueryOptimizer`).
+    """
+
+    budget: float | None = None
+    default_assignments: int | None = None
+    target_confidence: float = 0.9
+    adaptive: bool = True
+    use_cache: bool = True
+    use_task_model: bool = True
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs to run: services, identifiers and config."""
+
+    query_id: str
+    database: Database
+    task_manager: TaskManager
+    statistics: StatisticsManager
+    budget: BudgetLedger
+    clock: SimulationClock
+    config: QueryConfig = field(default_factory=QueryConfig)
+    optimizer: "QueryOptimizer | None" = None
+
+    def assignments_for(self, spec: TaskSpec) -> int:
+        """Redundancy to use for a task of ``spec``.
+
+        Resolution order: an explicit per-query override, then the adaptive
+        optimizer choice (re-evaluated per task, so it tightens as statistics
+        accumulate mid-query — Section 2's adaptive requirement), then the
+        spec's own default.
+        """
+        if self.config.default_assignments is not None:
+            return self.config.default_assignments
+        if self.config.adaptive and self.optimizer is not None:
+            return self.optimizer.choose_assignments(
+                spec, target_confidence=self.config.target_confidence
+            )
+        return spec.assignments

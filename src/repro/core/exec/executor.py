@@ -1,0 +1,153 @@
+"""The Query Executor (Figure 1).
+
+The executor drives a tree of asynchronous operators: it repeatedly steps
+every operator, lets the Task Manager batch and post HITs, and — when no
+local progress is possible — advances the simulated clock so outstanding HITs
+complete.  Results flow into the results table via the plan's sink operator;
+the executor itself never returns rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exec.context import ExecutionContext
+from repro.core.operators.base import Operator
+from repro.core.operators.sink import ResultSinkOperator
+from repro.errors import ExecutionError
+
+__all__ = ["ExecutorMetrics", "QueryExecutor"]
+
+
+@dataclass
+class ExecutorMetrics:
+    """Aggregate counters for one query execution."""
+
+    passes: int = 0
+    clock_advances: int = 0
+    started_at: float = 0.0
+    finished_at: float | None = None
+
+    @property
+    def simulated_duration(self) -> float:
+        """Simulated seconds between start and completion (0 while running)."""
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+
+class QueryExecutor:
+    """Executes one physical plan to completion (or incrementally)."""
+
+    def __init__(self, root: ResultSinkOperator, context: ExecutionContext):
+        if not isinstance(root, ResultSinkOperator):
+            raise ExecutionError("the plan root must be a results sink")
+        self.root = root
+        self.context = context
+        self.metrics = ExecutorMetrics()
+        self._operators: list[Operator] = list(root.walk())
+        self._finish_signalled: set[int] = set()
+        self._opened = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def open(self) -> None:
+        """Open every operator exactly once."""
+        if self._opened:
+            return
+        for operator in self._operators:
+            operator.open(self.context)
+        self.metrics.started_at = self.context.clock.now
+        stats = self.context.statistics.query(self.context.query_id)
+        stats.started_at = self.context.clock.now
+        stats.budget = self.context.config.budget
+        self._opened = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for operator in self._operators:
+            operator.close()
+        self.metrics.finished_at = self.context.clock.now
+        self.context.statistics.query(self.context.query_id).finished_at = self.context.clock.now
+        self._closed = True
+
+    # -- stepping -----------------------------------------------------------------
+
+    def is_complete(self) -> bool:
+        """Whether the plan has produced every result it ever will."""
+        return self.root.is_done()
+
+    def step(self) -> bool:
+        """Run one executor pass.  Returns True when any progress was made.
+
+        A pass steps every operator, propagates end-of-input signals, and
+        flushes full task batches.  When nothing moved locally, it forces a
+        flush of partial batches and, failing that, advances the simulated
+        clock to the next crowd event.
+        """
+        self.open()
+        if self.is_complete():
+            return False
+        progress = False
+        for operator in self._operators:
+            if operator.step():
+                progress = True
+        if self._propagate_finishes():
+            progress = True
+        if self.context.task_manager.flush(force=False) > 0:
+            progress = True
+        if progress:
+            self.metrics.passes += 1
+            return True
+        if self.context.task_manager.flush(force=True) > 0:
+            self.metrics.passes += 1
+            return True
+        next_event = self.context.clock.next_event_time()
+        if next_event is not None:
+            self.context.clock.run_next()
+            self.metrics.clock_advances += 1
+            self.metrics.passes += 1
+            return True
+        if self.context.task_manager.has_outstanding_work():
+            raise ExecutionError(
+                "query is stuck: tasks are outstanding but no crowd events are scheduled"
+            )
+        if not self.is_complete():
+            raise ExecutionError(
+                "query is stuck: no operator can make progress and no work is outstanding"
+            )
+        return False
+
+    def run(self, *, until_time: float | None = None, max_passes: int = 2_000_000) -> None:
+        """Run until the plan completes (or the simulated deadline is reached)."""
+        self.open()
+        passes = 0
+        while not self.is_complete():
+            if until_time is not None and self.context.clock.now >= until_time:
+                return
+            if not self.step():
+                break
+            passes += 1
+            if passes >= max_passes:
+                raise ExecutionError(f"query did not finish within {max_passes} executor passes")
+        if self.is_complete():
+            self.close()
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _propagate_finishes(self) -> bool:
+        signalled = False
+        for operator in self._operators:
+            if id(operator) in self._finish_signalled or operator.parent is None:
+                continue
+            if operator.is_done():
+                operator.parent.finish_input(operator.child_slot)
+                self._finish_signalled.add(id(operator))
+                signalled = True
+        return signalled
+
+    def operators(self) -> list[Operator]:
+        """All operators in the plan, children before parents."""
+        return list(self._operators)

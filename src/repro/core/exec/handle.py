@@ -1,0 +1,134 @@
+"""Query handles: how users watch an asynchronous Qurk query.
+
+Because a single HIT can take minutes, Qurk queries do not block and return a
+result set; they run asynchronously and append tuples to a results table that
+"the user can periodically poll" (Section 2).  A :class:`QueryHandle` wraps
+the executor, the results table and the per-query statistics, offering both
+the polling pattern and a convenience :meth:`wait` that drives the simulation
+to completion.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.exec.executor import QueryExecutor
+from repro.core.optimizer.statistics import QueryStats
+from repro.errors import BudgetExceededError
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = ["QueryStatus", "QueryHandle"]
+
+
+class QueryStatus(enum.Enum):
+    """Lifecycle of a submitted query."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    BUDGET_EXCEEDED = "budget_exceeded"
+    FAILED = "failed"
+
+
+class QueryHandle:
+    """A running (or finished) Qurk query."""
+
+    def __init__(self, query_id: str, sql: str, executor: QueryExecutor, results_table: Table):
+        self.query_id = query_id
+        self.sql = sql
+        self.executor = executor
+        self.results_table = results_table
+        self.status = QueryStatus.PENDING
+        self.error: Exception | None = None
+        self._poll_watermark = results_table.last_row_id()
+
+    # -- polling ------------------------------------------------------------------------
+
+    def poll(self) -> list[Row]:
+        """Return result rows that arrived since the previous poll."""
+        new = self.results_table.rows_since(self._poll_watermark)
+        if new:
+            self._poll_watermark = new[-1][0]
+        return [row for _, row in new]
+
+    def results(self) -> list[Row]:
+        """All result rows produced so far."""
+        return self.results_table.rows()
+
+    def __len__(self) -> int:
+        return len(self.results_table)
+
+    # -- driving execution -----------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance the query a little (used by the dashboard's live view)."""
+        if self.status in (QueryStatus.COMPLETED, QueryStatus.BUDGET_EXCEEDED, QueryStatus.FAILED):
+            return False
+        self.status = QueryStatus.RUNNING
+        try:
+            progress = self.executor.step()
+        except BudgetExceededError as error:
+            self.status = QueryStatus.BUDGET_EXCEEDED
+            self.error = error
+            return False
+        except Exception as error:  # pragma: no cover - defensive
+            self.status = QueryStatus.FAILED
+            self.error = error
+            raise
+        if self.executor.is_complete():
+            self.executor.close()
+            self.status = QueryStatus.COMPLETED
+        return progress
+
+    def run_until(self, simulated_time: float) -> None:
+        """Run the query until the simulated clock reaches ``simulated_time``."""
+        while self.status not in (
+            QueryStatus.COMPLETED,
+            QueryStatus.BUDGET_EXCEEDED,
+            QueryStatus.FAILED,
+        ):
+            if self.executor.context.clock.now >= simulated_time:
+                return
+            if not self.step():
+                return
+
+    def wait(self) -> list[Row]:
+        """Drive the query to completion and return every result row."""
+        while self.status not in (
+            QueryStatus.COMPLETED,
+            QueryStatus.BUDGET_EXCEEDED,
+            QueryStatus.FAILED,
+        ):
+            if not self.step():
+                break
+        return self.results()
+
+    # -- introspection -----------------------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the query has produced all results it ever will."""
+        return self.status is QueryStatus.COMPLETED
+
+    @property
+    def stats(self) -> QueryStats:
+        """Per-query statistics (spend, HITs, cache/model savings, ...)."""
+        return self.executor.context.statistics.query(self.query_id)
+
+    @property
+    def total_cost(self) -> float:
+        """Dollars spent on crowd work for this query so far."""
+        return self.stats.spent
+
+    def describe_plan(self) -> str:
+        """A compact, indented rendering of the physical plan."""
+        lines: list[str] = []
+
+        def visit(operator, depth: int) -> None:
+            lines.append("  " * depth + operator.name)
+            for child in operator.children:
+                visit(child, depth + 1)
+
+        visit(self.executor.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""The Qurk query language front end: SQL dialect plus the TASK UDF language."""
+
+from repro.core.lang.ast import OrderItem, SelectItem, SelectStatement, TableRef
+from repro.core.lang.lexer import Token, TokenType, tokenize
+from repro.core.lang.sql_parser import parse_select
+from repro.core.lang.task_parser import parse_task, parse_tasks
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse_select",
+    "parse_task",
+    "parse_tasks",
+    "SelectStatement",
+    "SelectItem",
+    "TableRef",
+    "OrderItem",
+]

@@ -1,0 +1,38 @@
+"""Physical operators: conventional relational operators plus the crowd-powered
+generate / filter / join / sort operators that make Qurk a "query processor for
+human operators"."""
+
+from repro.core.operators.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    AggregateSpec,
+    GroupByOperator,
+    LimitOperator,
+)
+from repro.core.operators.base import Operator, OperatorMetrics
+from repro.core.operators.crowd_filter import CrowdFilterOperator
+from repro.core.operators.crowd_generate import CrowdGenerateOperator
+from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
+from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
+from repro.core.operators.project import LocalFilterOperator, ProjectOperator, ProjectionItem
+from repro.core.operators.scan import ScanOperator
+from repro.core.operators.sink import ResultSinkOperator
+
+__all__ = [
+    "Operator",
+    "OperatorMetrics",
+    "ScanOperator",
+    "ProjectOperator",
+    "ProjectionItem",
+    "LocalFilterOperator",
+    "CrowdGenerateOperator",
+    "CrowdFilterOperator",
+    "CrowdJoinOperator",
+    "JoinStrategy",
+    "CrowdSortOperator",
+    "SortStrategy",
+    "GroupByOperator",
+    "LimitOperator",
+    "AggregateSpec",
+    "AGGREGATE_FUNCTIONS",
+    "ResultSinkOperator",
+]

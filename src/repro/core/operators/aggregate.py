@@ -1,0 +1,143 @@
+"""Local grouping / aggregation and LIMIT operators.
+
+These are conventional blocking operators: they do not consult the crowd, but
+they are needed to express the reduction of multi-answer attributes ("which
+can be reduced using user-defined aggregates", Section 3) and the usual tail
+of a SELECT statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.operators.base import Operator
+from repro.errors import OperatorError
+from repro.storage.expressions import Expression
+from repro.storage.row import Row
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+__all__ = ["AggregateSpec", "GroupByOperator", "LimitOperator", "AGGREGATE_FUNCTIONS"]
+
+
+def _count(values: list[Any]) -> int:
+    return len([v for v in values if v is not None])
+
+
+def _sum(values: list[Any]) -> Any:
+    values = [v for v in values if v is not None]
+    return sum(values) if values else None
+
+
+def _avg(values: list[Any]) -> Any:
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else None
+
+
+def _min(values: list[Any]) -> Any:
+    values = [v for v in values if v is not None]
+    return min(values) if values else None
+
+
+def _max(values: list[Any]) -> Any:
+    values = [v for v in values if v is not None]
+    return max(values) if values else None
+
+
+def _collect(values: list[Any]) -> list[Any]:
+    return list(values)
+
+
+#: SQL aggregate name -> reduction over the group's values.
+AGGREGATE_FUNCTIONS: dict[str, Callable[[list[Any]], Any]] = {
+    "count": _count,
+    "sum": _sum,
+    "avg": _avg,
+    "min": _min,
+    "max": _max,
+    "collect": _collect,
+}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output column: ``function(expression) AS alias``."""
+
+    alias: str
+    function: str
+    expression: Expression | None  # None means COUNT(*)
+
+    def __post_init__(self) -> None:
+        if self.function.lower() not in AGGREGATE_FUNCTIONS:
+            raise OperatorError(f"unknown aggregate function {self.function!r}")
+
+
+class GroupByOperator(Operator):
+    """Groups input rows and computes aggregates per group.
+
+    With no group-by columns it produces a single row aggregating all input
+    (or no row at all when the input is empty, matching SQL semantics for
+    grouped aggregates and keeping the implementation predictable).
+    """
+
+    def __init__(
+        self,
+        group_columns: list[str],
+        aggregates: list[AggregateSpec],
+        input_schema: Schema,
+    ):
+        super().__init__("group-by")
+        self.group_columns = list(group_columns)
+        self.aggregates = list(aggregates)
+        self._input_schema = input_schema
+        columns = [input_schema.column(name) for name in self.group_columns]
+        columns += [Column(agg.alias, DataType.ANY) for agg in self.aggregates]
+        self._schema = Schema(tuple(columns))
+        self._groups: dict[tuple, list[Row]] = {}
+        self._order: list[tuple] = []
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def _process(self, row: Row, slot: int) -> None:
+        key = tuple(row[name] for name in self.group_columns)
+        if key not in self._groups:
+            self._groups[key] = []
+            self._order.append(key)
+        self._groups[key].append(row)
+
+    def _on_inputs_finished(self) -> None:
+        for key in self._order:
+            rows = self._groups[key]
+            values: list[Any] = list(key)
+            for aggregate in self.aggregates:
+                if aggregate.expression is None:
+                    group_values: list[Any] = [1] * len(rows)
+                else:
+                    group_values = [aggregate.expression.evaluate(row) for row in rows]
+                function = AGGREGATE_FUNCTIONS[aggregate.function.lower()]
+                values.append(function(group_values))
+            self.emit(Row(self._schema, values))
+
+
+class LimitOperator(Operator):
+    """Passes through at most ``limit`` rows."""
+
+    def __init__(self, limit: int, input_schema: Schema):
+        super().__init__(f"limit({limit})")
+        if limit < 0:
+            raise OperatorError("LIMIT must be non-negative")
+        self.limit = limit
+        self._schema = input_schema
+        self._emitted = 0
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def _process(self, row: Row, slot: int) -> None:
+        if self._emitted < self.limit:
+            self._emitted += 1
+            self.emit(row)

@@ -1,0 +1,187 @@
+"""Asynchronous, queue-connected query operators.
+
+Section 2: "due to the latency in processing HITs, the query operators
+communicate asynchronously through input queues, as in the Volcano system...
+in contrast to the pull based iterator model, results are automatically
+emitted from the top-most operator and inserted into a results table."
+
+Each operator owns one input queue per child.  The executor repeatedly calls
+:meth:`Operator.step`, which drains a bounded amount of queued input, possibly
+submits crowd tasks, and pushes produced rows into its parent's queue.  Crowd
+operators keep a count of outstanding tasks; an operator is *done* only when
+its inputs are finished, its queues are drained, it has no outstanding tasks,
+and it has flushed any internal buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import OperatorError
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.exec.context import ExecutionContext
+
+__all__ = ["OperatorMetrics", "Operator"]
+
+
+@dataclass
+class OperatorMetrics:
+    """Per-operator counters surfaced by the dashboard's plan view."""
+
+    rows_in: int = 0
+    rows_out: int = 0
+    tasks_created: int = 0
+    tasks_completed: int = 0
+
+
+class Operator:
+    """Base class for all physical operators."""
+
+    #: Upper bound on rows drained from input queues per :meth:`step` call,
+    #: keeping single steps cheap so the executor can interleave operators.
+    MAX_ROWS_PER_STEP = 64
+
+    def __init__(self, name: str):
+        self.name = name
+        self.children: list[Operator] = []
+        self.parent: Operator | None = None
+        self.child_slot: int = 0
+        self.metrics = OperatorMetrics()
+        self._in_queues: list[deque[Row]] = []
+        self._inputs_done: list[bool] = []
+        self._outstanding_tasks = 0
+        self._finalized = False
+        self._context: "ExecutionContext | None" = None
+
+    # -- tree construction ----------------------------------------------------------
+
+    def add_child(self, child: "Operator") -> "Operator":
+        """Attach ``child`` as the next input of this operator."""
+        child.parent = self
+        child.child_slot = len(self.children)
+        self.children.append(child)
+        self._in_queues.append(deque())
+        self._inputs_done.append(False)
+        return self
+
+    def walk(self) -> Iterable["Operator"]:
+        """Yield this operator and all descendants, depth first, children first."""
+        for child in self.children:
+            yield from child.walk()
+        yield self
+
+    # -- schema -------------------------------------------------------------------------
+
+    @property
+    def output_schema(self) -> Schema:
+        """Schema of rows this operator emits."""
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def open(self, context: "ExecutionContext") -> None:
+        """Bind the operator to an execution context before any work happens."""
+        self._context = context
+
+    def close(self) -> None:
+        """Release any resources (default: nothing)."""
+
+    @property
+    def context(self) -> "ExecutionContext":
+        if self._context is None:
+            raise OperatorError(f"operator {self.name} was stepped before open()")
+        return self._context
+
+    # -- data flow --------------------------------------------------------------------------
+
+    def push(self, row: Row, slot: int = 0) -> None:
+        """Enqueue an input row from child ``slot``."""
+        self._in_queues[slot].append(row)
+
+    def finish_input(self, slot: int = 0) -> None:
+        """Signal that child ``slot`` will push no more rows."""
+        self._inputs_done[slot] = True
+
+    def inputs_finished(self) -> bool:
+        """True when every child has signalled completion (leaves: immediately)."""
+        return all(self._inputs_done) if self._inputs_done else True
+
+    def queued_rows(self) -> int:
+        """Total rows waiting in this operator's input queues."""
+        return sum(len(queue) for queue in self._in_queues)
+
+    def emit(self, row: Row) -> None:
+        """Push a produced row into the parent's input queue."""
+        self.metrics.rows_out += 1
+        if self.parent is not None:
+            self.parent.push(row, self.child_slot)
+
+    # -- task accounting -------------------------------------------------------------------
+
+    @property
+    def outstanding_tasks(self) -> int:
+        """Crowd tasks submitted by this operator that have not completed yet."""
+        return self._outstanding_tasks
+
+    def _task_started(self) -> None:
+        self._outstanding_tasks += 1
+        self.metrics.tasks_created += 1
+
+    def _task_finished(self) -> None:
+        if self._outstanding_tasks <= 0:
+            raise OperatorError(f"operator {self.name}: task bookkeeping underflow")
+        self._outstanding_tasks -= 1
+        self.metrics.tasks_completed += 1
+
+    # -- stepping ---------------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Perform a bounded amount of work.  Returns True when progress was made."""
+        progress = False
+        drained = 0
+        for slot, queue in enumerate(self._in_queues):
+            while queue and drained < self.MAX_ROWS_PER_STEP:
+                row = queue.popleft()
+                self.metrics.rows_in += 1
+                self._process(row, slot)
+                drained += 1
+                progress = True
+        if not self._finalized and self.inputs_finished() and self.queued_rows() == 0:
+            self._finalized = True
+            self._on_inputs_finished()
+            progress = True
+        return progress
+
+    def _process(self, row: Row, slot: int) -> None:
+        """Handle one input row (override in subclasses)."""
+        raise NotImplementedError
+
+    def _on_inputs_finished(self) -> None:
+        """Hook called once all inputs are finished and drained (override as needed)."""
+
+    # -- completion --------------------------------------------------------------------------
+
+    def is_done(self) -> bool:
+        """Whether this operator will never emit another row."""
+        return (
+            self.inputs_finished()
+            and self.queued_rows() == 0
+            and self._finalized
+            and self._outstanding_tasks == 0
+            and self._internal_work_remaining() == 0
+        )
+
+    def _internal_work_remaining(self) -> int:
+        """Extra pending work beyond queues/tasks (override for buffering operators)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, in={self.metrics.rows_in}, "
+            f"out={self.metrics.rows_out}, outstanding={self._outstanding_tasks})"
+        )

@@ -1,0 +1,62 @@
+"""Projection and local (non-crowd) selection operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operators.base import Operator
+from repro.storage.expressions import Expression
+from repro.storage.row import Row
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DataType
+
+__all__ = ["ProjectionItem", "ProjectOperator", "LocalFilterOperator"]
+
+
+@dataclass(frozen=True)
+class ProjectionItem:
+    """One output column of a projection: an expression and its output name."""
+
+    alias: str
+    expression: Expression
+    data_type: DataType = DataType.ANY
+
+
+class ProjectOperator(Operator):
+    """Evaluates a list of expressions against each input row."""
+
+    def __init__(self, items: list[ProjectionItem]):
+        super().__init__("project")
+        self.items = list(items)
+        self._schema = Schema.of(*[Column(item.alias, item.data_type) for item in self.items])
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def _process(self, row: Row, slot: int) -> None:
+        values = [item.expression.evaluate(row) for item in self.items]
+        self.emit(Row(self._schema, values))
+
+
+class LocalFilterOperator(Operator):
+    """Applies a locally evaluable predicate (no crowd involvement).
+
+    The optimizer pushes these below crowd operators whenever possible,
+    because a free local filter that removes tuples before they reach a
+    crowd operator directly reduces monetary cost (Section 4.1:
+    "filtering-based reduction in cross-product size").
+    """
+
+    def __init__(self, predicate: Expression, input_schema: Schema):
+        super().__init__("filter(local)")
+        self.predicate = predicate
+        self._schema = input_schema
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def _process(self, row: Row, slot: int) -> None:
+        if self.predicate.evaluate(row) is True:
+            self.emit(row)

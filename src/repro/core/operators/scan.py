@@ -1,0 +1,58 @@
+"""Table scan operator (leaf of every plan)."""
+
+from __future__ import annotations
+
+from repro.core.operators.base import Operator
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+__all__ = ["ScanOperator"]
+
+
+class ScanOperator(Operator):
+    """Emits every row of a base table, re-qualified with the table (or alias) name.
+
+    The scan emits at most :attr:`MAX_ROWS_PER_STEP` rows per step so the
+    executor can interleave scans with downstream crowd operators — important
+    because downstream operators start posting HITs as soon as the first
+    tuples arrive (asynchronous pipelining, Section 2).
+    """
+
+    def __init__(self, table: Table, alias: str | None = None):
+        name = alias or table.name
+        super().__init__(f"scan({name})")
+        self.table = table
+        self.alias = name
+        self._schema = table.schema.qualified(name)
+        self._iterator = None
+        self._exhausted = False
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def step(self) -> bool:
+        if self._exhausted:
+            return super().step()
+        if self._iterator is None:
+            self._iterator = iter(self.table.scan())
+        emitted = 0
+        while emitted < self.MAX_ROWS_PER_STEP:
+            try:
+                raw = next(self._iterator)
+            except StopIteration:
+                self._exhausted = True
+                break
+            self.metrics.rows_in += 1
+            self.emit(raw.with_schema(self._schema))
+            emitted += 1
+        # Let the base class run the finalisation hook once exhausted.
+        base_progress = super().step() if self._exhausted else False
+        return emitted > 0 or base_progress
+
+    def _process(self, row: Row, slot: int) -> None:  # pragma: no cover - leaf operator
+        raise AssertionError("scan operators have no inputs")
+
+    def is_done(self) -> bool:
+        return self._exhausted and super().is_done()

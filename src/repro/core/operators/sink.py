@@ -1,0 +1,35 @@
+"""Results sink: the top of every plan.
+
+"Results are automatically emitted from the top-most operator and inserted
+into a results table.  The user can periodically poll the table for new
+result tuples." (Section 2)
+"""
+
+from __future__ import annotations
+
+from repro.core.operators.base import Operator
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+__all__ = ["ResultSinkOperator"]
+
+
+class ResultSinkOperator(Operator):
+    """Appends every produced row to the query's results table."""
+
+    def __init__(self, results_table: Table):
+        super().__init__("results-sink")
+        self.results_table = results_table
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.results_table.schema
+
+    def _process(self, row: Row, slot: int) -> None:
+        self.results_table.insert(row.values)
+        self.metrics.rows_out += 1
+        self.context.statistics.record_result_emitted(self.context.query_id)
+
+    def emit(self, row: Row) -> None:  # pragma: no cover - sinks never emit upward
+        raise AssertionError("the results sink is the top-most operator")

@@ -1,0 +1,45 @@
+"""Local (machine-evaluated) ORDER BY operator."""
+
+from __future__ import annotations
+
+from repro.core.operators.base import Operator
+from repro.storage.expressions import Expression
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+__all__ = ["LocalSortOperator"]
+
+
+class LocalSortOperator(Operator):
+    """Buffers its input and emits it ordered by a locally evaluable key.
+
+    NULL keys sort last regardless of direction, matching common SQL engines.
+    """
+
+    def __init__(self, key: Expression, input_schema: Schema, *, ascending: bool = True):
+        super().__init__("sort(local)")
+        self.key = key
+        self.ascending = ascending
+        self._schema = input_schema
+        self._rows: list[Row] = []
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def _process(self, row: Row, slot: int) -> None:
+        self._rows.append(row)
+
+    def _on_inputs_finished(self) -> None:
+        keyed = [(self.key.evaluate(row), row) for row in self._rows]
+        non_null = [(value, row) for value, row in keyed if value is not None]
+        nulls = [row for value, row in keyed if value is None]
+        try:
+            non_null.sort(key=lambda pair: pair[0], reverse=not self.ascending)
+        except TypeError:
+            # Mixed types that cannot be compared directly: sort by text.
+            non_null.sort(key=lambda pair: str(pair[0]), reverse=not self.ascending)
+        for _value, row in non_null:
+            self.emit(row)
+        for row in nulls:
+            self.emit(row)

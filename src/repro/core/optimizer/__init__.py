@@ -1,0 +1,18 @@
+"""Query optimization: statistics, budgets, cost model and plan tuning."""
+
+from repro.core.optimizer.budget import BudgetLedger, QueryBudget
+from repro.core.optimizer.statistics import (
+    QueryStats,
+    SpecStats,
+    StatisticsManager,
+    WorkerStats,
+)
+
+__all__ = [
+    "BudgetLedger",
+    "QueryBudget",
+    "StatisticsManager",
+    "SpecStats",
+    "WorkerStats",
+    "QueryStats",
+]

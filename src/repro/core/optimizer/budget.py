@@ -1,0 +1,83 @@
+"""Per-query monetary budgets.
+
+The dashboard "displays the current budget and estimates for total query
+cost" (Section 4.1), and the optimizer "must take into account monetary cost"
+(Section 2).  The ledger is the single authority on how much each query may
+still spend; the Task Manager asks it to authorise every HIT before posting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BudgetExceededError
+
+__all__ = ["QueryBudget", "BudgetLedger"]
+
+
+@dataclass
+class QueryBudget:
+    """Budget state for one query."""
+
+    query_id: str
+    limit: float | None = None
+    committed: float = 0.0
+
+    @property
+    def remaining(self) -> float | None:
+        """Dollars left to commit, or None for unbudgeted queries."""
+        if self.limit is None:
+            return None
+        return max(self.limit - self.committed, 0.0)
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether ``amount`` more dollars may be committed."""
+        if self.limit is None:
+            return True
+        return self.committed + amount <= self.limit + 1e-9
+
+    def commit(self, amount: float) -> None:
+        """Commit spend (called when a HIT is posted, not when it completes)."""
+        self.committed += amount
+
+
+class BudgetLedger:
+    """Tracks budgets and committed spend for every registered query."""
+
+    def __init__(self) -> None:
+        self._budgets: dict[str, QueryBudget] = {}
+
+    def register(self, query_id: str, limit: float | None) -> QueryBudget:
+        """Register a query with an optional dollar budget."""
+        budget = QueryBudget(query_id=query_id, limit=limit)
+        self._budgets[query_id] = budget
+        return budget
+
+    def budget(self, query_id: str) -> QueryBudget:
+        """Look up (or lazily create an unlimited) budget for a query."""
+        return self._budgets.setdefault(query_id, QueryBudget(query_id=query_id))
+
+    def authorize(self, query_id: str, amount: float, *, description: str = "") -> None:
+        """Commit ``amount`` for a query or raise :class:`BudgetExceededError`."""
+        budget = self.budget(query_id)
+        if not budget.can_afford(amount):
+            raise BudgetExceededError(
+                f"query {query_id}: posting {description or 'work'} for ${amount:.2f} would "
+                f"exceed the ${budget.limit:.2f} budget (already committed "
+                f"${budget.committed:.2f})",
+                spent=budget.committed,
+                budget=budget.limit or 0.0,
+            )
+        budget.commit(amount)
+
+    def would_exceed(self, query_id: str, amount: float) -> bool:
+        """Whether committing ``amount`` would exceed the query's budget."""
+        return not self.budget(query_id).can_afford(amount)
+
+    def committed(self, query_id: str) -> float:
+        """Dollars already committed for a query."""
+        return self.budget(query_id).committed
+
+    def remaining(self, query_id: str) -> float | None:
+        """Dollars remaining for a query (None when unbudgeted)."""
+        return self.budget(query_id).remaining

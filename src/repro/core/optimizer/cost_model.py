@@ -1,0 +1,142 @@
+"""Monetary / latency cost model for crowd operators.
+
+The optimizer compares operator implementations (join interfaces, sort
+strategies, batch sizes) by the number of HITs they generate and what those
+HITs cost, which is the dimension the paper stresses: a naive cross-product
+join is "extraordinary monetary cost".  Latency estimates are rougher — HITs
+complete in parallel, so latency grows only slowly with HIT count — but they
+let the dashboard show an expected completion time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.tasks.spec import TaskSpec
+from repro.crowd.pricing import DEFAULT_PRICING, PricingPolicy
+
+__all__ = ["CostEstimate", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted resources for one crowd operator (or a whole plan)."""
+
+    tasks: float = 0.0
+    hits: float = 0.0
+    dollars: float = 0.0
+    latency_seconds: float = 0.0
+
+    def plus(self, other: "CostEstimate") -> "CostEstimate":
+        """Combine two estimates (dollars add; latency takes the pipeline max)."""
+        return CostEstimate(
+            tasks=self.tasks + other.tasks,
+            hits=self.hits + other.hits,
+            dollars=self.dollars + other.dollars,
+            latency_seconds=max(self.latency_seconds, other.latency_seconds),
+        )
+
+
+class CostModel:
+    """Translates task counts into HITs, dollars and rough latency."""
+
+    def __init__(
+        self,
+        pricing: PricingPolicy = DEFAULT_PRICING,
+        *,
+        base_hit_latency: float = 300.0,
+    ) -> None:
+        self.pricing = pricing
+        self.base_hit_latency = base_hit_latency
+
+    # -- building blocks ---------------------------------------------------------------
+
+    def hit_cost(self, spec: TaskSpec, assignments: int | None = None) -> float:
+        """Dollars for one HIT of ``spec`` (reward + fee, times redundancy)."""
+        redundancy = assignments or spec.assignments
+        return self.pricing.assignment_cost(spec.price) * redundancy
+
+    def _estimate(self, spec: TaskSpec, tasks: float, tasks_per_hit: float, assignments: int | None) -> CostEstimate:
+        tasks = max(tasks, 0.0)
+        if tasks == 0:
+            return CostEstimate()
+        hits = math.ceil(tasks / max(tasks_per_hit, 1))
+        dollars = hits * self.hit_cost(spec, assignments)
+        # HITs run in parallel on the marketplace, so latency grows slowly
+        # (coordination + stragglers) rather than linearly with HIT count.
+        latency = self.base_hit_latency * (1.0 + 0.15 * math.log1p(hits))
+        return CostEstimate(tasks=tasks, hits=float(hits), dollars=dollars, latency_seconds=latency)
+
+    # -- per-operator estimates ------------------------------------------------------------
+
+    def generate_cost(
+        self, spec: TaskSpec, n_rows: float, *, assignments: int | None = None,
+        cache_hit_rate: float = 0.0,
+    ) -> CostEstimate:
+        """Cost of a schema-extension (Question) operator over ``n_rows`` tuples."""
+        effective = n_rows * (1.0 - cache_hit_rate)
+        return self._estimate(spec, effective, spec.batch_size, assignments)
+
+    def filter_cost(
+        self, spec: TaskSpec, n_rows: float, *, assignments: int | None = None,
+        batch_size: int | None = None,
+    ) -> CostEstimate:
+        """Cost of a crowd filter over ``n_rows`` tuples."""
+        per_hit = batch_size or spec.batch_size
+        return self._estimate(spec, n_rows, per_hit, assignments)
+
+    def join_cost_pairwise(
+        self,
+        spec: TaskSpec,
+        n_left: float,
+        n_right: float,
+        *,
+        assignments: int | None = None,
+        pairs_per_hit: int = 1,
+        candidate_fraction: float = 1.0,
+    ) -> CostEstimate:
+        """Cost of a pairwise crowd join (optionally after a machine pre-filter)."""
+        pairs = n_left * n_right * candidate_fraction
+        return self._estimate(spec, pairs, pairs_per_hit, assignments)
+
+    def join_cost_columns(
+        self,
+        spec: TaskSpec,
+        n_left: float,
+        n_right: float,
+        *,
+        assignments: int | None = None,
+        left_per_hit: int = 3,
+        right_per_hit: int = 3,
+        candidate_fraction: float = 1.0,
+    ) -> CostEstimate:
+        """Cost of the two-column (Figure 3) join interface."""
+        effective_left = n_left * candidate_fraction ** 0.5
+        effective_right = n_right * candidate_fraction ** 0.5
+        blocks = math.ceil(max(effective_left, 0) / left_per_hit) * math.ceil(
+            max(effective_right, 0) / right_per_hit
+        )
+        if n_left == 0 or n_right == 0:
+            return CostEstimate()
+        hits = max(blocks, 1)
+        dollars = hits * self.hit_cost(spec, assignments)
+        latency = self.base_hit_latency * (1.0 + 0.15 * math.log1p(hits))
+        return CostEstimate(
+            tasks=float(hits), hits=float(hits), dollars=dollars, latency_seconds=latency
+        )
+
+    def sort_cost_comparison(
+        self, spec: TaskSpec, n_rows: float, *, assignments: int | None = None,
+        comparisons_per_hit: int = 1,
+    ) -> CostEstimate:
+        """Cost of comparison-based crowd sort: n·(n-1)/2 pairwise questions."""
+        comparisons = n_rows * max(n_rows - 1, 0) / 2.0
+        return self._estimate(spec, comparisons, comparisons_per_hit, assignments)
+
+    def sort_cost_rating(
+        self, spec: TaskSpec, n_rows: float, *, assignments: int | None = None,
+        ratings_per_hit: int = 1,
+    ) -> CostEstimate:
+        """Cost of rating-based crowd sort: one rating question per tuple."""
+        return self._estimate(spec, n_rows, ratings_per_hit, assignments)

@@ -1,0 +1,274 @@
+"""The Query Optimizer (Figure 1).
+
+"The Query Optimizer compiles the query into a query plan and adaptively
+optimizes it during query execution.  Query selectivities for HIT-based
+operators are not known a priori and user metrics may change mid-query.
+Additionally, the optimization function must take into account monetary cost,
+the number [of] turkers to assign to each HIT, and the overall query
+performance."
+
+Decisions implemented here:
+
+* **redundancy** — the number of assignments per HIT, chosen as the smallest
+  odd k whose majority vote reaches the query's target confidence given the
+  observed single-worker agreement (re-evaluated during execution, so the
+  choice adapts as statistics accumulate);
+* **join interface** — pairwise yes/no HITs (optionally batched) versus the
+  two-column Figure 3 interface, chosen by comparing cost-model estimates;
+* **sort strategy** — comparison-based versus rating-based crowd sort;
+* **plan cost estimation** — dollars / HITs / latency for the dashboard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.operators.base import Operator
+from repro.core.operators.crowd_filter import CrowdFilterOperator
+from repro.core.operators.crowd_generate import CrowdGenerateOperator
+from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
+from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
+from repro.core.operators.scan import ScanOperator
+from repro.core.optimizer.cost_model import CostEstimate, CostModel
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.tasks.spec import JoinColumnsResponse, RatingResponse, TaskSpec
+
+__all__ = ["OptimizerConfig", "JoinChoice", "QueryOptimizer", "majority_accuracy"]
+
+
+def majority_accuracy(single_accuracy: float, assignments: int) -> float:
+    """Probability that a majority of ``assignments`` independent workers is right.
+
+    Ties (possible only for even counts) are counted as failures, which makes
+    the estimate conservative; the optimizer only considers odd counts.
+    """
+    p = min(max(single_accuracy, 0.0), 1.0)
+    total = 0.0
+    for correct in range(assignments + 1):
+        if correct * 2 <= assignments:
+            continue
+        total += math.comb(assignments, correct) * p**correct * (1 - p) ** (assignments - correct)
+    return total
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Optimizer-wide tuning knobs."""
+
+    target_confidence: float = 0.9
+    max_assignments: int = 7
+    candidate_assignments: tuple[int, ...] = (1, 3, 5, 7)
+    default_worker_accuracy: float = 0.85
+    adaptive: bool = True
+
+
+@dataclass(frozen=True)
+class JoinChoice:
+    """The optimizer's decision for one crowd join."""
+
+    strategy: JoinStrategy
+    pairs_per_hit: int = 1
+    left_per_hit: int = 3
+    right_per_hit: int = 3
+    estimate: CostEstimate = CostEstimate()
+
+
+class QueryOptimizer:
+    """Cost-based and adaptive decisions for crowd operators."""
+
+    def __init__(
+        self,
+        statistics: StatisticsManager,
+        cost_model: CostModel | None = None,
+        config: OptimizerConfig | None = None,
+    ) -> None:
+        self.statistics = statistics
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.config = config if config is not None else OptimizerConfig()
+
+    # -- redundancy -------------------------------------------------------------------------
+
+    def estimate_worker_accuracy(self, spec: TaskSpec) -> float:
+        """Single-worker accuracy proxy: observed agreement with the majority."""
+        stats = self.statistics.spec(spec.name)
+        if stats.crowd_tasks >= 3:
+            # Agreement with the majority is an optimistic proxy; damp it a little.
+            return min(max(stats.mean_agreement, 0.55), 0.99)
+        return self.config.default_worker_accuracy
+
+    def choose_assignments(self, spec: TaskSpec, *, target_confidence: float | None = None) -> int:
+        """Smallest candidate redundancy whose majority vote meets the target."""
+        target = target_confidence if target_confidence is not None else self.config.target_confidence
+        accuracy = self.estimate_worker_accuracy(spec)
+        for candidate in self.config.candidate_assignments:
+            if candidate > self.config.max_assignments:
+                break
+            if majority_accuracy(accuracy, candidate) >= target:
+                return candidate
+        return min(max(self.config.candidate_assignments), self.config.max_assignments)
+
+    # -- join interface ----------------------------------------------------------------------
+
+    def choose_join_strategy(
+        self,
+        spec: TaskSpec,
+        n_left: int,
+        n_right: int,
+        *,
+        pairs_per_hit: int | None = None,
+        candidate_fraction: float = 1.0,
+    ) -> JoinChoice:
+        """Pick the cheaper of the pairwise and two-column join interfaces.
+
+        A spec whose Response is a plain yes/no question cannot be rendered as
+        the two-column interface, so it always plans as PAIRWISE (batched
+        according to its ``batch_size``); only JoinColumns specs compete on
+        cost.
+        """
+        assignments = self.choose_assignments(spec)
+        if pairs_per_hit is None:
+            pairs_per_hit = max(spec.batch_size, 1)
+        response = spec.response
+        if not isinstance(response, JoinColumnsResponse):
+            estimate = self.cost_model.join_cost_pairwise(
+                spec,
+                n_left,
+                n_right,
+                assignments=assignments,
+                pairs_per_hit=pairs_per_hit,
+                candidate_fraction=candidate_fraction,
+            )
+            return JoinChoice(
+                strategy=JoinStrategy.PAIRWISE, pairs_per_hit=pairs_per_hit, estimate=estimate
+            )
+        left_per_hit = response.left_per_hit
+        right_per_hit = response.right_per_hit
+        pairwise = self.cost_model.join_cost_pairwise(
+            spec,
+            n_left,
+            n_right,
+            assignments=assignments,
+            pairs_per_hit=pairs_per_hit,
+            candidate_fraction=candidate_fraction,
+        )
+        columns = self.cost_model.join_cost_columns(
+            spec,
+            n_left,
+            n_right,
+            assignments=assignments,
+            left_per_hit=left_per_hit,
+            right_per_hit=right_per_hit,
+            candidate_fraction=candidate_fraction,
+        )
+        if columns.dollars <= pairwise.dollars:
+            return JoinChoice(
+                strategy=JoinStrategy.COLUMNS,
+                left_per_hit=left_per_hit,
+                right_per_hit=right_per_hit,
+                estimate=columns,
+            )
+        return JoinChoice(
+            strategy=JoinStrategy.PAIRWISE, pairs_per_hit=pairs_per_hit, estimate=pairwise
+        )
+
+    # -- sort strategy ------------------------------------------------------------------------
+
+    def choose_sort_strategy(self, spec: TaskSpec, n_rows: int) -> SortStrategy:
+        """Rating-based sort beyond a small input size; the spec can force rating."""
+        if isinstance(spec.response, RatingResponse):
+            return SortStrategy.RATING
+        comparison = self.cost_model.sort_cost_comparison(spec, n_rows)
+        rating = self.cost_model.sort_cost_rating(spec, n_rows)
+        return SortStrategy.COMPARISON if comparison.dollars <= rating.dollars else SortStrategy.RATING
+
+    # -- plan-level estimation ---------------------------------------------------------------------
+
+    def estimate_plan_cost(self, root: Operator) -> CostEstimate:
+        """Walk a physical plan and estimate its total crowd cost.
+
+        Cardinalities flow bottom-up: scans contribute their table sizes,
+        crowd filters apply the (estimated) selectivity of their predicate,
+        joins multiply.  The estimate is refreshed by the dashboard while the
+        query runs, so it tightens as observed selectivities replace priors.
+        """
+        total = CostEstimate()
+
+        def visit(operator: Operator) -> float:
+            nonlocal total
+            child_cards = [visit(child) for child in operator.children]
+            if isinstance(operator, ScanOperator):
+                return float(len(operator.table))
+            if isinstance(operator, CrowdGenerateOperator):
+                cardinality = child_cards[0] if child_cards else 0.0
+                cache_rate = self.statistics.spec(operator.spec.name).cache_hits / max(
+                    self.statistics.spec(operator.spec.name).tasks_completed, 1
+                )
+                total = total.plus(
+                    self.cost_model.generate_cost(
+                        operator.spec,
+                        cardinality,
+                        assignments=self.choose_assignments(operator.spec),
+                        cache_hit_rate=cache_rate,
+                    )
+                )
+                return cardinality
+            if isinstance(operator, CrowdFilterOperator):
+                cardinality = child_cards[0] if child_cards else 0.0
+                total = total.plus(
+                    self.cost_model.filter_cost(
+                        operator.spec,
+                        cardinality,
+                        assignments=self.choose_assignments(operator.spec),
+                    )
+                )
+                selectivity = self.statistics.estimate_selectivity(operator.spec.name)
+                return cardinality * selectivity
+            if isinstance(operator, CrowdJoinOperator):
+                n_left = child_cards[0] if child_cards else 0.0
+                n_right = child_cards[1] if len(child_cards) > 1 else 0.0
+                if operator.strategy is JoinStrategy.PAIRWISE:
+                    estimate = self.cost_model.join_cost_pairwise(
+                        operator.spec,
+                        n_left,
+                        n_right,
+                        assignments=self.choose_assignments(operator.spec),
+                        pairs_per_hit=operator.pairs_per_hit,
+                    )
+                else:
+                    estimate = self.cost_model.join_cost_columns(
+                        operator.spec,
+                        n_left,
+                        n_right,
+                        assignments=self.choose_assignments(operator.spec),
+                        left_per_hit=operator.left_per_hit,
+                        right_per_hit=operator.right_per_hit,
+                    )
+                total = total.plus(estimate)
+                selectivity = self.statistics.estimate_selectivity(
+                    operator.spec.name, prior=min(1.0 / max(n_right, 1.0), 1.0)
+                )
+                return max(n_left * n_right * selectivity, 0.0)
+            if isinstance(operator, CrowdSortOperator):
+                cardinality = child_cards[0] if child_cards else 0.0
+                if operator.strategy is SortStrategy.COMPARISON:
+                    estimate = self.cost_model.sort_cost_comparison(
+                        operator.spec,
+                        cardinality,
+                        assignments=self.choose_assignments(operator.spec),
+                        comparisons_per_hit=operator.items_per_hit,
+                    )
+                else:
+                    estimate = self.cost_model.sort_cost_rating(
+                        operator.spec,
+                        cardinality,
+                        assignments=self.choose_assignments(operator.spec),
+                        ratings_per_hit=operator.items_per_hit,
+                    )
+                total = total.plus(estimate)
+                return cardinality
+            # Local operators: pass through the (first) child cardinality.
+            return child_cards[0] if child_cards else 0.0
+
+        visit(root)
+        return total

@@ -1,0 +1,233 @@
+"""The Statistics Manager (Figure 1).
+
+"The manager takes data from the Statistics Manager to determine the number
+of HITs, HIT assignments, and the cost of each task" and "Query selectivities
+for HIT-based operators are not known a priori", so they are measured online.
+This module accumulates per-task-spec, per-worker and per-query statistics as
+task results stream in, and exposes the estimators the optimizer and the
+dashboard consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with the task layer
+    from repro.core.tasks.task import TaskResult
+
+__all__ = ["SpecStats", "WorkerStats", "QueryStats", "StatisticsManager"]
+
+
+@dataclass
+class SpecStats:
+    """Online statistics for one task spec (one crowd UDF)."""
+
+    tasks_completed: int = 0
+    crowd_tasks: int = 0
+    cache_hits: int = 0
+    model_answers: int = 0
+    hits_posted: int = 0
+    assignments_received: int = 0
+    total_cost: float = 0.0
+    total_latency: float = 0.0
+    total_agreement: float = 0.0
+    boolean_true: int = 0
+    boolean_total: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean seconds from task submission to completion (crowd tasks)."""
+        return self.total_latency / self.crowd_tasks if self.crowd_tasks else 0.0
+
+    @property
+    def mean_cost(self) -> float:
+        """Mean dollars per crowd task."""
+        return self.total_cost / self.crowd_tasks if self.crowd_tasks else 0.0
+
+    @property
+    def mean_agreement(self) -> float:
+        """Mean worker agreement on the winning answer."""
+        return self.total_agreement / self.crowd_tasks if self.crowd_tasks else 1.0
+
+    @property
+    def observed_selectivity(self) -> float | None:
+        """Fraction of boolean answers that were True (None before any data)."""
+        if not self.boolean_total:
+            return None
+        return self.boolean_true / self.boolean_total
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker quality statistics derived from agreement with the majority."""
+
+    assignments: int = 0
+    votes: int = 0
+    votes_with_majority: int = 0
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of this worker's votes that matched the reduced answer."""
+        return self.votes_with_majority / self.votes if self.votes else 1.0
+
+
+@dataclass
+class QueryStats:
+    """Per-query accounting used by the dashboard and budget enforcement."""
+
+    query_id: str
+    budget: float | None = None
+    spent: float = 0.0
+    hits_posted: int = 0
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+    cache_hits: int = 0
+    model_answers: int = 0
+    results_emitted: int = 0
+    started_at: float = 0.0
+    finished_at: float | None = None
+    dollars_saved_cache: float = 0.0
+    dollars_saved_model: float = 0.0
+
+    @property
+    def remaining_budget(self) -> float | None:
+        """Dollars of budget left (None when the query is unbudgeted)."""
+        if self.budget is None:
+            return None
+        return max(self.budget - self.spent, 0.0)
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds the query has been running (0 before completion data)."""
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+
+class StatisticsManager:
+    """Accumulates statistics from completed tasks and worker votes."""
+
+    #: Selectivity assumed before any observations arrive (uniform prior).
+    DEFAULT_SELECTIVITY_PRIOR = 0.5
+    #: Latency assumed before any observations (the paper: "several minutes").
+    DEFAULT_LATENCY_PRIOR = 300.0
+
+    def __init__(self) -> None:
+        self._specs: dict[str, SpecStats] = {}
+        self._workers: dict[str, WorkerStats] = {}
+        self._queries: dict[str, QueryStats] = {}
+
+    # -- accessors ---------------------------------------------------------------
+
+    def spec(self, name: str) -> SpecStats:
+        """Statistics bucket for a task spec (created on first use)."""
+        return self._specs.setdefault(name, SpecStats())
+
+    def worker(self, worker_id: str) -> WorkerStats:
+        """Statistics bucket for a worker (created on first use)."""
+        return self._workers.setdefault(worker_id, WorkerStats())
+
+    def query(self, query_id: str) -> QueryStats:
+        """Statistics bucket for a query (created on first use)."""
+        return self._queries.setdefault(query_id, QueryStats(query_id=query_id))
+
+    def all_specs(self) -> dict[str, SpecStats]:
+        return dict(self._specs)
+
+    def all_queries(self) -> dict[str, QueryStats]:
+        return dict(self._queries)
+
+    def worker_weights(self) -> dict[str, float]:
+        """Per-worker vote weights for :class:`~repro.core.answers.WeightedVote`."""
+        return {worker_id: stats.agreement_rate for worker_id, stats in self._workers.items()}
+
+    # -- recording -----------------------------------------------------------------
+
+    def record_result(self, result: "TaskResult") -> None:
+        """Fold one completed task into spec and query statistics."""
+        from repro.core.tasks.task import ResultSource
+
+        spec_stats = self.spec(result.task.spec.name)
+        query_stats = self.query(result.task.query_id) if result.task.query_id else None
+
+        spec_stats.tasks_completed += 1
+        if query_stats is not None:
+            query_stats.tasks_completed += 1
+
+        if result.source is ResultSource.CROWD:
+            spec_stats.crowd_tasks += 1
+            spec_stats.assignments_received += len(result.answers)
+            spec_stats.total_cost += result.cost
+            spec_stats.total_latency += result.latency
+            spec_stats.total_agreement += result.agreement
+            if query_stats is not None:
+                query_stats.spent += result.cost
+        elif result.source is ResultSource.CACHE:
+            spec_stats.cache_hits += 1
+            if query_stats is not None:
+                query_stats.cache_hits += 1
+                query_stats.dollars_saved_cache += spec_stats.mean_cost or 0.0
+        elif result.source is ResultSource.MODEL:
+            spec_stats.model_answers += 1
+            if query_stats is not None:
+                query_stats.model_answers += 1
+                query_stats.dollars_saved_model += spec_stats.mean_cost or 0.0
+
+        if isinstance(result.reduced, bool):
+            spec_stats.boolean_total += 1
+            spec_stats.boolean_true += int(result.reduced)
+
+    def record_hit_posted(self, spec_name: str, query_id: str, cost: float) -> None:
+        """Record that a HIT was posted (cost is committed at posting time)."""
+        self.spec(spec_name).hits_posted += 1
+        if query_id:
+            stats = self.query(query_id)
+            stats.hits_posted += 1
+
+    def record_task_submitted(self, query_id: str) -> None:
+        """Record that an operator handed a task to the Task Manager."""
+        if query_id:
+            self.query(query_id).tasks_submitted += 1
+
+    def record_vote(self, worker_id: str, agreed_with_majority: bool) -> None:
+        """Record one worker vote and whether it matched the reduced answer."""
+        stats = self.worker(worker_id)
+        stats.votes += 1
+        stats.votes_with_majority += int(agreed_with_majority)
+
+    def record_worker_assignment(self, worker_id: str) -> None:
+        """Record that a worker submitted an assignment."""
+        self.worker(worker_id).assignments += 1
+
+    def record_result_emitted(self, query_id: str, count: int = 1) -> None:
+        """Record rows emitted into a query's results table."""
+        if query_id:
+            self.query(query_id).results_emitted += count
+
+    # -- estimators -----------------------------------------------------------------
+
+    def estimate_selectivity(self, spec_name: str, prior: float | None = None) -> float:
+        """Selectivity estimate blending a prior with online observations.
+
+        Uses a pseudo-count of 4 prior observations so early estimates do not
+        swing wildly on the first few answers (adaptive behaviour, Section 2).
+        """
+        prior = self.DEFAULT_SELECTIVITY_PRIOR if prior is None else prior
+        stats = self.spec(spec_name)
+        pseudo = 4.0
+        return (prior * pseudo + stats.boolean_true) / (pseudo + stats.boolean_total)
+
+    def estimate_latency(self, spec_name: str) -> float:
+        """Expected seconds for one crowd task of this spec."""
+        stats = self.spec(spec_name)
+        if stats.crowd_tasks:
+            return stats.mean_latency
+        return self.DEFAULT_LATENCY_PRIOR
+
+    def estimate_cost_per_task(self, spec_name: str, fallback: float) -> float:
+        """Expected dollars per task, falling back to a cost-model figure."""
+        stats = self.spec(spec_name)
+        if stats.crowd_tasks:
+            return stats.mean_cost
+        return fallback

@@ -1,0 +1,6 @@
+"""Query planning: the crowd UDF registry and the SELECT planner."""
+
+from repro.core.plan.planner import PlannedQuery, QueryPlanner
+from repro.core.plan.registry import RegisteredTask, TaskRegistry
+
+__all__ = ["TaskRegistry", "RegisteredTask", "QueryPlanner", "PlannedQuery"]

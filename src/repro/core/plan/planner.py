@@ -1,0 +1,478 @@
+"""Plans SELECT statements into trees of physical operators.
+
+The planner rewrites crowd UDF calls into crowd operators:
+
+* ``findCEO(companyName).CEO`` in the SELECT list → a
+  :class:`~repro.core.operators.crowd_generate.CrowdGenerateOperator` below
+  the projection, with the field access rewritten to the generated column;
+* ``WHERE isTargetColor(name)`` → a crowd filter on that table;
+* ``WHERE samePerson(a.image, b.image)`` over two tables → a crowd join,
+  whose interface (pairwise vs two-column) the optimizer chooses by cost;
+* ``ORDER BY biggerItem(...)`` / a Rank UDF → a crowd sort, comparison or
+  rating based.
+
+Locally evaluable predicates are pushed onto their tables *below* the crowd
+operators, because a free machine filter that removes tuples before they
+reach the crowd directly reduces monetary cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exec.context import QueryConfig
+from repro.core.lang.ast import SelectItem, SelectStatement
+from repro.core.operators.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    AggregateSpec,
+    GroupByOperator,
+    LimitOperator,
+)
+from repro.core.operators.base import Operator
+from repro.core.operators.crowd_filter import CrowdFilterOperator
+from repro.core.operators.crowd_generate import CrowdGenerateOperator
+from repro.core.operators.crowd_join import CrowdJoinOperator
+from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
+from repro.core.operators.project import LocalFilterOperator, ProjectOperator, ProjectionItem
+from repro.core.operators.scan import ScanOperator
+from repro.core.operators.sink import ResultSinkOperator
+from repro.core.operators.sort_local import LocalSortOperator
+from repro.core.optimizer.optimizer import QueryOptimizer
+from repro.core.plan.registry import RegisteredTask, TaskRegistry
+from repro.errors import PlanError
+from repro.storage.database import Database
+from repro.storage.expressions import (
+    BooleanOp,
+    ColumnRef,
+    Expression,
+    FieldAccess,
+    FunctionCall,
+    Not,
+    find_calls,
+    walk,
+)
+from repro.storage.schema import Schema
+
+__all__ = ["PlannedQuery", "QueryPlanner"]
+
+
+@dataclass
+class PlannedQuery:
+    """The output of planning: the sink-rooted operator tree and its schema."""
+
+    root: ResultSinkOperator
+    output_schema: Schema
+    statement: SelectStatement
+
+
+class QueryPlanner:
+    """Turns parsed SELECT statements into physical plans."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: TaskRegistry,
+        optimizer: QueryOptimizer,
+        *,
+        config: QueryConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.registry = registry
+        self.optimizer = optimizer
+        self.config = config if config is not None else QueryConfig()
+
+    # -- entry point --------------------------------------------------------------------
+
+    def plan(self, statement: SelectStatement, *, query_id: str = "") -> PlannedQuery:
+        """Plan a statement; the results table is created by the caller."""
+        scans = self._build_scans(statement)
+        conjuncts = _split_conjuncts(statement.where)
+        local_conjuncts, crowd_filters, join_predicates = self._classify_conjuncts(
+            conjuncts, scans
+        )
+
+        pipelines = {
+            binding: self._build_table_pipeline(
+                binding, scan, local_conjuncts.get(binding, []), crowd_filters.get(binding, [])
+            )
+            for binding, scan in scans.items()
+        }
+        current = self._combine_tables(statement, pipelines, join_predicates, scans)
+
+        post_join_filters = local_conjuncts.get(None, [])
+        for predicate in post_join_filters:
+            operator = LocalFilterOperator(predicate, current.output_schema)
+            operator.add_child(current)
+            current = operator
+
+        current, rewritten_items = self._plan_generates(statement.select_items, current)
+        current = self._plan_order_by(statement, current)
+        current, rewritten_items = self._plan_grouping(statement, rewritten_items, current)
+        if statement.limit is not None:
+            limit = LimitOperator(statement.limit, current.output_schema)
+            limit.add_child(current)
+            current = limit
+
+        project = self._build_projection(rewritten_items, current)
+        project.add_child(current)
+
+        results_table = self.database.create_results_table(
+            project.output_schema, query_id=query_id or None
+        )
+        sink = ResultSinkOperator(results_table)
+        sink.add_child(project)
+        return PlannedQuery(root=sink, output_schema=project.output_schema, statement=statement)
+
+    # -- FROM ----------------------------------------------------------------------------------
+
+    def _build_scans(self, statement: SelectStatement) -> dict[str, ScanOperator]:
+        if not statement.from_tables:
+            raise PlanError("a query needs at least one table in FROM")
+        scans: dict[str, ScanOperator] = {}
+        for table_ref in statement.from_tables:
+            table = self.database.table(table_ref.name)
+            if table_ref.binding in scans:
+                raise PlanError(f"duplicate table binding {table_ref.binding!r}")
+            scans[table_ref.binding] = ScanOperator(table, alias=table_ref.alias)
+        return scans
+
+    # -- WHERE classification --------------------------------------------------------------------
+
+    def _classify_conjuncts(
+        self, conjuncts: list[Expression], scans: dict[str, ScanOperator]
+    ) -> tuple[dict, dict, list]:
+        local_conjuncts: dict[str | None, list[Expression]] = {}
+        crowd_filters: dict[str, list[tuple[RegisteredTask, FunctionCall, bool]]] = {}
+        join_predicates: list[tuple[RegisteredTask, FunctionCall, str, str]] = []
+        for conjunct in conjuncts:
+            crowd_call, negated = _as_crowd_call(conjunct, self.registry)
+            if crowd_call is not None:
+                entry = self.registry.require(crowd_call.name)
+                bindings = self._bindings_of(crowd_call, scans)
+                if entry.is_join_predicate and len(bindings) == 2:
+                    if negated:
+                        raise PlanError("negated crowd join predicates are not supported")
+                    left, right = self._ordered_bindings(bindings, scans)
+                    join_predicates.append((entry, crowd_call, left, right))
+                    continue
+                if len(bindings) > 1:
+                    raise PlanError(
+                        f"crowd filter {crowd_call.name} references several tables; "
+                        "only join predicates may span tables"
+                    )
+                binding = next(iter(bindings)) if bindings else next(iter(scans))
+                crowd_filters.setdefault(binding, []).append((entry, crowd_call, negated))
+                continue
+            self._require_locally_evaluable(conjunct)
+            bindings = self._bindings_of(conjunct, scans)
+            if len(bindings) == 1:
+                local_conjuncts.setdefault(next(iter(bindings)), []).append(conjunct)
+            elif len(bindings) == 0:
+                local_conjuncts.setdefault(next(iter(scans)), []).append(conjunct)
+            else:
+                local_conjuncts.setdefault(None, []).append(conjunct)
+        return local_conjuncts, crowd_filters, join_predicates
+
+    def _require_locally_evaluable(self, conjunct: Expression) -> None:
+        """Reject predicates that call functions Qurk knows nothing about."""
+        for call in find_calls(conjunct):
+            if call.implementation is None and call.name not in self.registry:
+                raise PlanError(
+                    f"function {call.name!r} in WHERE is neither a registered crowd TASK "
+                    "nor a locally implemented function"
+                )
+
+    def _bindings_of(self, expression: Expression, scans: dict[str, ScanOperator]) -> set[str]:
+        bindings: set[str] = set()
+        for name in expression.references():
+            qualifier = name.rsplit(".", 1)[0] if "." in name else None
+            if qualifier and qualifier in scans:
+                bindings.add(qualifier)
+                continue
+            # Unqualified column: find which table defines it.
+            owners = [b for b, scan in scans.items() if name in scan.output_schema]
+            if len(owners) == 1:
+                bindings.add(owners[0])
+            elif len(owners) > 1:
+                raise PlanError(f"column reference {name!r} is ambiguous across tables")
+            else:
+                raise PlanError(f"unknown column {name!r}")
+        return bindings
+
+    @staticmethod
+    def _ordered_bindings(bindings: set[str], scans: dict[str, ScanOperator]) -> tuple[str, str]:
+        ordered = [binding for binding in scans if binding in bindings]
+        return ordered[0], ordered[1]
+
+    # -- per-table pipelines -------------------------------------------------------------------------
+
+    def _build_table_pipeline(
+        self,
+        binding: str,
+        scan: ScanOperator,
+        local_predicates: list[Expression],
+        crowd_predicates: list[tuple[RegisteredTask, FunctionCall, bool]],
+    ) -> Operator:
+        current: Operator = scan
+        for predicate in local_predicates:
+            operator = LocalFilterOperator(predicate, current.output_schema)
+            operator.add_child(current)
+            current = operator
+        for entry, call, negated in crowd_predicates:
+            operator = CrowdFilterOperator(
+                entry.spec,
+                list(call.args),
+                current.output_schema,
+                negate=negated,
+            )
+            operator.add_child(current)
+            current = operator
+        return current
+
+    def _combine_tables(
+        self,
+        statement: SelectStatement,
+        pipelines: dict[str, Operator],
+        join_predicates: list[tuple[RegisteredTask, FunctionCall, str, str]],
+        scans: dict[str, ScanOperator],
+    ) -> Operator:
+        if len(pipelines) == 1:
+            if join_predicates:
+                raise PlanError("a join predicate needs two tables in FROM")
+            return next(iter(pipelines.values()))
+        if len(pipelines) != 2:
+            raise PlanError("queries over more than two tables are not supported")
+        if not join_predicates:
+            raise PlanError(
+                "joining two tables requires a crowd join predicate in WHERE "
+                "(cartesian products are never what you want to pay for)"
+            )
+        if len(join_predicates) > 1:
+            raise PlanError("only one crowd join predicate per query is supported")
+        entry, _call, left_binding, right_binding = join_predicates[0]
+        left = pipelines[left_binding]
+        right = pipelines[right_binding]
+        n_left = len(scans[left_binding].table)
+        n_right = len(scans[right_binding].table)
+        choice = self.optimizer.choose_join_strategy(entry.spec, n_left, n_right)
+        join = CrowdJoinOperator(
+            entry.spec,
+            left.output_schema,
+            right.output_schema,
+            strategy=choice.strategy,
+            pairs_per_hit=choice.pairs_per_hit,
+            left_per_hit=choice.left_per_hit,
+            right_per_hit=choice.right_per_hit,
+            left_payload=entry.left_payload,
+            right_payload=entry.right_payload,
+            prefilter=entry.prefilter,
+        )
+        join.add_child(left)
+        join.add_child(right)
+        return join
+
+    # -- SELECT-list crowd generates ---------------------------------------------------------------------
+
+    def _plan_generates(
+        self, select_items: tuple[SelectItem, ...], current: Operator
+    ) -> tuple[Operator, list[SelectItem]]:
+        generate_calls: dict[str, tuple[RegisteredTask, FunctionCall, str]] = {}
+        for item in select_items:
+            for call in find_calls(item.expression):
+                entry = self.registry.lookup(call.name)
+                if entry is None or not entry.is_question:
+                    continue
+                key = str(call)
+                if key not in generate_calls:
+                    suffix = "" if not generate_calls else f"_{len(generate_calls) + 1}"
+                    prefix = f"{entry.spec.name}{suffix}"
+                    generate_calls[key] = (entry, call, prefix)
+        for entry, call, prefix in generate_calls.values():
+            operator = CrowdGenerateOperator(
+                entry.spec,
+                list(call.args),
+                current.output_schema,
+                output_prefix=prefix,
+            )
+            operator.add_child(current)
+            current = operator
+        prefixes = {key: prefix for key, (_e, _c, prefix) in generate_calls.items()}
+        specs = {key: entry.spec for key, (entry, _c, _p) in generate_calls.items()}
+        rewritten = [
+            SelectItem(_rewrite_generates(item.expression, prefixes, specs), item.alias)
+            for item in select_items
+        ]
+        return current, rewritten
+
+    # -- ORDER BY -----------------------------------------------------------------------------------------
+
+    def _plan_order_by(self, statement: SelectStatement, current: Operator) -> Operator:
+        for order_item in statement.order_by:
+            expression = order_item.expression
+            crowd_call = None
+            if isinstance(expression, FunctionCall):
+                entry = self.registry.lookup(expression.name)
+                if entry is not None and entry.is_rank:
+                    crowd_call = (entry, expression)
+            if crowd_call is not None:
+                entry, _call = crowd_call
+                # The TASK's Response type is authoritative: a Rating response
+                # sorts by per-item ratings, a Comparison response by pairwise
+                # comparisons (the optimizer only arbitrates programmatic
+                # sorts that could go either way).
+                strategy = (
+                    SortStrategy.RATING if entry.prefers_rating_sort else SortStrategy.COMPARISON
+                )
+                operator = CrowdSortOperator(
+                    entry.spec,
+                    current.output_schema,
+                    strategy=strategy,
+                    descending=not order_item.ascending,
+                    items_per_hit=entry.spec.batch_size,
+                    payload=entry.payload,
+                )
+            else:
+                operator = LocalSortOperator(
+                    expression, current.output_schema, ascending=order_item.ascending
+                )
+            operator.add_child(current)
+            current = operator
+        return current
+
+    # -- GROUP BY / aggregates ---------------------------------------------------------------------------------
+
+    def _plan_grouping(
+        self,
+        statement: SelectStatement,
+        select_items: list[SelectItem],
+        current: Operator,
+    ) -> tuple[Operator, list[SelectItem]]:
+        aggregate_items = [
+            item
+            for item in select_items
+            if isinstance(item.expression, FunctionCall)
+            and item.expression.name.lower() in AGGREGATE_FUNCTIONS
+        ]
+        if not statement.group_by and not aggregate_items:
+            return current, select_items
+        aggregates = []
+        rewritten: list[SelectItem] = []
+        for index, item in enumerate(select_items):
+            expression = item.expression
+            if item in aggregate_items:
+                call = expression
+                alias = item.alias or f"{call.name.lower()}_{index}"
+                argument = call.args[0] if call.args else None
+                aggregates.append(AggregateSpec(alias, call.name.lower(), argument))
+                rewritten.append(SelectItem(ColumnRef(alias), item.alias or alias))
+            else:
+                if not isinstance(expression, ColumnRef):
+                    raise PlanError(
+                        "non-aggregate SELECT items in a grouped query must be plain columns"
+                    )
+                rewritten.append(item)
+        group_columns = list(statement.group_by)
+        if not group_columns:
+            group_columns = [
+                item.expression.name
+                for item in select_items
+                if isinstance(item.expression, ColumnRef) and item not in aggregate_items
+            ]
+        operator = GroupByOperator(group_columns, aggregates, current.output_schema)
+        operator.add_child(current)
+        return operator, rewritten
+
+    # -- projection ----------------------------------------------------------------------------------------------
+
+    def _build_projection(self, select_items: list[SelectItem], current: Operator) -> ProjectOperator:
+        items = []
+        seen: set[str] = set()
+        for item in select_items:
+            name = item.alias or _default_output_name(item.expression)
+            base = name
+            counter = 2
+            while name in seen:
+                name = f"{base}_{counter}"
+                counter += 1
+            seen.add(name)
+            items.append(ProjectionItem(name, item.expression))
+        return ProjectOperator(items)
+
+
+# -- helpers -------------------------------------------------------------------------------------------
+
+
+def _split_conjuncts(expression: Expression | None) -> list[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, BooleanOp) and expression.op == "and":
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
+
+
+def _as_crowd_call(
+    expression: Expression, registry: TaskRegistry
+) -> tuple[FunctionCall | None, bool]:
+    """Return (call, negated) when a conjunct is a bare crowd UDF call."""
+    negated = False
+    if isinstance(expression, Not):
+        negated = True
+        expression = expression.operand
+    if isinstance(expression, FunctionCall) and expression.name in registry:
+        return expression, negated
+    return None, False
+
+
+def _rewrite_generates(
+    expression: Expression,
+    prefixes: dict[str, str],
+    specs: dict[str, object],
+) -> Expression:
+    """Rewrite ``findCEO(x).CEO`` into a reference to the generated column."""
+    if isinstance(expression, FieldAccess):
+        base = expression.base
+        key = str(base)
+        if isinstance(base, FunctionCall) and key in prefixes:
+            return ColumnRef(f"{prefixes[key]}.{expression.field}")
+        return FieldAccess(_rewrite_generates(base, prefixes, specs), expression.field)
+    if isinstance(expression, FunctionCall):
+        key = str(expression)
+        if key in prefixes:
+            spec = specs[key]
+            returns = getattr(spec, "returns", ())
+            if len(returns) == 1:
+                return ColumnRef(f"{prefixes[key]}.{returns[0].name}")
+            raise PlanError(
+                f"{expression.name}(...) returns a tuple; select a field such as "
+                f"{expression.name}(...).{returns[0].name if returns else 'Field'}"
+            )
+        rewritten_args = tuple(_rewrite_generates(arg, prefixes, specs) for arg in expression.args)
+        return FunctionCall(expression.name, rewritten_args, expression.implementation)
+    for node in walk(expression):
+        if isinstance(node, (FieldAccess, FunctionCall)) and node is not expression:
+            break
+    else:
+        return expression
+    # Generic structural rewrite for composite expressions.
+    if hasattr(expression, "left") and hasattr(expression, "right"):
+        left = _rewrite_generates(expression.left, prefixes, specs)
+        right = _rewrite_generates(expression.right, prefixes, specs)
+        return type(expression)(expression.op, left, right)  # type: ignore[call-arg]
+    if isinstance(expression, Not):
+        return Not(_rewrite_generates(expression.operand, prefixes, specs))
+    return expression
+
+
+def _default_output_name(expression: Expression) -> str:
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    return str(expression)
+
+
+def _estimate_rows(operator: Operator) -> int:
+    """Crude cardinality guess for sort-strategy selection (scan sizes below)."""
+    total = 0
+    for node in operator.walk():
+        if isinstance(node, ScanOperator):
+            total = max(total, len(node.table))
+    return total or 10

@@ -1,0 +1,127 @@
+"""Batching policies used by the Task Manager.
+
+Section 2: "As an optimization, the manager can batch several tasks into a
+single HIT.  The task manager can feed batches of tuples to a single operator
+(e.g., collecting multiple tuples to sort)."  A batching policy decides how
+many pending tasks of one group to put into each HIT and when a partially
+filled batch should be flushed anyway (so the tail of a workload is not stuck
+waiting for peers that will never arrive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tasks.task import Task
+from repro.errors import TaskError
+
+__all__ = ["BatchingPolicy", "FixedBatching", "NoBatching", "AdaptiveBatching"]
+
+
+class BatchingPolicy:
+    """Decides how pending tasks are grouped into HITs."""
+
+    def batch_size(self, pending: int) -> int:
+        """Number of tasks to place in the next HIT given ``pending`` queued tasks."""
+        raise NotImplementedError
+
+    def should_flush(self, pending: int, *, force: bool) -> bool:
+        """Whether a HIT should be formed now."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description (shown on the dashboard)."""
+        return type(self).__name__
+
+
+@dataclass
+class NoBatching(BatchingPolicy):
+    """One task per HIT — the naive baseline the paper improves on."""
+
+    def batch_size(self, pending: int) -> int:
+        return 1
+
+    def should_flush(self, pending: int, *, force: bool) -> bool:
+        return pending >= 1
+
+    def describe(self) -> str:
+        return "no batching (1 task/HIT)"
+
+
+@dataclass
+class FixedBatching(BatchingPolicy):
+    """Put up to ``size`` tasks into each HIT.
+
+    Partially filled batches are only flushed when ``force`` is set (the
+    operator has no more input) to avoid posting lots of undersized HITs.
+    """
+
+    size: int = 5
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise TaskError("batch size must be >= 1")
+
+    def batch_size(self, pending: int) -> int:
+        return min(self.size, max(pending, 1))
+
+    def should_flush(self, pending: int, *, force: bool) -> bool:
+        if pending <= 0:
+            return False
+        return pending >= self.size or force
+
+    def describe(self) -> str:
+        return f"fixed batching ({self.size} tasks/HIT)"
+
+
+@dataclass
+class AdaptiveBatching(BatchingPolicy):
+    """Grow the batch size while observed answer quality stays high.
+
+    The Statistics Manager feeds back the recent agreement rate for the task
+    group; the batch size increases toward ``max_size`` while agreement stays
+    above ``target_agreement`` and shrinks when workers start disagreeing
+    (a symptom of fatigue on long HITs).
+    """
+
+    initial_size: int = 2
+    max_size: int = 10
+    target_agreement: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.initial_size < 1 or self.max_size < self.initial_size:
+            raise TaskError("adaptive batching sizes must satisfy 1 <= initial <= max")
+        self._current = self.initial_size
+
+    @property
+    def current_size(self) -> int:
+        """The batch size currently in force."""
+        return self._current
+
+    def observe_agreement(self, agreement: float) -> None:
+        """Feed back observed worker agreement for the latest completed HIT."""
+        if agreement >= self.target_agreement and self._current < self.max_size:
+            self._current += 1
+        elif agreement < self.target_agreement and self._current > 1:
+            self._current = max(1, self._current - 2)
+
+    def batch_size(self, pending: int) -> int:
+        return min(self._current, max(pending, 1))
+
+    def should_flush(self, pending: int, *, force: bool) -> bool:
+        if pending <= 0:
+            return False
+        return pending >= self._current or force
+
+    def describe(self) -> str:
+        return (
+            f"adaptive batching (currently {self._current} tasks/HIT, "
+            f"max {self.max_size}, target agreement {self.target_agreement:.0%})"
+        )
+
+
+def batches_of(tasks: list[Task], size: int) -> list[list[Task]]:
+    """Split ``tasks`` into consecutive batches of at most ``size``."""
+    if size < 1:
+        raise TaskError("batch size must be >= 1")
+    return [tasks[start:start + size] for start in range(0, len(tasks), size)]

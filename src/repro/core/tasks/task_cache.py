@@ -1,0 +1,101 @@
+"""The Task Cache (Figure 1).
+
+"We cache a given result to be used in several places (even possibly in
+different queries)" — Section 3.  The cache maps ``(task name, cache key)`` to
+the reduced answer of a previously completed task, so re-running ``findCEO``
+on the same company (within a query, across operators, or across queries)
+costs nothing.  The dashboard reports the money saved this way (Section 4.1),
+so the cache tracks the spend it avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["CacheEntry", "CacheStats", "TaskCache"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """A cached reduced answer along with what it originally cost to obtain."""
+
+    reduced: Any
+    original_cost: float
+    stored_at: float
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache effectiveness counters (surfaced on the dashboard)."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    dollars_saved: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class TaskCache:
+    """An in-memory cache of reduced task answers, keyed per task name."""
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: dict[tuple[str, Hashable], CacheEntry] = {}
+        self.stats = CacheStats()
+
+    def lookup(self, task_name: str, cache_key: Hashable | None) -> CacheEntry | None:
+        """Return the cached entry for ``(task_name, cache_key)``, if any.
+
+        A hit increments the savings counter by the entry's original cost,
+        which is exactly the money the requester did not have to spend again.
+        """
+        if not self.enabled or cache_key is None:
+            return None
+        entry = self._entries.get((task_name, cache_key))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.dollars_saved += entry.original_cost
+        return entry
+
+    def store(
+        self,
+        task_name: str,
+        cache_key: Hashable | None,
+        reduced: Any,
+        *,
+        cost: float,
+        now: float,
+    ) -> None:
+        """Store a reduced answer; no-op for uncacheable tasks (no key)."""
+        if not self.enabled or cache_key is None:
+            return
+        key = (task_name, cache_key)
+        if key not in self._entries:
+            self.stats.entries += 1
+        self._entries[key] = CacheEntry(reduced=reduced, original_cost=cost, stored_at=now)
+
+    def invalidate(self, task_name: str | None = None) -> int:
+        """Drop entries for one task name (or everything); returns count dropped."""
+        if task_name is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            keys = [key for key in self._entries if key[0] == task_name]
+            for key in keys:
+                del self._entries[key]
+            dropped = len(keys)
+        self.stats.entries = len(self._entries)
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, Hashable]) -> bool:
+        return key in self._entries

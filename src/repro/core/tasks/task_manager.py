@@ -1,0 +1,314 @@
+"""The Task Manager (Figure 1).
+
+"The Task Manager maintains a global queue of tasks that have been enqueued
+by all operators, and builds an internal representation of the HIT required
+to fulfill a task.  The manager takes data from the Statistics Manager to
+determine the number of HITs, HIT assignments, and the cost of each task...
+As an optimization, the manager can batch several tasks into a single HIT."
+
+Responsibilities implemented here:
+
+* a global pending queue, grouped by (query, task spec, kind);
+* answer short-circuiting through the Task Cache and the learned Task Model;
+* batching pending tasks into HITs via per-group batching policies;
+* budget authorisation before any HIT is posted;
+* collecting submitted assignments, reducing answer lists with the spec's
+  combiner, updating the Statistics Manager / Task Model / Task Cache, and
+  delivering :class:`~repro.core.tasks.task.TaskResult` to operator callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from repro.core.answers import AnswerList, get_aggregate
+from repro.core.optimizer.budget import BudgetLedger
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.tasks.batching import BatchingPolicy, FixedBatching, NoBatching, batches_of
+from repro.core.tasks.hit_compiler import CompiledHIT, HITCompiler
+from repro.core.tasks.spec import TaskSpec
+from repro.core.tasks.task import ResultSource, Task, TaskKind, TaskResult
+from repro.core.tasks.task_cache import TaskCache
+from repro.core.tasks.task_model import LearnedTaskModel, TaskModelRegistry
+from repro.crowd.hit import HIT, Assignment
+from repro.crowd.mturk import MTurkSimulator
+from repro.errors import TaskError
+
+__all__ = ["TaskManagerStats", "TaskManager"]
+
+GroupKey = tuple[str, str, str]  # (query_id, spec name, kind)
+
+
+@dataclass
+class TaskManagerStats:
+    """Aggregate counters describing Task Manager activity."""
+
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+    cache_answers: int = 0
+    model_answers: int = 0
+    hits_posted: int = 0
+    hit_dollars_committed: float = 0.0
+
+
+@dataclass
+class _InflightHIT:
+    """Bookkeeping for a HIT that has been posted but not fully submitted."""
+
+    compiled: CompiledHIT
+    posted_at: float
+    cost_committed: float
+    processed: bool = False
+
+
+class TaskManager:
+    """Global queue of crowd tasks and the machinery that fulfils them."""
+
+    def __init__(
+        self,
+        platform: MTurkSimulator,
+        statistics: StatisticsManager,
+        budget: BudgetLedger,
+        *,
+        cache: TaskCache | None = None,
+        models: TaskModelRegistry | None = None,
+        compiler: HITCompiler | None = None,
+        default_batching: BatchingPolicy | None = None,
+    ) -> None:
+        self.platform = platform
+        self.statistics = statistics
+        self.budget = budget
+        self.cache = cache if cache is not None else TaskCache()
+        self.models = models if models is not None else TaskModelRegistry()
+        self.compiler = compiler if compiler is not None else HITCompiler()
+        self.default_batching = default_batching if default_batching is not None else NoBatching()
+        self.stats = TaskManagerStats()
+        self._pending: dict[GroupKey, deque[Task]] = {}
+        self._policies: dict[tuple[str, str], BatchingPolicy] = {}
+        self._inflight: dict[str, _InflightHIT] = {}
+        self._submitted_at: dict[str, float] = {}
+        platform.on_assignment_submitted(self._on_assignment_submitted)
+
+    # -- configuration -------------------------------------------------------------
+
+    def set_batching_policy(self, spec_name: str, kind: TaskKind, policy: BatchingPolicy) -> None:
+        """Choose how tasks of one (spec, kind) group are batched into HITs."""
+        self._policies[(spec_name, kind.value)] = policy
+
+    def policy_for(self, spec: TaskSpec, kind: TaskKind) -> BatchingPolicy:
+        """The batching policy in force for a (spec, kind) group."""
+        explicit = self._policies.get((spec.name, kind.value))
+        if explicit is not None:
+            return explicit
+        if spec.batch_size > 1 and kind is not TaskKind.JOIN_BLOCK:
+            policy = FixedBatching(spec.batch_size)
+            self._policies[(spec.name, kind.value)] = policy
+            return policy
+        return self.default_batching
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, task: Task) -> None:
+        """Accept a task from an operator.
+
+        The task may be answered immediately (cache or model) — in which case
+        its callback runs synchronously — or queued for the next HIT batch.
+        """
+        self.stats.tasks_submitted += 1
+        self.statistics.record_task_submitted(task.query_id)
+        self._submitted_at[task.task_id] = self.platform.clock.now
+
+        cached = self.cache.lookup(task.spec.name, task.cache_key)
+        if cached is not None:
+            self.stats.cache_answers += 1
+            self._deliver(
+                TaskResult(
+                    task=task,
+                    answers=AnswerList.of(()),
+                    reduced=cached.reduced,
+                    source=ResultSource.CACHE,
+                )
+            )
+            return
+
+        model = self.models.model_for(task.spec.name)
+        if model is not None and task.kind in (TaskKind.FILTER, TaskKind.JOIN_PAIR):
+            prediction = model.predict(task)
+            if prediction is not None:
+                answer, _confidence = prediction
+                avoided = self.platform.pricing.assignment_cost(task.price) * task.assignments
+                if isinstance(model, LearnedTaskModel):
+                    model.record_savings(avoided)
+                self.stats.model_answers += 1
+                self._deliver(
+                    TaskResult(
+                        task=task,
+                        answers=AnswerList.of(()),
+                        reduced=answer,
+                        source=ResultSource.MODEL,
+                    )
+                )
+                return
+
+        key: GroupKey = (task.query_id, task.spec.name, task.kind.value)
+        self._pending.setdefault(key, deque()).append(task)
+
+    # -- flushing pending tasks into HITs ----------------------------------------------
+
+    def flush(self, *, force: bool = False) -> int:
+        """Turn pending tasks into HITs.  Returns the number of HITs posted.
+
+        ``force`` flushes partially filled batches; the executor forces a
+        flush once an operator signals it has no more input coming.
+        """
+        posted = 0
+        for key in list(self._pending):
+            queue = self._pending[key]
+            if not queue:
+                continue
+            spec = queue[0].spec
+            kind = queue[0].kind
+            policy = self.policy_for(spec, kind)
+            while queue and policy.should_flush(len(queue), force=force):
+                size = policy.batch_size(len(queue))
+                batch = [queue.popleft() for _ in range(min(size, len(queue)))]
+                self._post_batch(batch)
+                posted += 1
+            if not queue:
+                del self._pending[key]
+        return posted
+
+    def _post_batch(self, batch: list[Task]) -> None:
+        if not batch:
+            raise TaskError("cannot post an empty batch")
+        first = batch[0]
+        if first.kind is TaskKind.JOIN_BLOCK:
+            for task in batch:
+                self._post_single_block(task)
+            return
+        compiled = self.compiler.compile(batch)
+        self._post_compiled(compiled, first)
+
+    def _post_single_block(self, task: Task) -> None:
+        compiled = self.compiler.compile([task])
+        self._post_compiled(compiled, task)
+
+    def _post_compiled(self, compiled: CompiledHIT, representative: Task) -> None:
+        reward = representative.price
+        assignments = representative.assignments
+        cost = self.platform.pricing.assignment_cost(reward) * assignments
+        self.budget.authorize(
+            representative.query_id,
+            cost,
+            description=f"HIT for {representative.spec.name}",
+        )
+        hit = self.platform.create_hit(
+            compiled.content,
+            reward=reward,
+            max_assignments=assignments,
+            requester_annotation=representative.spec.name,
+        )
+        self.stats.hits_posted += 1
+        self.stats.hit_dollars_committed += cost
+        self.statistics.record_hit_posted(
+            representative.spec.name, representative.query_id, cost
+        )
+        self._inflight[hit.hit_id] = _InflightHIT(
+            compiled=compiled,
+            posted_at=self.platform.clock.now,
+            cost_committed=cost,
+        )
+
+    # -- completion handling ---------------------------------------------------------
+
+    def _on_assignment_submitted(self, hit: HIT, assignment: Assignment) -> None:
+        inflight = self._inflight.get(hit.hit_id)
+        if inflight is None or inflight.processed:
+            return
+        self.statistics.record_worker_assignment(assignment.worker_id)
+        if hit.is_fully_submitted:
+            inflight.processed = True
+            self._process_completed_hit(hit, inflight)
+            del self._inflight[hit.hit_id]
+
+    def _process_completed_hit(self, hit: HIT, inflight: _InflightHIT) -> None:
+        compiled = inflight.compiled
+        submissions = hit.submitted_assignments
+        per_task_answers: dict[str, list] = {task.task_id: [] for task in compiled.tasks}
+        per_task_workers: dict[str, list[str]] = {task.task_id: [] for task in compiled.tasks}
+        for assignment in submissions:
+            extracted = compiled.extract_answers(assignment)
+            for task_id, answer in extracted.items():
+                per_task_answers[task_id].append(answer)
+                per_task_workers[task_id].append(assignment.worker_id)
+
+        actual_cost = self.platform.pricing.assignment_cost(hit.reward) * len(submissions)
+        cost_per_task = actual_cost / max(len(compiled.tasks), 1)
+        now = self.platform.clock.now
+
+        for task in compiled.tasks:
+            answers = AnswerList.of(per_task_answers[task.task_id], per_task_workers[task.task_id])
+            if len(answers) == 0:
+                # Every worker skipped this item; treat as an unanswered task.
+                continue
+            reduced = self._reduce(task, answers)
+            self._record_votes(answers, reduced)
+            latency = now - self._submitted_at.get(task.task_id, inflight.posted_at)
+            result = TaskResult(
+                task=task,
+                answers=answers,
+                reduced=reduced,
+                source=ResultSource.CROWD,
+                cost=cost_per_task,
+                latency=latency,
+                hit_id=hit.hit_id,
+            )
+            self.cache.store(
+                task.spec.name, task.cache_key, reduced, cost=cost_per_task, now=now
+            )
+            model = self.models.model_for(task.spec.name)
+            if model is not None and task.kind in (TaskKind.FILTER, TaskKind.JOIN_PAIR):
+                model.observe(task, reduced)
+            self._deliver(result)
+
+    def _reduce(self, task: Task, answers: AnswerList):
+        if task.kind is TaskKind.JOIN_BLOCK:
+            return self._majority_pairs(answers)
+        combiner = get_aggregate(task.spec.combiner)
+        return combiner(answers)
+
+    @staticmethod
+    def _majority_pairs(answers: AnswerList) -> list[tuple[int, int]]:
+        """Keep the (left, right) pairs reported by a majority of workers."""
+        counts: Counter = Counter()
+        for answer in answers:
+            for pair in answer:
+                counts[tuple(pair)] += 1
+        threshold = len(answers) / 2.0
+        return sorted(pair for pair, votes in counts.items() if votes > threshold)
+
+    def _record_votes(self, answers: AnswerList, reduced) -> None:
+        if not answers.worker_ids:
+            return
+        for answer, worker_id in zip(answers.answers, answers.worker_ids):
+            self.statistics.record_vote(worker_id, answer == reduced)
+
+    def _deliver(self, result: TaskResult) -> None:
+        self.stats.tasks_completed += 1
+        self.statistics.record_result(result)
+        result.task.callback(result)
+
+    # -- executor integration ------------------------------------------------------------
+
+    def pending_tasks(self) -> int:
+        """Tasks queued but not yet posted in a HIT."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def inflight_hits(self) -> int:
+        """HITs posted and awaiting full submission."""
+        return len(self._inflight)
+
+    def has_outstanding_work(self) -> bool:
+        """Whether any task is still queued or any HIT is still in flight."""
+        return self.pending_tasks() > 0 or self.inflight_hits() > 0

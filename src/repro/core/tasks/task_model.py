@@ -1,0 +1,238 @@
+"""The Task Model (Figure 1): learning to replace the crowd.
+
+"If Qurk is aware of a learning model for the task, it trains this model with
+HIT results with the hope of eventually reducing monetary costs through
+automation."  The dashboard (Section 4.1) reports the benefit gained from
+"the use of classifiers in place of humans for various HITs".
+
+A :class:`LearnedTaskModel` wraps an online binary classifier (logistic
+regression trained by SGD, implemented with ``numpy``) for tasks whose spec
+provides a ``feature_extractor``.  Crowd answers are used both as training
+labels and — via a held-out window — to estimate the model's accuracy.  Only
+once the estimated accuracy passes a confidence threshold does the Task
+Manager let the model answer live tasks, and even then only predictions whose
+probability is far enough from 0.5 are trusted; the rest still go to humans.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.tasks.spec import TaskSpec
+from repro.core.tasks.task import Task, TaskKind
+from repro.errors import TaskError
+
+__all__ = ["ModelStats", "TaskModel", "LearnedTaskModel", "TaskModelRegistry"]
+
+
+@dataclass
+class ModelStats:
+    """Counters describing how a task model has been used (dashboard data)."""
+
+    observations: int = 0
+    predictions_served: int = 0
+    predictions_declined: int = 0
+    dollars_saved: float = 0.0
+    holdout_correct: int = 0
+    holdout_total: int = 0
+
+    @property
+    def holdout_accuracy(self) -> float:
+        """Accuracy of the model on crowd-labelled holdout examples."""
+        if not self.holdout_total:
+            return 0.0
+        return self.holdout_correct / self.holdout_total
+
+
+class TaskModel:
+    """Interface the Task Manager uses to consult a learned model."""
+
+    def observe(self, task: Task, label: Any) -> None:
+        """Learn from a crowd-produced (payload, reduced answer) example."""
+        raise NotImplementedError
+
+    def predict(self, task: Task) -> tuple[Any, float] | None:
+        """Return ``(answer, confidence)`` or None when the model abstains."""
+        raise NotImplementedError
+
+    @property
+    def is_trusted(self) -> bool:
+        """Whether the model is allowed to answer live tasks."""
+        raise NotImplementedError
+
+
+class LearnedTaskModel(TaskModel):
+    """Online logistic regression over spec-provided feature vectors.
+
+    Parameters
+    ----------
+    spec:
+        The task spec; must define ``feature_extractor`` and describe a
+        boolean-answer task (filter or join predicate).
+    min_observations:
+        Training examples required before the model may be trusted.
+    trust_accuracy:
+        Required holdout accuracy (measured against crowd answers) before the
+        model answers live tasks.
+    confidence_threshold:
+        Minimum prediction confidence (``|p - 0.5| * 2``) for the model to
+        answer rather than abstain.
+    learning_rate, l2:
+        SGD hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        spec: TaskSpec,
+        *,
+        min_observations: int = 30,
+        trust_accuracy: float = 0.9,
+        confidence_threshold: float = 0.8,
+        learning_rate: float = 0.1,
+        l2: float = 1e-4,
+        holdout_every: int = 5,
+    ) -> None:
+        if spec.feature_extractor is None:
+            raise TaskError(f"TASK {spec.name} has no feature extractor; cannot learn it")
+        if not spec.returns_bool:
+            raise TaskError("LearnedTaskModel only supports boolean-answer tasks")
+        self.spec = spec
+        self.min_observations = min_observations
+        self.trust_accuracy = trust_accuracy
+        self.confidence_threshold = confidence_threshold
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.holdout_every = holdout_every
+        self.stats = ModelStats()
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+        self._holdout_window: list[bool] = []
+
+    # -- feature handling -------------------------------------------------------
+
+    def _features(self, task: Task) -> np.ndarray | None:
+        payload = self._feature_payload(task)
+        if payload is None:
+            return None
+        raw = self.spec.feature_extractor(payload)
+        if raw is None:
+            return None
+        vector = np.asarray(list(raw), dtype=float)
+        if vector.ndim != 1 or vector.size == 0:
+            return None
+        return vector
+
+    @staticmethod
+    def _feature_payload(task: Task) -> dict | None:
+        if task.kind in (TaskKind.FILTER, TaskKind.RATE):
+            return task.payload
+        if task.kind in (TaskKind.JOIN_PAIR, TaskKind.COMPARE):
+            return task.payload
+        return None
+
+    # -- learning ----------------------------------------------------------------
+
+    def observe(self, task: Task, label: Any) -> None:
+        if not isinstance(label, bool):
+            return
+        features = self._features(task)
+        if features is None:
+            return
+        if self._weights is None:
+            self._weights = np.zeros(features.size)
+        if self._weights.size != features.size:
+            return
+        # Before training on this example, use it as a holdout measurement of
+        # the current model (prequential evaluation).
+        if self.stats.observations and self.stats.observations % self.holdout_every == 0:
+            probability = self._probability(features)
+            predicted = probability >= 0.5
+            self.stats.holdout_total += 1
+            self.stats.holdout_correct += int(predicted == label)
+        target = 1.0 if label else 0.0
+        probability = self._probability(features)
+        gradient = probability - target
+        self._weights -= self.learning_rate * (gradient * features + self.l2 * self._weights)
+        self._bias -= self.learning_rate * gradient
+        self.stats.observations += 1
+
+    def _probability(self, features: np.ndarray) -> float:
+        if self._weights is None:
+            return 0.5
+        score = float(np.dot(self._weights, features) + self._bias)
+        # Clamp to avoid overflow in exp for extreme scores.
+        score = max(min(score, 30.0), -30.0)
+        return 1.0 / (1.0 + math.exp(-score))
+
+    # -- prediction ----------------------------------------------------------------
+
+    @property
+    def is_trusted(self) -> bool:
+        return (
+            self.stats.observations >= self.min_observations
+            and self.stats.holdout_total >= 3
+            and self.stats.holdout_accuracy >= self.trust_accuracy
+        )
+
+    def predict(self, task: Task) -> tuple[bool, float] | None:
+        if not self.is_trusted:
+            return None
+        features = self._features(task)
+        if features is None or self._weights is None or features.size != self._weights.size:
+            return None
+        probability = self._probability(features)
+        confidence = abs(probability - 0.5) * 2.0
+        if confidence < self.confidence_threshold:
+            self.stats.predictions_declined += 1
+            return None
+        self.stats.predictions_served += 1
+        return probability >= 0.5, confidence
+
+    def record_savings(self, dollars: float) -> None:
+        """Credit the money a crowd HIT would have cost (dashboard metric)."""
+        self.stats.dollars_saved += dollars
+
+
+class TaskModelRegistry:
+    """Holds the task model (if any) for each task spec name."""
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self._models: dict[str, TaskModel] = {}
+
+    def register(self, spec_name: str, model: TaskModel) -> None:
+        """Attach a model to a task name."""
+        self._models[spec_name] = model
+
+    def register_default(self, spec: TaskSpec, **kwargs) -> LearnedTaskModel | None:
+        """Create a :class:`LearnedTaskModel` for ``spec`` when it is learnable."""
+        if spec.feature_extractor is None or not spec.returns_bool:
+            return None
+        model = LearnedTaskModel(spec, **kwargs)
+        self.register(spec.name, model)
+        return model
+
+    def model_for(self, spec_name: str) -> TaskModel | None:
+        """The model registered for a task name, or None."""
+        if not self.enabled:
+            return None
+        return self._models.get(spec_name)
+
+    def models(self) -> dict[str, TaskModel]:
+        """All registered models keyed by task name."""
+        return dict(self._models)
+
+    def total_savings(self) -> float:
+        """Total dollars saved by all models (dashboard metric)."""
+        total = 0.0
+        for model in self._models.values():
+            stats = getattr(model, "stats", None)
+            if stats is not None:
+                total += stats.dollars_saved
+        return total
+
+

@@ -1,0 +1,135 @@
+"""Discrete-event simulated clock.
+
+Everything latency-related in the crowd substrate (HIT acceptance delays,
+per-item work time, platform polling) is expressed in *simulated seconds* on a
+:class:`SimulationClock`.  The executor advances the clock while HITs are
+outstanding, which makes end-to-end latency experiments (E10) deterministic
+and fast regardless of how long real turkers would take.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import CrowdError
+
+__all__ = ["SimulationClock", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event scheduled on the simulation clock.
+
+    Ordering is by ``(time, sequence)`` so that events scheduled for the same
+    instant fire in scheduling order (FIFO), which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing when its time arrives."""
+        self.cancelled = True
+
+
+class SimulationClock:
+    """A heap-based discrete-event scheduler.
+
+    The clock never moves backwards.  Callbacks may schedule further events;
+    those are honoured as long as they are not in the past.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._events: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._fired = 0
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events that have not yet fired or been cancelled."""
+        return sum(1 for event in self._events if not event.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._fired
+
+    def next_event_time(self) -> float | None:
+        """Time of the earliest pending event, or None if the queue is empty."""
+        while self._events and self._events[0].cancelled:
+            heapq.heappop(self._events)
+        return self._events[0].time if self._events else None
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callable[[], Any], *, label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise CrowdError(
+                f"cannot schedule event at {time:.3f}, clock is already at {self._now:.3f}"
+            )
+        event = ScheduledEvent(time, next(self._sequence), callback, label)
+        heapq.heappush(self._events, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], Any], *, label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise CrowdError(f"cannot schedule event {delay:.3f}s in the past")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    # -- advancing -----------------------------------------------------------
+
+    def advance_to(self, time: float) -> int:
+        """Advance to ``time``, firing every due event.  Returns events fired."""
+        if time < self._now:
+            raise CrowdError(f"cannot rewind clock from {self._now:.3f} to {time:.3f}")
+        fired = 0
+        while self._events and self._events[0].time <= time:
+            event = heapq.heappop(self._events)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._fired += 1
+            fired += 1
+        self._now = max(self._now, time)
+        return fired
+
+    def advance_by(self, delta: float) -> int:
+        """Advance the clock by ``delta`` seconds."""
+        return self.advance_to(self._now + delta)
+
+    def run_next(self) -> bool:
+        """Fire the single earliest pending event.  Returns False when idle."""
+        when = self.next_event_time()
+        if when is None:
+            return False
+        self.advance_to(when)
+        return True
+
+    def run_until_idle(self, *, max_events: int = 1_000_000) -> int:
+        """Fire events until none remain.  Returns the number fired."""
+        fired = 0
+        while self.run_next():
+            fired += 1
+            if fired >= max_events:
+                raise CrowdError(f"simulation did not quiesce after {max_events} events")
+        return fired
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now:.1f}s, pending={self.pending_events})"

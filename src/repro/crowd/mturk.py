@@ -1,0 +1,253 @@
+"""Simulated Mechanical Turk requester service.
+
+This is the substrate substitution documented in DESIGN.md: the real MTurk
+web service is replaced by an in-process simulator that exposes the same
+requester-facing operations Qurk's HIT Compiler and Task Manager need —
+posting HITs, polling for submitted assignments, approving/rejecting work,
+and accounting for rewards and platform fees.  Completion happens on the
+shared :class:`~repro.crowd.clock.SimulationClock`, so latency behaviour
+("each HIT may take several minutes", Section 1) is preserved.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.crowd.clock import SimulationClock
+from repro.crowd.hit import (
+    Assignment,
+    AssignmentStatus,
+    HIT,
+    HITContent,
+    HITStatus,
+)
+from repro.crowd.oracle import AnswerOracle
+from repro.crowd.pricing import DEFAULT_PRICING, PricingPolicy
+from repro.crowd.worker_pool import WorkerPool
+from repro.errors import CrowdError, HITError
+
+__all__ = ["MTurkSimulator", "PlatformStats"]
+
+
+@dataclass
+class PlatformStats:
+    """Aggregate requester-side statistics for one simulator instance."""
+
+    hits_created: int = 0
+    assignments_submitted: int = 0
+    assignments_approved: int = 0
+    assignments_rejected: int = 0
+    total_rewards_paid: float = 0.0
+    total_fees_paid: float = 0.0
+    per_worker_assignments: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        """Total requester spend (rewards plus platform fees)."""
+        return self.total_rewards_paid + self.total_fees_paid
+
+
+class MTurkSimulator:
+    """An in-process stand-in for the MTurk requester API.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulation clock; assignment completion is scheduled on it.
+    worker_pool:
+        The simulated worker population answering HITs.
+    oracle:
+        Ground-truth oracle the workers consult (supplied by the workload).
+    pricing:
+        Platform fee schedule.
+    auto_approve:
+        When True (the default, matching common requester practice for small
+        HITs), submitted assignments are approved and paid immediately.
+    """
+
+    def __init__(
+        self,
+        clock: SimulationClock,
+        worker_pool: WorkerPool,
+        oracle: AnswerOracle,
+        *,
+        pricing: PricingPolicy = DEFAULT_PRICING,
+        auto_approve: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.worker_pool = worker_pool
+        self.oracle = oracle
+        self.pricing = pricing
+        self.auto_approve = auto_approve
+        self.stats = PlatformStats()
+        self._hits: dict[str, HIT] = {}
+        self._hit_counter = itertools.count(1)
+        self._completion_listeners: list[Callable[[HIT, Assignment], None]] = []
+
+    # -- listeners -------------------------------------------------------------
+
+    def on_assignment_submitted(self, callback: Callable[[HIT, Assignment], None]) -> None:
+        """Register a callback fired whenever any assignment is submitted."""
+        self._completion_listeners.append(callback)
+
+    # -- HIT lifecycle ----------------------------------------------------------
+
+    def create_hit(
+        self,
+        content: HITContent,
+        *,
+        reward: float,
+        max_assignments: int = 1,
+        lifetime: float = 24 * 3600.0,
+        requester_annotation: str = "",
+    ) -> HIT:
+        """Post a HIT and schedule its simulated completion.
+
+        Every assignment is assigned a worker, a pick-up delay and a work
+        duration up front; the corresponding submission events are placed on
+        the clock.  Callers observe results by polling
+        :meth:`submitted_assignments` or via :meth:`on_assignment_submitted`.
+        """
+        self.pricing.validate_reward(reward)
+        hit = HIT(
+            hit_id=f"HIT{next(self._hit_counter):06d}",
+            content=content,
+            reward=reward,
+            max_assignments=max_assignments,
+            created_at=self.clock.now,
+            lifetime=lifetime,
+            requester_annotation=requester_annotation,
+        )
+        self._hits[hit.hit_id] = hit
+        self.stats.hits_created += 1
+        self._schedule_assignments(hit)
+        return hit
+
+    def _schedule_assignments(self, hit: HIT) -> None:
+        workers = self.worker_pool.select_workers(hit, hit.max_assignments)
+        for worker in workers:
+            pickup = self.worker_pool.pickup_delay(hit)
+            accepted_at = self.clock.now + pickup
+            if accepted_at > hit.expires_at:
+                # The HIT expires before this worker would have picked it up.
+                continue
+            assignment = Assignment(
+                assignment_id=self.worker_pool.next_assignment_id(),
+                hit_id=hit.hit_id,
+                worker_id=worker.worker_id,
+                accepted_at=accepted_at,
+            )
+            hit.assignments.append(assignment)
+            rng = self.worker_pool.assignment_rng(assignment.assignment_id)
+            duration = worker.work_duration(hit.content, rng)
+            submit_at = accepted_at + duration
+
+            def _complete(hit=hit, assignment=assignment, worker=worker, rng=rng) -> None:
+                answers = worker.answer(hit.content, self.oracle, rng)
+                assignment.submit(answers, at=self.clock.now)
+                self.stats.assignments_submitted += 1
+                self.stats.per_worker_assignments[worker.worker_id] = (
+                    self.stats.per_worker_assignments.get(worker.worker_id, 0) + 1
+                )
+                if self.auto_approve:
+                    self._approve(hit, assignment)
+                if hit.is_fully_submitted and hit.status is HITStatus.OPEN:
+                    hit.status = HITStatus.COMPLETED
+                for listener in self._completion_listeners:
+                    listener(hit, assignment)
+
+            self.clock.schedule_at(submit_at, _complete, label=f"submit:{assignment.assignment_id}")
+
+    def _approve(self, hit: HIT, assignment: Assignment) -> None:
+        assignment.approve()
+        self.stats.assignments_approved += 1
+        self.stats.total_rewards_paid += hit.reward
+        self.stats.total_fees_paid += self.pricing.fee(hit.reward)
+
+    # -- requester API -----------------------------------------------------------
+
+    def get_hit(self, hit_id: str) -> HIT:
+        """Fetch a HIT by id."""
+        try:
+            return self._hits[hit_id]
+        except KeyError:
+            raise HITError(f"unknown HIT {hit_id!r}") from None
+
+    def list_hits(self, status: HITStatus | None = None) -> list[HIT]:
+        """List HITs, optionally filtered by status."""
+        hits = list(self._hits.values())
+        if status is not None:
+            hits = [h for h in hits if h.status is status]
+        return hits
+
+    def submitted_assignments(self, hit_id: str) -> list[Assignment]:
+        """Assignments of a HIT that have been submitted (or reviewed)."""
+        return self.get_hit(hit_id).submitted_assignments
+
+    def approve_assignment(self, assignment_id: str) -> None:
+        """Manually approve a submitted assignment (when auto-approve is off)."""
+        hit, assignment = self._find_assignment(assignment_id)
+        self._approve(hit, assignment)
+
+    def reject_assignment(self, assignment_id: str) -> None:
+        """Reject a submitted assignment; the worker is not paid."""
+        _hit, assignment = self._find_assignment(assignment_id)
+        assignment.reject()
+        self.stats.assignments_rejected += 1
+
+    def _find_assignment(self, assignment_id: str) -> tuple[HIT, Assignment]:
+        for hit in self._hits.values():
+            for assignment in hit.assignments:
+                if assignment.assignment_id == assignment_id:
+                    return hit, assignment
+        raise CrowdError(f"unknown assignment {assignment_id!r}")
+
+    def expire_hit(self, hit_id: str) -> None:
+        """Force-expire a HIT: pending (unsubmitted) assignments never arrive."""
+        hit = self.get_hit(hit_id)
+        if hit.status is HITStatus.OPEN:
+            hit.status = HITStatus.EXPIRED
+
+    def dispose_hit(self, hit_id: str) -> None:
+        """Dispose of a completed or expired HIT."""
+        hit = self.get_hit(hit_id)
+        if hit.status is HITStatus.OPEN:
+            raise HITError(f"cannot dispose open HIT {hit_id}")
+        hit.status = HITStatus.DISPOSED
+
+    # -- aggregate accounting ------------------------------------------------------
+
+    @property
+    def total_cost(self) -> float:
+        """Total requester spend so far (rewards + fees)."""
+        return self.stats.total_cost
+
+    def open_hits(self) -> list[HIT]:
+        """HITs still waiting for assignments."""
+        return self.list_hits(HITStatus.OPEN)
+
+    def outstanding_assignments(self) -> int:
+        """Number of scheduled assignments not yet submitted."""
+        count = 0
+        for hit in self._hits.values():
+            for assignment in hit.assignments:
+                if assignment.status is AssignmentStatus.ACCEPTED:
+                    count += 1
+        return count
+
+    def estimate_cost(self, reward: float, hit_count: int, assignments: int) -> float:
+        """Requester-side estimate used by the optimizer's cost model."""
+        return self.pricing.assignment_cost(reward) * hit_count * assignments
+
+    def __repr__(self) -> str:
+        return (
+            f"MTurkSimulator(hits={self.stats.hits_created}, "
+            f"submitted={self.stats.assignments_submitted}, "
+            f"cost=${self.total_cost:.2f})"
+        )
+
+
+def _unused(_: Iterable) -> None:  # pragma: no cover - keeps imports tidy
+    return None

@@ -1,0 +1,115 @@
+"""Ground-truth oracles consulted by simulated workers.
+
+Real turkers answer HITs using knowledge of the world (what a celebrity looks
+like, who a company's CEO is).  In the simulation, that knowledge lives in an
+:class:`AnswerOracle` built by the workload generator.  Workers ask the oracle
+for the *true* answer and then perturb it according to their behaviour model;
+the Qurk query processor itself never sees the oracle, so the separation of
+concerns matches the real system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.crowd.hit import FormField, HITItem
+from repro.errors import WorkerError
+
+__all__ = ["AnswerOracle", "CallbackOracle"]
+
+
+class AnswerOracle:
+    """Interface workloads implement to give simulated workers world knowledge.
+
+    Only the methods relevant to the workload's HIT interfaces need to be
+    overridden; the defaults raise so that a misconfigured experiment fails
+    loudly instead of producing silently meaningless answers.
+    """
+
+    def form_answer(self, item: HITItem, field: FormField) -> str:
+        """True value of ``field`` for a QUESTION_FORM item."""
+        raise WorkerError(f"oracle cannot answer form field {field.name!r}")
+
+    def predicate_answer(self, item: HITItem) -> bool:
+        """True yes/no answer for a BINARY_CHOICE or JOIN_PAIRS item."""
+        raise WorkerError(f"oracle cannot answer predicate item {item.item_id!r}")
+
+    def pair_matches(self, left: HITItem, right: HITItem) -> bool:
+        """Whether a left/right pair matches in a JOIN_COLUMNS interface."""
+        raise WorkerError("oracle cannot answer join-column matches")
+
+    def comparison_answer(self, item: HITItem) -> str:
+        """Which side ('left' or 'right') ranks higher for a COMPARISON item."""
+        raise WorkerError(f"oracle cannot answer comparison item {item.item_id!r}")
+
+    def rating_answer(self, item: HITItem) -> float:
+        """True numeric rating for a RATING item."""
+        raise WorkerError(f"oracle cannot answer rating item {item.item_id!r}")
+
+    def plausible_wrong_form_answer(self, item: HITItem, field: FormField) -> str:
+        """A wrong-but-plausible value a careless worker might type."""
+        return "unknown"
+
+
+class CallbackOracle(AnswerOracle):
+    """An oracle assembled from plain callables.
+
+    Workload modules usually subclass :class:`AnswerOracle`, but tests and
+    small examples can wire up an oracle from lambdas::
+
+        oracle = CallbackOracle(predicate=lambda item: item.payload["price"] > 10)
+    """
+
+    def __init__(
+        self,
+        *,
+        form: Callable[[HITItem, FormField], str] | None = None,
+        predicate: Callable[[HITItem], bool] | None = None,
+        pair: Callable[[HITItem, HITItem], bool] | None = None,
+        comparison: Callable[[HITItem], str] | None = None,
+        rating: Callable[[HITItem], float] | None = None,
+        wrong_form: Callable[[HITItem, FormField], str] | None = None,
+    ) -> None:
+        self._form = form
+        self._predicate = predicate
+        self._pair = pair
+        self._comparison = comparison
+        self._rating = rating
+        self._wrong_form = wrong_form
+
+    def form_answer(self, item: HITItem, field: FormField) -> str:
+        if self._form is None:
+            return super().form_answer(item, field)
+        return self._form(item, field)
+
+    def predicate_answer(self, item: HITItem) -> bool:
+        if self._predicate is None:
+            return super().predicate_answer(item)
+        return bool(self._predicate(item))
+
+    def pair_matches(self, left: HITItem, right: HITItem) -> bool:
+        if self._pair is None:
+            return super().pair_matches(left, right)
+        return bool(self._pair(left, right))
+
+    def comparison_answer(self, item: HITItem) -> str:
+        if self._comparison is None:
+            return super().comparison_answer(item)
+        answer = self._comparison(item)
+        if answer not in ("left", "right"):
+            raise WorkerError(f"comparison oracle must return 'left' or 'right', got {answer!r}")
+        return answer
+
+    def rating_answer(self, item: HITItem) -> float:
+        if self._rating is None:
+            return super().rating_answer(item)
+        return float(self._rating(item))
+
+    def plausible_wrong_form_answer(self, item: HITItem, field: FormField) -> str:
+        if self._wrong_form is None:
+            return super().plausible_wrong_form_answer(item, field)
+        return self._wrong_form(item, field)
+
+
+def _unused(*_args: Any) -> None:  # pragma: no cover - keeps linters quiet
+    return None

@@ -1,0 +1,71 @@
+"""Mechanical Turk pricing model.
+
+The paper motivates Qurk's optimizer with monetary cost: typical HITs pay
+$0.01–$0.03 and a naive cross-product join is "extraordinary monetary cost".
+This module reproduces the fee structure requesters faced: a per-assignment
+reward chosen by the requester plus a platform commission with a minimum fee
+per assignment (MTurk charged 10% with a $0.005 minimum at the time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CrowdError
+
+__all__ = ["PricingPolicy", "DEFAULT_PRICING", "CENTS"]
+
+#: Convenience constant: one US cent expressed in dollars.
+CENTS = 0.01
+
+
+@dataclass(frozen=True)
+class PricingPolicy:
+    """Platform fee schedule applied on top of worker rewards.
+
+    Parameters
+    ----------
+    commission_rate:
+        Fraction of the reward charged by the platform (0.10 = 10%).
+    minimum_fee:
+        Minimum platform fee per assignment in dollars.
+    minimum_reward:
+        Smallest reward a requester may offer per assignment.
+    """
+
+    commission_rate: float = 0.10
+    minimum_fee: float = 0.005
+    minimum_reward: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.commission_rate < 0:
+            raise CrowdError("commission_rate must be non-negative")
+        if self.minimum_fee < 0 or self.minimum_reward < 0:
+            raise CrowdError("fees and rewards must be non-negative")
+
+    def validate_reward(self, reward: float) -> float:
+        """Check a per-assignment reward and return it unchanged."""
+        if reward < self.minimum_reward:
+            raise CrowdError(
+                f"reward ${reward:.4f} is below the platform minimum ${self.minimum_reward:.4f}"
+            )
+        return reward
+
+    def fee(self, reward: float) -> float:
+        """Platform commission charged for one assignment at ``reward``."""
+        return max(reward * self.commission_rate, self.minimum_fee)
+
+    def assignment_cost(self, reward: float) -> float:
+        """Total requester cost for one completed assignment."""
+        self.validate_reward(reward)
+        return reward + self.fee(reward)
+
+    def hit_cost(self, reward: float, assignments: int) -> float:
+        """Total requester cost for a HIT completed by ``assignments`` workers."""
+        if assignments < 1:
+            raise CrowdError("a HIT needs at least one assignment")
+        return self.assignment_cost(reward) * assignments
+
+
+#: The default fee schedule used across the reproduction.
+DEFAULT_PRICING = PricingPolicy()

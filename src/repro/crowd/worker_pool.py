@@ -1,0 +1,168 @@
+"""Worker populations and marketplace dynamics.
+
+The pool decides *which* simulated worker picks up an assignment and *when*.
+Pick-up latency follows the marketplace intuition the paper relies on: HITs
+take "several minutes" to complete, and better-paying HITs are picked up
+faster.  The population mix (diligent / noisy / lazy / spammer fractions) is
+the main knob for the redundancy experiments (E5).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.crowd.hit import HIT
+from repro.crowd.workers import (
+    DiligentWorker,
+    LazyWorker,
+    NoisyWorker,
+    SpammerWorker,
+    WorkerModel,
+)
+from repro.errors import WorkerError
+
+__all__ = ["PopulationMix", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class PopulationMix:
+    """Fractions of each worker archetype in the marketplace.
+
+    The fractions need not sum exactly to 1; they are normalised.  The
+    default mix (mostly reliable, some noisy, a few lazy, a small spammer
+    tail) is calibrated to make single-assignment accuracy land around 85-90%,
+    matching the paper's premise that one answer is not trustworthy enough.
+    """
+
+    diligent: float = 0.55
+    noisy: float = 0.30
+    lazy: float = 0.10
+    spammer: float = 0.05
+    noisy_accuracy: float = 0.85
+
+    def __post_init__(self) -> None:
+        fractions = (self.diligent, self.noisy, self.lazy, self.spammer)
+        if any(f < 0 for f in fractions):
+            raise WorkerError("population fractions must be non-negative")
+        if sum(fractions) <= 0:
+            raise WorkerError("population mix must contain at least one worker type")
+
+    def normalised(self) -> tuple[float, float, float, float]:
+        """The four fractions normalised to sum to 1."""
+        total = self.diligent + self.noisy + self.lazy + self.spammer
+        return (
+            self.diligent / total,
+            self.noisy / total,
+            self.lazy / total,
+            self.spammer / total,
+        )
+
+
+@dataclass
+class WorkerPool:
+    """A population of simulated workers and their marketplace behaviour.
+
+    Parameters
+    ----------
+    size:
+        Number of distinct workers in the pool.
+    mix:
+        Archetype fractions used to instantiate the population.
+    seed:
+        Seed for the pool's private random stream (worker creation, pick-up
+        times, worker selection).  Answer noise uses per-assignment streams
+        derived from this seed so that runs are reproducible.
+    base_pickup_seconds:
+        Mean time for a $0.01 HIT to be accepted by some worker.
+    reward_elasticity:
+        How strongly higher rewards shorten pick-up time.
+    """
+
+    size: int = 100
+    mix: PopulationMix = field(default_factory=PopulationMix)
+    seed: int = 7
+    base_pickup_seconds: float = 180.0
+    reward_elasticity: float = 0.5
+    reference_reward: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise WorkerError("worker pool must contain at least one worker")
+        self._rng = random.Random(self.seed)
+        self._workers: list[WorkerModel] = self._build_population()
+        self._assignment_counter = 0
+
+    # -- population ----------------------------------------------------------
+
+    def _build_population(self) -> list[WorkerModel]:
+        diligent, noisy, lazy, spammer = self.mix.normalised()
+        workers: list[WorkerModel] = []
+        for index in range(self.size):
+            draw = self._rng.random()
+            worker_id = f"W{index:04d}"
+            if draw < diligent:
+                workers.append(DiligentWorker(worker_id))
+            elif draw < diligent + noisy:
+                workers.append(NoisyWorker(worker_id, accuracy=self.mix.noisy_accuracy))
+            elif draw < diligent + noisy + lazy:
+                workers.append(LazyWorker(worker_id))
+            else:
+                workers.append(SpammerWorker(worker_id))
+        return workers
+
+    @property
+    def workers(self) -> list[WorkerModel]:
+        """The full population (stable order)."""
+        return list(self._workers)
+
+    def worker(self, worker_id: str) -> WorkerModel:
+        """Look up one worker by id."""
+        for candidate in self._workers:
+            if candidate.worker_id == worker_id:
+                return candidate
+        raise WorkerError(f"unknown worker {worker_id!r}")
+
+    def expected_accuracy(self) -> float:
+        """Mean single-judgement accuracy across the population."""
+        return sum(w.accuracy for w in self._workers) / len(self._workers)
+
+    # -- marketplace ---------------------------------------------------------
+
+    def select_workers(self, hit: HIT, count: int) -> list[WorkerModel]:
+        """Choose ``count`` distinct workers to complete ``hit``.
+
+        MTurk prevents the same worker from completing more than one
+        assignment of a HIT, so selection is without replacement (falling
+        back to replacement only if the pool is smaller than ``count``).
+        """
+        if count <= len(self._workers):
+            return self._rng.sample(self._workers, count)
+        return [self._rng.choice(self._workers) for _ in range(count)]
+
+    def pickup_delay(self, hit: HIT) -> float:
+        """Sample the time until some worker accepts an assignment of ``hit``.
+
+        Mean delay shrinks with the offered reward (diminishing returns via
+        ``reward_elasticity``) and grows slightly with the amount of work in
+        the HIT, since workers preview HITs before accepting long ones.
+        """
+        reward_ratio = max(hit.reward, 1e-4) / self.reference_reward
+        mean = self.base_pickup_seconds / (reward_ratio ** self.reward_elasticity)
+        mean *= 1.0 + 0.02 * max(hit.content.work_units - 1, 0)
+        return self._rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+
+    def assignment_rng(self, assignment_id: str) -> random.Random:
+        """A private random stream for one assignment's answer noise.
+
+        Derived from a CRC of the assignment id (not ``hash()``, which is
+        salted per process) so runs are reproducible across interpreters.
+        """
+        digest = zlib.crc32(assignment_id.encode("utf-8"))
+        return random.Random((self.seed << 32) ^ digest)
+
+    def next_assignment_id(self) -> str:
+        """Generate a platform-unique assignment id."""
+        self._assignment_counter += 1
+        return f"A{self._assignment_counter:06d}"

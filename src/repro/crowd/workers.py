@@ -1,0 +1,271 @@
+"""Simulated turker behaviour models.
+
+Section 2 of the paper motivates redundancy ("operator implementations must
+have redundancy built-in, as individual turker results are often inaccurate").
+These models generate exactly that inaccuracy: each worker consults the
+ground-truth :class:`~repro.crowd.oracle.AnswerOracle` and perturbs the answer
+according to its accuracy and style.  Populations are mixed in
+:mod:`repro.crowd.worker_pool`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crowd.hit import HITContent, HITInterface, HITItem
+from repro.crowd.oracle import AnswerOracle
+from repro.errors import WorkerError
+
+__all__ = [
+    "WorkerModel",
+    "DiligentWorker",
+    "NoisyWorker",
+    "SpammerWorker",
+    "LazyWorker",
+]
+
+
+@dataclass
+class WorkerModel:
+    """Base class for simulated workers.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identifier, also used for per-worker statistics downstream.
+    accuracy:
+        Probability of answering any single judgement correctly.
+    seconds_per_unit:
+        Mean time spent per work unit (item, or implied pair for the
+        two-column join interface).
+    speed_factor:
+        Multiplier on work time (slow careful workers > 1, spammers < 1).
+    """
+
+    worker_id: str
+    accuracy: float = 0.9
+    seconds_per_unit: float = 12.0
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise WorkerError(f"accuracy must be in [0, 1], got {self.accuracy}")
+        if self.seconds_per_unit <= 0 or self.speed_factor <= 0:
+            raise WorkerError("work-time parameters must be positive")
+
+    # -- timing --------------------------------------------------------------
+
+    def work_duration(self, content: HITContent, rng: random.Random) -> float:
+        """Seconds the worker spends on the HIT once accepted."""
+        base = self.seconds_per_unit * max(content.work_units, 1) * self.speed_factor
+        # Log-normal-ish multiplicative noise keeps durations positive.
+        noise = rng.lognormvariate(0.0, 0.3)
+        return max(base * noise, 1.0)
+
+    # -- answering -----------------------------------------------------------
+
+    def answer(self, content: HITContent, oracle: AnswerOracle, rng: random.Random) -> dict:
+        """Produce this worker's answers for a HIT."""
+        interface = content.interface
+        if interface is HITInterface.QUESTION_FORM:
+            return self._answer_form(content, oracle, rng)
+        if interface in (HITInterface.BINARY_CHOICE, HITInterface.JOIN_PAIRS):
+            return self._answer_predicates(content, oracle, rng)
+        if interface is HITInterface.JOIN_COLUMNS:
+            return self._answer_join_columns(content, oracle, rng)
+        if interface is HITInterface.COMPARISON:
+            return self._answer_comparisons(content, oracle, rng)
+        if interface is HITInterface.RATING:
+            return self._answer_ratings(content, oracle, rng)
+        raise WorkerError(f"worker cannot answer interface {interface}")  # pragma: no cover
+
+    # Individual interfaces ---------------------------------------------------
+
+    def _is_correct(self, rng: random.Random) -> bool:
+        return rng.random() < self.accuracy
+
+    def _answer_form(self, content: HITContent, oracle: AnswerOracle, rng: random.Random) -> dict:
+        answers: dict[str, dict[str, str]] = {}
+        for item in content.items:
+            fields: dict[str, str] = {}
+            for form_field in content.fields:
+                if self._is_correct(rng):
+                    fields[form_field.name] = oracle.form_answer(item, form_field)
+                else:
+                    fields[form_field.name] = oracle.plausible_wrong_form_answer(item, form_field)
+            answers[item.item_id] = fields
+        return answers
+
+    def _answer_predicates(
+        self, content: HITContent, oracle: AnswerOracle, rng: random.Random
+    ) -> dict:
+        answers: dict[str, bool] = {}
+        for item in content.items:
+            truth = oracle.predicate_answer(item)
+            answers[item.item_id] = truth if self._is_correct(rng) else not truth
+        return answers
+
+    def _answer_join_columns(
+        self, content: HITContent, oracle: AnswerOracle, rng: random.Random
+    ) -> dict:
+        matches: list[tuple[str, str]] = []
+        for left in content.left_items:
+            for right in content.right_items:
+                truth = oracle.pair_matches(left, right)
+                reported = truth if self._is_correct(rng) else self._flip_pair(truth, rng)
+                if reported:
+                    matches.append((left.item_id, right.item_id))
+        return {"matches": matches}
+
+    def _flip_pair(self, truth: bool, rng: random.Random) -> bool:
+        """How an erroneous judgement on one pair manifests.
+
+        Missing a true match is far more common than inventing a false one in
+        a two-column drag interface, so errors on non-matching pairs only
+        produce a false positive 25% of the time.
+        """
+        if truth:
+            return False
+        return rng.random() < 0.25
+
+    def _answer_comparisons(
+        self, content: HITContent, oracle: AnswerOracle, rng: random.Random
+    ) -> dict:
+        answers: dict[str, str] = {}
+        for item in content.items:
+            truth = oracle.comparison_answer(item)
+            if self._is_correct(rng):
+                answers[item.item_id] = truth
+            else:
+                answers[item.item_id] = "right" if truth == "left" else "left"
+        return answers
+
+    def _answer_ratings(
+        self, content: HITContent, oracle: AnswerOracle, rng: random.Random
+    ) -> dict:
+        low, high = content.rating_scale
+        answers: dict[str, float] = {}
+        spread = (high - low) * (1.0 - self.accuracy)
+        for item in content.items:
+            truth = oracle.rating_answer(item)
+            noisy = truth + rng.gauss(0.0, max(spread, 1e-9)) if spread > 0 else truth
+            answers[item.item_id] = float(min(max(noisy, low), high))
+        return answers
+
+
+@dataclass
+class DiligentWorker(WorkerModel):
+    """A careful worker: high accuracy, slightly slower than average."""
+
+    accuracy: float = 0.97
+    seconds_per_unit: float = 14.0
+    speed_factor: float = 1.1
+
+
+@dataclass
+class NoisyWorker(WorkerModel):
+    """An average worker whose accuracy is a tunable experiment parameter."""
+
+    accuracy: float = 0.85
+
+
+@dataclass
+class SpammerWorker(WorkerModel):
+    """A worker who answers without looking at the task, as fast as possible."""
+
+    accuracy: float = 0.5
+    seconds_per_unit: float = 2.0
+    speed_factor: float = 0.5
+    yes_bias: float = 0.65
+
+    def _answer_form(self, content, oracle, rng):  # type: ignore[override]
+        answers = {}
+        for item in content.items:
+            answers[item.item_id] = {f.name: "n/a" for f in content.fields}
+        return answers
+
+    def _answer_predicates(self, content, oracle, rng):  # type: ignore[override]
+        return {item.item_id: rng.random() < self.yes_bias for item in content.items}
+
+    def _answer_join_columns(self, content, oracle, rng):  # type: ignore[override]
+        matches = []
+        for left in content.left_items:
+            for right in content.right_items:
+                if rng.random() < 0.5 / max(len(content.right_items), 1):
+                    matches.append((left.item_id, right.item_id))
+        return {"matches": matches}
+
+    def _answer_comparisons(self, content, oracle, rng):  # type: ignore[override]
+        return {item.item_id: ("left" if rng.random() < 0.5 else "right") for item in content.items}
+
+    def _answer_ratings(self, content, oracle, rng):  # type: ignore[override]
+        low, high = content.rating_scale
+        return {item.item_id: float(rng.randint(low, high)) for item in content.items}
+
+
+@dataclass
+class LazyWorker(WorkerModel):
+    """A worker who answers carefully at first and degrades on long (batched) HITs.
+
+    Accuracy decays with the position of the item inside the HIT, which is
+    the mechanism behind the accuracy cost of aggressive batching (E8).
+    """
+
+    accuracy: float = 0.95
+    fatigue: float = 0.03
+
+    def _positional_accuracy(self, position: int) -> float:
+        return max(self.accuracy - self.fatigue * position, 0.5)
+
+    def _answer_predicates(self, content, oracle, rng):  # type: ignore[override]
+        answers = {}
+        for position, item in enumerate(content.items):
+            truth = oracle.predicate_answer(item)
+            correct = rng.random() < self._positional_accuracy(position)
+            answers[item.item_id] = truth if correct else not truth
+        return answers
+
+    def _answer_form(self, content, oracle, rng):  # type: ignore[override]
+        answers = {}
+        for position, item in enumerate(content.items):
+            fields = {}
+            accuracy = self._positional_accuracy(position)
+            for form_field in content.fields:
+                if rng.random() < accuracy:
+                    fields[form_field.name] = oracle.form_answer(item, form_field)
+                else:
+                    fields[form_field.name] = oracle.plausible_wrong_form_answer(item, form_field)
+            answers[item.item_id] = fields
+        return answers
+
+    def _answer_comparisons(self, content, oracle, rng):  # type: ignore[override]
+        answers = {}
+        for position, item in enumerate(content.items):
+            truth = oracle.comparison_answer(item)
+            correct = rng.random() < self._positional_accuracy(position)
+            answers[item.item_id] = truth if correct else ("right" if truth == "left" else "left")
+        return answers
+
+    def _answer_ratings(self, content, oracle, rng):  # type: ignore[override]
+        low, high = content.rating_scale
+        answers = {}
+        for position, item in enumerate(content.items):
+            truth = oracle.rating_answer(item)
+            spread = (high - low) * (1.0 - self._positional_accuracy(position))
+            noisy = truth + rng.gauss(0.0, max(spread, 1e-9)) if spread > 0 else truth
+            answers[item.item_id] = float(min(max(noisy, low), high))
+        return answers
+
+    def _answer_join_columns(self, content, oracle, rng):  # type: ignore[override]
+        matches = []
+        pair_position = 0
+        for left in content.left_items:
+            for right in content.right_items:
+                truth = oracle.pair_matches(left, right)
+                correct = rng.random() < self._positional_accuracy(pair_position // 4)
+                reported = truth if correct else self._flip_pair(truth, rng)
+                if reported:
+                    matches.append((left.item_id, right.item_id))
+                pair_position += 1
+        return {"matches": matches}

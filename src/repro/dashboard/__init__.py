@@ -1,0 +1,6 @@
+"""The Query Status Dashboard of Figure 2 (Section 4.1)."""
+
+from repro.dashboard.dashboard import QueryDashboard
+from repro.dashboard.metrics import OperatorSnapshot, QueryDashboardSnapshot
+
+__all__ = ["QueryDashboard", "QueryDashboardSnapshot", "OperatorSnapshot"]

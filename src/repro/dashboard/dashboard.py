@@ -1,0 +1,143 @@
+"""The Query Status Dashboard (Figure 2, Section 4.1).
+
+"The Query Status Dashboard provides a window into the system internals and
+will give the audience a sense of the time, budget, and optimization
+considerations that go into executing a Qurk query."
+
+:class:`QueryDashboard` takes snapshots of running (or finished) queries —
+budget vs spend, cost estimates, cache and classifier savings, per-operator
+progress — and renders them as text, the terminal-friendly equivalent of the
+demo's web dashboard.
+"""
+
+from __future__ import annotations
+
+from repro.core.exec.handle import QueryHandle
+from repro.dashboard.metrics import OperatorSnapshot, QueryDashboardSnapshot
+from repro.errors import DashboardError
+
+__all__ = ["QueryDashboard"]
+
+
+class QueryDashboard:
+    """Builds and renders dashboard snapshots for an engine's queries."""
+
+    def __init__(self, engine) -> None:
+        # Typed loosely to avoid an import cycle with repro.engine; the
+        # engine exposes .queries, .statistics, .budget_ledger, .platform,
+        # .optimizer, .task_models and .clock.
+        self.engine = engine
+
+    # -- snapshots ------------------------------------------------------------------------
+
+    def snapshot(self, query_id: str) -> QueryDashboardSnapshot:
+        """Capture the dashboard view of one query right now."""
+        handle = self.engine.queries.get(query_id)
+        if handle is None:
+            known = ", ".join(sorted(self.engine.queries)) or "<none>"
+            raise DashboardError(f"unknown query {query_id!r}; known queries: {known}")
+        return self._snapshot_of(handle)
+
+    def snapshots(self) -> list[QueryDashboardSnapshot]:
+        """Snapshots of every query the engine has started, oldest first."""
+        return [self._snapshot_of(handle) for handle in self.engine.queries.values()]
+
+    def _snapshot_of(self, handle: QueryHandle) -> QueryDashboardSnapshot:
+        stats = handle.stats
+        estimate = self.engine.optimizer.estimate_plan_cost(handle.executor.root)
+        budget = self.engine.budget_ledger.budget(handle.query_id)
+        model_savings = self.engine.task_models.total_savings()
+        operators = tuple(self._operator_snapshots(handle))
+        return QueryDashboardSnapshot(
+            query_id=handle.query_id,
+            sql=handle.sql,
+            status=handle.status.value,
+            simulated_time=self.engine.clock.now,
+            results_emitted=stats.results_emitted,
+            budget=budget.limit,
+            spent=stats.spent,
+            committed=budget.committed,
+            estimated_total_cost=estimate.dollars,
+            remaining_budget=budget.remaining,
+            hits_posted=stats.hits_posted,
+            tasks_submitted=stats.tasks_submitted,
+            tasks_completed=stats.tasks_completed,
+            open_hits=len(self.engine.platform.open_hits()),
+            cache_hits=stats.cache_hits,
+            cache_savings=stats.dollars_saved_cache,
+            model_answers=stats.model_answers,
+            model_savings=model_savings,
+            elapsed_seconds=self.engine.clock.now - stats.started_at,
+            estimated_latency=estimate.latency_seconds,
+            operators=operators,
+        )
+
+    def _operator_snapshots(self, handle: QueryHandle) -> list[OperatorSnapshot]:
+        snapshots: list[OperatorSnapshot] = []
+
+        def visit(operator, depth: int) -> None:
+            snapshots.append(
+                OperatorSnapshot(
+                    name=operator.name,
+                    depth=depth,
+                    rows_in=operator.metrics.rows_in,
+                    rows_out=operator.metrics.rows_out,
+                    tasks_created=operator.metrics.tasks_created,
+                    tasks_completed=operator.metrics.tasks_completed,
+                    outstanding_tasks=operator.outstanding_tasks,
+                )
+            )
+            for child in operator.children:
+                visit(child, depth + 1)
+
+        visit(handle.executor.root, 0)
+        return snapshots
+
+    # -- rendering --------------------------------------------------------------------------
+
+    def render(self, query_id: str) -> str:
+        """Render one query's dashboard as text (the Figure 2 panel)."""
+        return self.render_snapshot(self.snapshot(query_id))
+
+    def render_all(self) -> str:
+        """Render every query's dashboard, separated by blank lines."""
+        return "\n\n".join(self.render_snapshot(snapshot) for snapshot in self.snapshots())
+
+    @staticmethod
+    def render_snapshot(snapshot: QueryDashboardSnapshot) -> str:
+        lines = [
+            f"=== Qurk Query Status: {snapshot.query_id} [{snapshot.status}] ===",
+            f"SQL: {snapshot.sql.strip()}" if snapshot.sql else "SQL: <programmatic plan>",
+            (
+                f"simulated time {snapshot.simulated_time:,.0f}s"
+                f" | elapsed {snapshot.elapsed_seconds:,.0f}s"
+                f" | est. completion {snapshot.estimated_latency:,.0f}s"
+            ),
+            (
+                f"results emitted: {snapshot.results_emitted}"
+                f" | HITs posted: {snapshot.hits_posted} (open: {snapshot.open_hits})"
+                f" | tasks {snapshot.tasks_completed}/{snapshot.tasks_submitted}"
+            ),
+        ]
+        budget_text = "unlimited" if snapshot.budget is None else f"${snapshot.budget:,.2f}"
+        utilisation = snapshot.budget_utilisation
+        utilisation_text = "" if utilisation is None else f" ({utilisation:.0%} used)"
+        lines.append(
+            f"budget: {budget_text}{utilisation_text}"
+            f" | spent: ${snapshot.spent:,.2f}"
+            f" | committed: ${snapshot.committed:,.2f}"
+            f" | est. total: ${snapshot.estimated_total_cost:,.2f}"
+        )
+        lines.append(
+            f"savings — cache: ${snapshot.cache_savings:,.2f} ({snapshot.cache_hits} hits)"
+            f" | classifier: ${snapshot.model_savings:,.2f} ({snapshot.model_answers} answers)"
+        )
+        lines.append("plan:")
+        for operator in snapshot.operators:
+            indent = "  " * (operator.depth + 1)
+            lines.append(
+                f"{indent}{operator.name}: out={operator.rows_out}"
+                f" tasks={operator.tasks_completed}/{operator.tasks_created}"
+                f" outstanding={operator.outstanding_tasks}"
+            )
+        return "\n".join(lines)

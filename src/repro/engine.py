@@ -1,0 +1,236 @@
+"""The Qurk engine: the public entry point of the reproduction.
+
+A :class:`QurkEngine` wires together every box of Figure 1 — storage engine,
+statistics manager, query optimizer, executor, task manager, HIT compiler,
+task cache, task model and the (simulated) MTurk platform — behind a small
+API:
+
+.. code-block:: python
+
+    from repro import QurkEngine
+    from repro.workloads import CompaniesWorkload
+
+    workload = CompaniesWorkload(n_companies=20)
+    engine = QurkEngine(seed=7)
+    workload.install(engine.database)
+    engine.register_oracle("findCEO", workload.oracle())
+    engine.define_task(workload.findceo_spec())
+
+    handle = engine.query(
+        "SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone "
+        "FROM companies"
+    )
+    rows = handle.wait()
+
+Queries run asynchronously against simulated time: ``handle.poll()`` mirrors
+the paper's "poll the results table" pattern, ``handle.wait()`` drives the
+simulation to completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.exec.context import ExecutionContext, QueryConfig
+from repro.core.exec.executor import QueryExecutor
+from repro.core.exec.handle import QueryHandle
+from repro.core.lang.ast import SelectStatement
+from repro.core.lang.sql_parser import parse_select
+from repro.core.lang.task_parser import parse_task
+from repro.core.optimizer.budget import BudgetLedger
+from repro.core.optimizer.cost_model import CostEstimate, CostModel
+from repro.core.optimizer.optimizer import OptimizerConfig, QueryOptimizer
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.plan.planner import QueryPlanner
+from repro.core.plan.registry import RegisteredTask, TaskRegistry
+from repro.core.tasks.batching import BatchingPolicy
+from repro.core.tasks.hit_compiler import HITCompiler
+from repro.core.tasks.spec import TaskSpec
+from repro.core.tasks.task import TaskKind
+from repro.core.tasks.task_cache import TaskCache
+from repro.core.tasks.task_manager import TaskManager
+from repro.core.tasks.task_model import TaskModelRegistry
+from repro.crowd.clock import SimulationClock
+from repro.crowd.mturk import MTurkSimulator
+from repro.crowd.oracle import AnswerOracle
+from repro.crowd.pricing import DEFAULT_PRICING, PricingPolicy
+from repro.crowd.worker_pool import PopulationMix, WorkerPool
+from repro.errors import QurkError
+from repro.storage.database import Database
+from repro.workloads.oracles import CompositeOracle
+
+__all__ = ["QurkEngine"]
+
+
+class QurkEngine:
+    """A complete Qurk instance bound to one simulated crowd marketplace.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulated worker population.
+    worker_pool_size, population_mix:
+        Size and composition of the simulated marketplace.
+    pricing:
+        Platform fee schedule.
+    enable_cache / enable_task_model:
+        Toggle the Task Cache and the learned Task Model (both on by
+        default, as in the paper's dashboard discussion).
+    optimizer_config, default_query_config:
+        Tuning knobs for the optimizer and for queries that do not override
+        them.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 7,
+        worker_pool_size: int = 150,
+        population_mix: PopulationMix | None = None,
+        pricing: PricingPolicy = DEFAULT_PRICING,
+        enable_cache: bool = True,
+        enable_task_model: bool = True,
+        optimizer_config: OptimizerConfig | None = None,
+        default_query_config: QueryConfig | None = None,
+    ) -> None:
+        self.database = Database()
+        self.clock = SimulationClock()
+        self.oracle = CompositeOracle({})
+        self.worker_pool = WorkerPool(
+            size=worker_pool_size, mix=population_mix or PopulationMix(), seed=seed
+        )
+        self.platform = MTurkSimulator(self.clock, self.worker_pool, self.oracle, pricing=pricing)
+        self.statistics = StatisticsManager()
+        self.budget_ledger = BudgetLedger()
+        self.task_cache = TaskCache(enabled=enable_cache)
+        self.task_models = TaskModelRegistry(enabled=enable_task_model)
+        self.hit_compiler = HITCompiler()
+        self.task_manager = TaskManager(
+            self.platform,
+            self.statistics,
+            self.budget_ledger,
+            cache=self.task_cache,
+            models=self.task_models,
+            compiler=self.hit_compiler,
+        )
+        self.cost_model = CostModel(pricing)
+        self.optimizer = QueryOptimizer(self.statistics, self.cost_model, optimizer_config)
+        self.registry = TaskRegistry()
+        self.default_query_config = default_query_config or QueryConfig()
+        self.queries: dict[str, QueryHandle] = {}
+        self._query_ids = itertools.count(1)
+
+    # -- schema / data ------------------------------------------------------------------------
+
+    def create_table(self, name: str, columns, *, rows=None):
+        """Create a base table and optionally populate it."""
+        table = self.database.create_table(name, columns)
+        if rows:
+            table.insert_many(rows)
+        return table
+
+    # -- crowd UDFs ----------------------------------------------------------------------------
+
+    def define_task(
+        self,
+        definition: TaskSpec | str,
+        *,
+        payload=None,
+        left_payload=None,
+        right_payload=None,
+        prefilter=None,
+        learnable: bool = True,
+    ) -> RegisteredTask:
+        """Register a crowd UDF from a TASK definition (text or spec).
+
+        ``payload`` / ``left_payload`` / ``right_payload`` map rows to what
+        workers see; ``prefilter`` is a free machine predicate on join pairs.
+        When the spec carries a feature extractor and ``learnable`` is True, a
+        Task Model is attached so the optimizer can eventually replace the
+        crowd with a classifier.
+        """
+        spec = parse_task(definition) if isinstance(definition, str) else definition
+        entry = self.registry.register(
+            spec,
+            payload=payload,
+            left_payload=left_payload,
+            right_payload=right_payload,
+            prefilter=prefilter,
+            learnable=learnable,
+        )
+        if learnable and self.task_models.enabled:
+            self.task_models.register_default(spec)
+        return entry
+
+    def register_oracle(self, task_name: str, oracle: AnswerOracle) -> None:
+        """Attach the ground-truth oracle simulated workers use for one task."""
+        self.oracle.register(task_name, oracle)
+
+    def set_batching_policy(self, task_name: str, kind: TaskKind, policy: BatchingPolicy) -> None:
+        """Override how tasks of one (task, kind) group are batched into HITs."""
+        self.task_manager.set_batching_policy(task_name, kind, policy)
+
+    # -- queries ----------------------------------------------------------------------------------
+
+    def query(
+        self,
+        sql: str | SelectStatement,
+        *,
+        budget: float | None = None,
+        config: QueryConfig | None = None,
+    ) -> QueryHandle:
+        """Parse, optimize and start a query; returns a pollable handle."""
+        statement = parse_select(sql) if isinstance(sql, str) else sql
+        query_config = config or QueryConfig(
+            budget=self.default_query_config.budget,
+            default_assignments=self.default_query_config.default_assignments,
+            target_confidence=self.default_query_config.target_confidence,
+            adaptive=self.default_query_config.adaptive,
+            use_cache=self.default_query_config.use_cache,
+            use_task_model=self.default_query_config.use_task_model,
+        )
+        effective_budget = budget if budget is not None else statement.budget
+        if effective_budget is None:
+            effective_budget = query_config.budget
+        query_config.budget = effective_budget
+
+        query_id = f"q{next(self._query_ids)}"
+        self.budget_ledger.register(query_id, effective_budget)
+        planner = QueryPlanner(self.database, self.registry, self.optimizer, config=query_config)
+        planned = planner.plan(statement, query_id=query_id)
+        context = ExecutionContext(
+            query_id=query_id,
+            database=self.database,
+            task_manager=self.task_manager,
+            statistics=self.statistics,
+            budget=self.budget_ledger,
+            clock=self.clock,
+            config=query_config,
+            optimizer=self.optimizer,
+        )
+        executor = QueryExecutor(planned.root, context)
+        raw_sql = statement.raw_sql or (sql if isinstance(sql, str) else "")
+        handle = QueryHandle(query_id, raw_sql, executor, planned.root.results_table)
+        self.queries[query_id] = handle
+        return handle
+
+    def run(self, sql: str | SelectStatement, **kwargs):
+        """Convenience wrapper: start a query and wait for every result row."""
+        return self.query(sql, **kwargs).wait()
+
+    def estimate_query_cost(self, handle: QueryHandle) -> CostEstimate:
+        """The optimizer's current cost estimate for a (possibly running) query."""
+        return self.optimizer.estimate_plan_cost(handle.executor.root)
+
+    # -- simulation control ------------------------------------------------------------------------
+
+    def advance_time(self, seconds: float) -> None:
+        """Advance simulated time, letting outstanding HITs complete."""
+        if seconds < 0:
+            raise QurkError("cannot advance time backwards")
+        self.clock.advance_by(seconds)
+
+    @property
+    def total_crowd_cost(self) -> float:
+        """Total dollars paid to the (simulated) crowd across all queries."""
+        return self.platform.total_cost

@@ -1,0 +1,161 @@
+"""Exception hierarchy shared by every Qurk subsystem.
+
+All exceptions raised intentionally by this package derive from
+:class:`QurkError` so that callers can distinguish library errors from
+programming mistakes (``TypeError``, ``KeyError``, ...).  Subsystems define
+narrower subclasses here rather than in their own modules so the hierarchy
+can be inspected in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "QurkError",
+    "StorageError",
+    "SchemaError",
+    "CatalogError",
+    "TypeCheckError",
+    "ExpressionError",
+    "ParseError",
+    "PlanError",
+    "ExecutionError",
+    "OperatorError",
+    "BudgetExceededError",
+    "CrowdError",
+    "HITError",
+    "AssignmentError",
+    "WorkerError",
+    "TaskError",
+    "TaskCompilationError",
+    "AggregateError",
+    "OptimizerError",
+    "WorkloadError",
+    "DashboardError",
+]
+
+
+class QurkError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Storage engine
+# ---------------------------------------------------------------------------
+
+
+class StorageError(QurkError):
+    """Base class for storage-engine errors."""
+
+
+class SchemaError(StorageError):
+    """A schema definition or schema operation is invalid."""
+
+
+class CatalogError(StorageError):
+    """A table or view could not be found / created / dropped in the catalog."""
+
+
+class TypeCheckError(StorageError):
+    """A value does not conform to the declared column type."""
+
+
+class ExpressionError(StorageError):
+    """An expression could not be evaluated against a row."""
+
+
+# ---------------------------------------------------------------------------
+# Query language and planning
+# ---------------------------------------------------------------------------
+
+
+class ParseError(QurkError):
+    """The SQL or TASK definition text could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class PlanError(QurkError):
+    """A logical or physical plan could not be constructed."""
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+class ExecutionError(QurkError):
+    """Query execution failed."""
+
+
+class OperatorError(ExecutionError):
+    """An operator encountered an unrecoverable condition."""
+
+
+class BudgetExceededError(ExecutionError):
+    """Posting further HITs would exceed the query's monetary budget."""
+
+    def __init__(self, message: str, spent: float, budget: float):
+        super().__init__(message)
+        self.spent = spent
+        self.budget = budget
+
+
+# ---------------------------------------------------------------------------
+# Crowd substrate (simulated Mechanical Turk)
+# ---------------------------------------------------------------------------
+
+
+class CrowdError(QurkError):
+    """Base class for errors raised by the simulated crowd platform."""
+
+
+class HITError(CrowdError):
+    """A HIT is malformed or was used in an illegal state transition."""
+
+
+class AssignmentError(CrowdError):
+    """An assignment is malformed or was used in an illegal state transition."""
+
+
+class WorkerError(CrowdError):
+    """A simulated worker was configured or used incorrectly."""
+
+
+# ---------------------------------------------------------------------------
+# Task layer
+# ---------------------------------------------------------------------------
+
+
+class TaskError(QurkError):
+    """A task could not be created, batched or routed."""
+
+
+class TaskCompilationError(TaskError):
+    """The HIT compiler could not turn a task batch into a HIT."""
+
+
+class AggregateError(QurkError):
+    """A user-defined aggregate received input it cannot reduce."""
+
+
+class OptimizerError(QurkError):
+    """The query optimizer could not produce or revise a plan."""
+
+
+class WorkloadError(QurkError):
+    """A synthetic workload generator was configured incorrectly."""
+
+
+class DashboardError(QurkError):
+    """The query status dashboard was asked about an unknown query."""

@@ -1,0 +1,22 @@
+"""Shared experiment harness used by the benchmark suite."""
+
+from repro.experiments.harness import (
+    QUERY1_SQL,
+    QUERY2_SQL,
+    ExperimentRun,
+    build_celebrity_engine,
+    build_companies_engine,
+    build_products_engine,
+)
+from repro.experiments.report import format_table, print_table
+
+__all__ = [
+    "ExperimentRun",
+    "build_companies_engine",
+    "build_celebrity_engine",
+    "build_products_engine",
+    "QUERY1_SQL",
+    "QUERY2_SQL",
+    "format_table",
+    "print_table",
+]

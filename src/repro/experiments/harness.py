@@ -1,0 +1,171 @@
+"""Experiment harness: canned engine setups for the benchmark suite.
+
+Each helper builds a fresh :class:`~repro.engine.QurkEngine` wired to one of
+the synthetic workloads, so benchmarks stay short and the configuration each
+experiment sweeps (assignments, batch sizes, join interfaces, spammer
+fractions, cache/model toggles) is explicit at the call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.exec.context import QueryConfig
+from repro.crowd.worker_pool import PopulationMix
+from repro.engine import QurkEngine
+from repro.workloads.celebrities import CelebrityWorkload
+from repro.workloads.companies import CompaniesWorkload
+from repro.workloads.products import ProductsWorkload
+
+__all__ = [
+    "ExperimentRun",
+    "build_companies_engine",
+    "build_celebrity_engine",
+    "build_products_engine",
+    "QUERY1_SQL",
+    "QUERY2_SQL",
+]
+
+#: Query 1 from the paper (schema extension via findCEO).
+QUERY1_SQL = (
+    "SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone "
+    "FROM companies"
+)
+
+#: Query 2 from the paper (celebrity image join via samePerson).
+QUERY2_SQL = (
+    "SELECT celebrities.name, spottedstars.id "
+    "FROM celebrities, spottedstars "
+    "WHERE samePerson(celebrities.image, spottedstars.image)"
+)
+
+
+@dataclass
+class ExperimentRun:
+    """One engine + workload pairing, plus anything the benchmark measures."""
+
+    engine: QurkEngine
+    workload: Any
+    metadata: dict[str, Any]
+
+
+def build_companies_engine(
+    *,
+    n_companies: int = 50,
+    assignments: int = 3,
+    enable_cache: bool = True,
+    seed: int = 7,
+    population_mix: PopulationMix | None = None,
+    adaptive: bool = False,
+) -> ExperimentRun:
+    """Engine prepared for Query 1 (findCEO schema extension)."""
+    workload = CompaniesWorkload(n_companies=n_companies, seed=seed)
+    engine = QurkEngine(
+        seed=seed,
+        enable_cache=enable_cache,
+        enable_task_model=False,
+        population_mix=population_mix,
+        default_query_config=QueryConfig(adaptive=adaptive),
+    )
+    workload.install(engine.database)
+    engine.register_oracle("findCEO", workload.oracle())
+    engine.define_task(workload.findceo_spec(assignments=assignments))
+    return ExperimentRun(engine, workload, {"n_companies": n_companies, "assignments": assignments})
+
+
+def build_celebrity_engine(
+    *,
+    n_celebrities: int = 20,
+    n_spotted: int = 20,
+    interface: str = "columns",
+    assignments: int = 3,
+    left_per_hit: int = 3,
+    right_per_hit: int = 3,
+    pairs_per_hit: int = 1,
+    use_prefilter: bool = False,
+    prefilter_threshold: float = 0.6,
+    enable_task_model: bool = False,
+    seed: int = 11,
+    population_mix: PopulationMix | None = None,
+    adaptive: bool = False,
+) -> ExperimentRun:
+    """Engine prepared for Query 2 (celebrity join) with a chosen interface."""
+    workload = CelebrityWorkload(n_celebrities=n_celebrities, n_spotted=n_spotted, seed=seed)
+    engine = QurkEngine(
+        seed=seed,
+        enable_cache=False,
+        enable_task_model=enable_task_model,
+        population_mix=population_mix,
+        default_query_config=QueryConfig(adaptive=adaptive),
+    )
+    workload.install(engine.database)
+    engine.register_oracle("samePerson", workload.oracle())
+    spec = workload.sameperson_spec(
+        interface="columns" if interface == "columns" else "pairs",
+        assignments=assignments,
+        left_per_hit=left_per_hit,
+        right_per_hit=right_per_hit,
+        batch_size=pairs_per_hit,
+    )
+    engine.define_task(
+        spec,
+        left_payload=workload.left_payload,
+        right_payload=workload.right_payload,
+        prefilter=workload.feature_prefilter(prefilter_threshold) if use_prefilter else None,
+        learnable=enable_task_model,
+    )
+    return ExperimentRun(
+        engine,
+        workload,
+        {
+            "n_celebrities": n_celebrities,
+            "n_spotted": n_spotted,
+            "interface": interface,
+            "assignments": assignments,
+        },
+    )
+
+
+def build_products_engine(
+    *,
+    n_products: int = 40,
+    assignments: int = 3,
+    filter_batch: int = 1,
+    sort_batch: int = 1,
+    enable_task_model: bool = False,
+    seed: int = 13,
+    population_mix: PopulationMix | None = None,
+    adaptive: bool = False,
+) -> ExperimentRun:
+    """Engine prepared for filter / sort / batching experiments on products."""
+    workload = ProductsWorkload(n_products=n_products, seed=seed)
+    engine = QurkEngine(
+        seed=seed,
+        enable_cache=False,
+        enable_task_model=enable_task_model,
+        population_mix=population_mix,
+        default_query_config=QueryConfig(adaptive=adaptive),
+    )
+    workload.install(engine.database)
+    oracle = workload.oracle()
+    for task_name in ("isTargetColor", "biggerItem", "rateSize"):
+        engine.register_oracle(task_name, oracle)
+    engine.define_task(
+        workload.color_filter_spec(assignments=assignments, batch_size=filter_batch),
+        learnable=enable_task_model,
+    )
+    name_payload = lambda row: {"name": row["name"]}  # noqa: E731 - tiny adapter
+    engine.define_task(
+        workload.size_compare_spec(assignments=assignments, batch_size=sort_batch),
+        payload=name_payload,
+        learnable=False,
+    )
+    engine.define_task(
+        workload.size_rating_spec(assignments=assignments, batch_size=sort_batch),
+        payload=name_payload,
+        learnable=False,
+    )
+    return ExperimentRun(
+        engine, workload, {"n_products": n_products, "assignments": assignments}
+    )

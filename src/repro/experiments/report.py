@@ -1,0 +1,44 @@
+"""Small text-table reporting helpers shared by the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding figure or dashboard
+panel of the paper would show; these helpers keep that output consistent and
+readable in benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Mapping[str, Any]]) -> str:
+    """Format rows (mappings keyed by column name) as an aligned text table."""
+    rendered_rows = [[_format_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(cells[index]) for cells in rendered_rows)) if rendered_rows else len(column)
+        for index, column in enumerate(columns)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(column.ljust(widths[index]) for index, column in enumerate(columns)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(columns))))
+    for cells in rendered_rows:
+        lines.append("  ".join(cells[index].ljust(widths[index]) for index in range(len(columns))))
+    return "\n".join(lines)
+
+
+def print_table(title: str, columns: Sequence[str], rows: Sequence[Mapping[str, Any]]) -> None:
+    """Print :func:`format_table` output with surrounding blank lines."""
+    print()
+    print(format_table(title, columns, rows))
+    print()

@@ -1,0 +1,107 @@
+"""CSV import/export helpers for the storage engine.
+
+Examples load small relational inputs (a companies list, a product catalog)
+from CSV files, and experiment reports are exported back out as CSV, so the
+storage substrate ships simple typed readers/writers.  Only scalar column
+types round-trip through CSV; IMAGE and ANSWER_LIST columns are rejected.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.errors import StorageError
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+__all__ = ["load_csv", "dump_csv", "loads_csv", "dumps_csv"]
+
+_SCALAR_PARSERS = {
+    DataType.INTEGER: int,
+    DataType.FLOAT: float,
+    DataType.STRING: str,
+    DataType.BOOLEAN: lambda text: text.strip().lower() in ("1", "true", "t", "yes"),
+    DataType.ANY: str,
+}
+
+
+def _parse_cell(text: str, data_type: DataType):
+    if text == "":
+        return None
+    try:
+        parser = _SCALAR_PARSERS[data_type]
+    except KeyError:
+        raise StorageError(f"column type {data_type} cannot be loaded from CSV") from None
+    try:
+        return parser(text)
+    except ValueError as exc:
+        raise StorageError(f"cannot parse {text!r} as {data_type}") from exc
+
+
+def loads_csv(name: str, schema: Schema, text: str, *, has_header: bool = True) -> Table:
+    """Load a table from CSV text."""
+    return _load(name, schema, io.StringIO(text), has_header=has_header)
+
+
+def load_csv(name: str, schema: Schema, path: str | Path, *, has_header: bool = True) -> Table:
+    """Load a table from a CSV file on disk."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        return _load(name, schema, handle, has_header=has_header)
+
+
+def _load(name: str, schema: Schema, handle: TextIO, *, has_header: bool) -> Table:
+    reader = csv.reader(handle)
+    table = Table(name, schema)
+    rows = iter(reader)
+    if has_header:
+        header = next(rows, None)
+        if header is not None and len(header) != len(schema):
+            raise StorageError(
+                f"CSV header has {len(header)} columns, schema has {len(schema)}"
+            )
+    for lineno, record in enumerate(rows, start=2 if has_header else 1):
+        if not record:
+            continue
+        if len(record) != len(schema):
+            raise StorageError(
+                f"CSV line {lineno} has {len(record)} fields, expected {len(schema)}"
+            )
+        values = [
+            _parse_cell(cell, column.data_type) for cell, column in zip(record, schema)
+        ]
+        table.insert(values)
+    return table
+
+
+def dumps_csv(table: Table, *, include_header: bool = True) -> str:
+    """Serialise a table to CSV text."""
+    buffer = io.StringIO()
+    _dump(table, buffer, include_header=include_header)
+    return buffer.getvalue()
+
+
+def dump_csv(table: Table, path: str | Path, *, include_header: bool = True) -> None:
+    """Write a table to a CSV file on disk."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        _dump(table, handle, include_header=include_header)
+
+
+def _dump(table: Table, handle: TextIO, *, include_header: bool) -> None:
+    for column in table.schema:
+        if column.data_type in (DataType.IMAGE, DataType.ANSWER_LIST, DataType.TUPLE):
+            raise StorageError(
+                f"column {column.name!r} of type {column.data_type} cannot be written to CSV"
+            )
+    writer = csv.writer(handle)
+    if include_header:
+        writer.writerow(table.schema.names)
+    for row in table:
+        writer.writerow(["" if value is None else value for value in row.values])
+
+
+def _iter_rows(rows: Iterable) -> Iterable:  # pragma: no cover - compatibility shim
+    return rows

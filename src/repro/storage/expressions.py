@@ -1,0 +1,283 @@
+"""A small expression tree evaluated against rows.
+
+The executor and planner manipulate expressions for projections, filter
+predicates, and UDF invocations.  Crowd-powered UDFs (``findCEO``,
+``samePerson``) are *not* evaluated here — the planner turns them into crowd
+operators — but their call sites are represented as
+:class:`FunctionCall`/:class:`FieldAccess` nodes so a query can be parsed and
+analysed uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import ExpressionError
+from repro.storage.row import Row
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "FunctionCall",
+    "FieldAccess",
+    "Comparison",
+    "BooleanOp",
+    "Not",
+    "Arithmetic",
+    "walk",
+    "find_calls",
+]
+
+
+class Expression:
+    """Base class for expression tree nodes."""
+
+    def evaluate(self, row: Row) -> Any:
+        """Evaluate this expression against ``row``."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Expression"]:
+        """Child expressions, used by tree walks."""
+        return ()
+
+    def references(self) -> set[str]:
+        """All column names referenced anywhere in this expression tree."""
+        refs: set[str] = set()
+        for node in walk(self):
+            if isinstance(node, ColumnRef):
+                refs.add(node.name)
+        return refs
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column of the input row."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        return row[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A call to a named function.
+
+    If ``implementation`` is provided the call can be evaluated locally;
+    otherwise evaluation raises, because the call refers to a crowd task that
+    the planner must have rewritten into an operator before execution.
+    """
+
+    name: str
+    args: tuple[Expression, ...]
+    implementation: Callable[..., Any] | None = None
+
+    def children(self) -> Sequence[Expression]:
+        return self.args
+
+    def evaluate(self, row: Row) -> Any:
+        if self.implementation is None:
+            raise ExpressionError(
+                f"function {self.name!r} has no local implementation; "
+                "crowd UDFs must be planned into operators before evaluation"
+            )
+        return self.implementation(*(arg.evaluate(row) for arg in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expression):
+    """Access a named field of a tuple-valued expression (``findCEO(x).CEO``).
+
+    Tuple-valued crowd UDFs return mappings or named tuples; the field is
+    looked up by name at evaluation time.
+    """
+
+    base: Expression
+    field: str
+
+    def children(self) -> Sequence[Expression]:
+        return (self.base,)
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.base.evaluate(row)
+        if value is None:
+            return None
+        if isinstance(value, dict):
+            if self.field not in value:
+                raise ExpressionError(f"tuple value has no field {self.field!r}")
+            return value[self.field]
+        if hasattr(value, self.field):
+            return getattr(value, self.field)
+        raise ExpressionError(
+            f"cannot access field {self.field!r} of {type(value).__name__} value"
+        )
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field}"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison with SQL NULL semantics (NULL compares to NULL → None)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def evaluate(self, row: Row) -> bool | None:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    """AND / OR over two boolean sub-expressions, with NULL propagation."""
+
+    op: str  # "and" | "or"
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ExpressionError(f"unknown boolean operator {self.op!r}")
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def evaluate(self, row: Row) -> bool | None:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if self.op == "and":
+            if left is False or right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return bool(left) and bool(right)
+        if left is True or right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return bool(left) or bool(right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op.upper()} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation with NULL propagation."""
+
+    operand: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def evaluate(self, row: Row) -> bool | None:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        return not value
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic over numeric expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def evaluate(self, row: Row) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        try:
+            return _ARITHMETIC[self.op](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise ExpressionError(f"cannot compute {left!r} {self.op} {right!r}") from exc
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def walk(expression: Expression) -> Iterator[Expression]:
+    """Yield ``expression`` and every descendant, pre-order."""
+    yield expression
+    for child in expression.children():
+        yield from walk(child)
+
+
+def find_calls(expression: Expression, name: str | None = None) -> list[FunctionCall]:
+    """Return every :class:`FunctionCall` in the tree, optionally filtered by name."""
+    calls = [node for node in walk(expression) if isinstance(node, FunctionCall)]
+    if name is not None:
+        calls = [call for call in calls if call.name == name]
+    return calls

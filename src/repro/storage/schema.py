@@ -1,0 +1,167 @@
+"""Schemas and columns for the Qurk storage engine.
+
+A :class:`Schema` is an ordered collection of :class:`Column` objects.  Rows
+(:mod:`repro.storage.row`) are validated against a schema on insertion.
+Schemas support the operations query processing needs: projection, renaming
+with a table qualifier, concatenation (for joins), and extension (for the
+schema-widening UDF operator of Query 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.storage.types import DataType, coerce_value
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Column name, optionally qualified as ``table.column``.
+    data_type:
+        Logical type of values stored in the column.
+    nullable:
+        Whether NULL values are accepted (default True, as in the paper's
+        setting where crowd answers may be missing).
+    """
+
+    name: str
+    data_type: DataType = DataType.ANY
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    @property
+    def unqualified_name(self) -> str:
+        """The column name without any ``table.`` qualifier."""
+        return self.name.rsplit(".", 1)[-1]
+
+    @property
+    def qualifier(self) -> str | None:
+        """The table qualifier, or None when the name is unqualified."""
+        if "." in self.name:
+            return self.name.rsplit(".", 1)[0]
+        return None
+
+    def with_qualifier(self, qualifier: str) -> "Column":
+        """Return a copy of this column qualified as ``qualifier.name``."""
+        return Column(f"{qualifier}.{self.unqualified_name}", self.data_type, self.nullable)
+
+    def renamed(self, new_name: str) -> "Column":
+        """Return a copy of this column with a new name."""
+        return Column(new_name, self.data_type, self.nullable)
+
+    def validate(self, value: Any) -> Any:
+        """Validate and coerce ``value`` for storage in this column."""
+        if value is None and not self.nullable:
+            raise SchemaError(f"column {self.name!r} is NOT NULL")
+        return coerce_value(value, self.data_type)
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.data_type}"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable collection of columns.
+
+    Column lookup accepts either the exact (possibly qualified) name or an
+    unambiguous unqualified name, mirroring SQL name resolution.
+    """
+
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {', '.join(dupes)}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def of(cls, *columns: Column | tuple[str, DataType] | str) -> "Schema":
+        """Build a schema from columns, ``(name, type)`` pairs, or bare names."""
+        built: list[Column] = []
+        for spec in columns:
+            if isinstance(spec, Column):
+                built.append(spec)
+            elif isinstance(spec, tuple):
+                name, data_type = spec
+                built.append(Column(name, data_type))
+            elif isinstance(spec, str):
+                built.append(Column(spec))
+            else:  # pragma: no cover - defensive
+                raise SchemaError(f"cannot build a column from {spec!r}")
+        return cls(tuple(built))
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.index_of(name)
+        except SchemaError:
+            return False
+        return True
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All column names, in order."""
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name`` (qualified or unambiguous)."""
+        return self.columns[self.index_of(name)]
+
+    def index_of(self, name: str) -> int:
+        """Resolve ``name`` to a column index.
+
+        Exact (qualified) matches win; otherwise the unqualified name must be
+        unambiguous across the schema.
+        """
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        matches = [i for i, col in enumerate(self.columns) if col.unqualified_name == name]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise SchemaError(f"column reference {name!r} is ambiguous")
+        raise SchemaError(f"unknown column {name!r}; have {', '.join(self.names)}")
+
+    # -- derivation ---------------------------------------------------------
+
+    def qualified(self, qualifier: str) -> "Schema":
+        """Return a copy of this schema with every column qualified."""
+        return Schema(tuple(c.with_qualifier(qualifier) for c in self.columns))
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a schema containing only the named columns, in the given order."""
+        return Schema(tuple(self.column(name) for name in names))
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas (used by join operators)."""
+        return Schema(self.columns + other.columns)
+
+    def extend(self, *new_columns: Column) -> "Schema":
+        """Return a schema with extra columns appended (Query 1 schema widening)."""
+        return Schema(self.columns + tuple(new_columns))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(c) for c in self.columns) + ")"

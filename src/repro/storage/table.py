@@ -1,0 +1,134 @@
+"""In-memory heap tables with optional secondary indexes.
+
+Crowd workloads "rarely approach hundreds of thousands of tuples" (Section 2
+of the paper), so a simple row-store with hash indexes is a faithful and
+sufficient Storage Engine.  Tables also serve as the *results tables* that
+queries emit into and users poll (Section 2), so they support append +
+versioned reads (``rows_since``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An append-oriented in-memory table.
+
+    Rows receive a monotonically increasing row id on insertion, which
+    supports the polling pattern of Qurk results tables: a caller remembers
+    the last row id it has seen and asks for everything newer.
+    """
+
+    def __init__(self, name: str, schema: Schema):
+        if not name:
+            raise StorageError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._row_ids = itertools.count()
+        self._ids: list[int] = []
+        self._indexes: dict[str, dict[Any, list[int]]] = {}
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, row: Row | Mapping[str, Any] | Iterable[Any]) -> int:
+        """Insert one row and return its row id.
+
+        Accepts a :class:`Row`, a mapping of column names to values, or a
+        bare sequence of values in schema order.
+        """
+        row = self._as_row(row)
+        row_id = next(self._row_ids)
+        position = len(self._rows)
+        self._rows.append(row)
+        self._ids.append(row_id)
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], []).append(position)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Row | Mapping[str, Any] | Iterable[Any]]) -> list[int]:
+        """Insert several rows, returning their row ids."""
+        return [self.insert(row) for row in rows]
+
+    def truncate(self) -> None:
+        """Remove every row (row ids keep counting up)."""
+        self._rows.clear()
+        self._ids.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    def _as_row(self, row: Row | Mapping[str, Any] | Iterable[Any]) -> Row:
+        if isinstance(row, Row):
+            if row.schema.names != self.schema.names:
+                # Re-validate against our schema (allows unqualified inserts).
+                return Row(self.schema, row.values)
+            return row
+        if isinstance(row, Mapping):
+            return Row.from_mapping(self.schema, row)
+        return Row(self.schema, row)
+
+    # -- reads ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over every row in insertion order."""
+        return iter(self._rows)
+
+    def rows(self) -> list[Row]:
+        """Return a snapshot list of all rows."""
+        return list(self._rows)
+
+    def rows_since(self, row_id: int) -> list[tuple[int, Row]]:
+        """Return ``(row_id, row)`` pairs for rows inserted after ``row_id``.
+
+        Pass ``-1`` to read everything.  This is the polling primitive used
+        by :class:`repro.core.exec.handle.QueryHandle`.
+        """
+        return [(rid, row) for rid, row in zip(self._ids, self._rows) if rid > row_id]
+
+    def last_row_id(self) -> int:
+        """The id of the most recently inserted row, or -1 when empty."""
+        return self._ids[-1] if self._ids else -1
+
+    def select(self, predicate: Callable[[Row], bool]) -> list[Row]:
+        """Return rows satisfying a Python predicate (used by tests/examples)."""
+        return [row for row in self._rows if predicate(row)]
+
+    # -- indexes -------------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Create (or rebuild) a hash index on ``column``."""
+        if column not in self.schema:
+            raise SchemaError(f"cannot index unknown column {column!r} on {self.name}")
+        index: dict[Any, list[int]] = {}
+        for position, row in enumerate(self._rows):
+            index.setdefault(row[column], []).append(position)
+        self._indexes[self.schema.column(column).name] = index
+
+    def lookup(self, column: str, value: Any) -> list[Row]:
+        """Return rows where ``column == value``, via index when available."""
+        qualified = self.schema.column(column).name
+        if qualified in self._indexes:
+            return [self._rows[pos] for pos in self._indexes[qualified].get(value, [])]
+        return [row for row in self._rows if row[column] == value]
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        """Names of columns that currently have an index."""
+        return tuple(self._indexes)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows, schema={self.schema})"

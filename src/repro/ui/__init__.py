@@ -1,0 +1,5 @@
+"""Interactive surfaces of the demo: the Task Completion Interface (Figure 3)."""
+
+from repro.ui.task_interface import TaskCompletionInterface
+
+__all__ = ["TaskCompletionInterface"]

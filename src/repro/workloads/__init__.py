@@ -1,0 +1,40 @@
+"""Synthetic workload generators: data, ground truth, oracles and TASK specs.
+
+Each workload bundles (a) the base tables a query runs over, (b) the ground
+truth simulated workers consult, (c) the TASK definitions from the paper, and
+(d) scoring helpers used by tests and the benchmark harness.
+"""
+
+from repro.workloads.celebrities import (
+    CelebrityOracle,
+    CelebrityWorkload,
+    SAMEPERSON_TASK_TEXT,
+    pair_feature_extractor,
+)
+from repro.workloads.companies import (
+    CompaniesOracle,
+    CompaniesWorkload,
+    CompanyRecord,
+    FINDCEO_TASK_TEXT,
+)
+from repro.workloads.images import ImageGenerator, SyntheticImage
+from repro.workloads.oracles import CompositeOracle, payload_value
+from repro.workloads.products import ProductRecord, ProductsOracle, ProductsWorkload
+
+__all__ = [
+    "SyntheticImage",
+    "ImageGenerator",
+    "CompositeOracle",
+    "payload_value",
+    "CompaniesWorkload",
+    "CompaniesOracle",
+    "CompanyRecord",
+    "FINDCEO_TASK_TEXT",
+    "CelebrityWorkload",
+    "CelebrityOracle",
+    "SAMEPERSON_TASK_TEXT",
+    "pair_feature_extractor",
+    "ProductsWorkload",
+    "ProductsOracle",
+    "ProductRecord",
+]

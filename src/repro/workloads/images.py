@@ -1,0 +1,88 @@
+"""Synthetic images.
+
+The paper's join demo (Query 2) operates on celebrity photographs.  Real
+images are unnecessary to reproduce the system's behaviour: what matters is
+that (a) each image depicts a latent *identity* a human can recognise and
+(b) a machine can only observe a noisy *feature vector*, so the learned Task
+Model and feature-based pre-filters are approximations rather than oracles.
+:class:`SyntheticImage` captures exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+__all__ = ["SyntheticImage", "ImageGenerator"]
+
+
+@dataclass(frozen=True)
+class SyntheticImage:
+    """A stand-in for a photograph.
+
+    Parameters
+    ----------
+    image_id:
+        Unique identifier (e.g. ``celeb-12-a``).
+    identity:
+        The latent person/subject depicted.  Humans (the simulated workers)
+        judge identity directly; Qurk never reads this field.
+    features:
+        A noisy numeric embedding of the image, available to machines (the
+        Task Model, pre-filters).  Images of the same identity have nearby
+        feature vectors but are not identical.
+    caption:
+        Human-readable description used in HIT HTML.
+    """
+
+    image_id: str
+    identity: int
+    features: tuple[float, ...]
+    caption: str = ""
+
+    def distance(self, other: "SyntheticImage") -> float:
+        """Euclidean distance between two images' feature vectors."""
+        if len(self.features) != len(other.features):
+            raise WorkloadError("cannot compare images with different feature dimensions")
+        return sum((a - b) ** 2 for a, b in zip(self.features, other.features)) ** 0.5
+
+
+class ImageGenerator:
+    """Generates synthetic images with controllable feature noise.
+
+    Each identity has a prototype feature vector drawn uniformly from the unit
+    hypercube; individual photos of that identity add Gaussian noise with
+    standard deviation ``noise``.  Lower noise makes feature-based shortcuts
+    (pre-filters, the Task Model) more effective — a knob experiments sweep.
+    """
+
+    def __init__(self, *, dimensions: int = 6, noise: float = 0.08, seed: int = 11):
+        if dimensions < 1:
+            raise WorkloadError("feature dimensionality must be >= 1")
+        if noise < 0:
+            raise WorkloadError("feature noise must be non-negative")
+        self.dimensions = dimensions
+        self.noise = noise
+        self._rng = random.Random(seed)
+        self._prototypes: dict[int, tuple[float, ...]] = {}
+
+    def prototype(self, identity: int) -> tuple[float, ...]:
+        """The (stable) prototype feature vector for an identity."""
+        if identity not in self._prototypes:
+            self._prototypes[identity] = tuple(
+                self._rng.random() for _ in range(self.dimensions)
+            )
+        return self._prototypes[identity]
+
+    def image_of(self, identity: int, *, image_id: str, caption: str = "") -> SyntheticImage:
+        """Generate one photo of ``identity``."""
+        prototype = self.prototype(identity)
+        features = tuple(value + self._rng.gauss(0.0, self.noise) for value in prototype)
+        return SyntheticImage(
+            image_id=image_id,
+            identity=identity,
+            features=features,
+            caption=caption or f"photo of subject {identity}",
+        )

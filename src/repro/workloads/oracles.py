@@ -1,0 +1,83 @@
+"""Oracle helpers shared by the workload generators.
+
+Workload oracles read values out of HIT item payloads.  Depending on which
+operator produced the task, a value may sit at the top level of the payload
+(``payload["image"]``) or inside the serialised row (``payload["row"]
+["celebrities.image"]``), and column names may or may not be table-qualified.
+:func:`payload_value` hides that, and :class:`CompositeOracle` lets one
+platform instance serve several task types at once (a demo session runs
+Query 1 and Query 2 side by side).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.crowd.hit import FormField, HITItem
+from repro.crowd.oracle import AnswerOracle
+from repro.errors import WorkloadError
+
+__all__ = ["payload_value", "CompositeOracle"]
+
+
+def payload_value(payload: Mapping[str, Any], column: str, default: Any = None) -> Any:
+    """Find ``column`` in a task payload, tolerating row nesting and qualifiers."""
+    if column in payload:
+        return payload[column]
+    row = payload.get("row")
+    if isinstance(row, Mapping):
+        if column in row:
+            return row[column]
+        suffix = f".{column}"
+        for key, value in row.items():
+            if key.endswith(suffix):
+                return value
+    suffix = f".{column}"
+    for key, value in payload.items():
+        if isinstance(key, str) and key.endswith(suffix):
+            return value
+    return default
+
+
+class CompositeOracle(AnswerOracle):
+    """Dispatches oracle calls to per-task oracles based on the item's task tag.
+
+    The HIT compiler tags every item payload with ``_task`` (the task spec
+    name); the composite looks up the matching oracle.  An optional default
+    oracle handles untagged items.
+    """
+
+    def __init__(self, oracles: Mapping[str, AnswerOracle], default: AnswerOracle | None = None):
+        self._oracles = dict(oracles)
+        self._default = default
+
+    def register(self, task_name: str, oracle: AnswerOracle) -> None:
+        """Add or replace the oracle for one task name."""
+        self._oracles[task_name] = oracle
+
+    def _oracle_for(self, item: HITItem) -> AnswerOracle:
+        task_name = item.payload.get("_task")
+        oracle = self._oracles.get(task_name)
+        if oracle is None:
+            oracle = self._default
+        if oracle is None:
+            raise WorkloadError(f"no oracle registered for task {task_name!r}")
+        return oracle
+
+    def form_answer(self, item: HITItem, field: FormField) -> str:
+        return self._oracle_for(item).form_answer(item, field)
+
+    def predicate_answer(self, item: HITItem) -> bool:
+        return self._oracle_for(item).predicate_answer(item)
+
+    def pair_matches(self, left: HITItem, right: HITItem) -> bool:
+        return self._oracle_for(left).pair_matches(left, right)
+
+    def comparison_answer(self, item: HITItem) -> str:
+        return self._oracle_for(item).comparison_answer(item)
+
+    def rating_answer(self, item: HITItem) -> float:
+        return self._oracle_for(item).rating_answer(item)
+
+    def plausible_wrong_form_answer(self, item: HITItem, field: FormField) -> str:
+        return self._oracle_for(item).plausible_wrong_form_answer(item, field)

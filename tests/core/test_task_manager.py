@@ -1,0 +1,221 @@
+"""Unit/integration tests for the Task Manager."""
+
+import pytest
+
+from repro.core.optimizer.budget import BudgetLedger
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.tasks.batching import FixedBatching
+from repro.core.tasks.spec import (
+    FormResponse,
+    Parameter,
+    ReturnField,
+    TaskSpec,
+    TaskType,
+    YesNoResponse,
+)
+from repro.core.tasks.task import ResultSource, Task, TaskKind
+from repro.core.tasks.task_cache import TaskCache
+from repro.core.tasks.task_manager import TaskManager
+from repro.core.tasks.task_model import TaskModelRegistry
+from repro.crowd import (
+    CallbackOracle,
+    MTurkSimulator,
+    PopulationMix,
+    SimulationClock,
+    WorkerPool,
+)
+from repro.errors import BudgetExceededError
+
+
+FILTER_SPEC = TaskSpec(
+    name="isRed",
+    task_type=TaskType.FILTER,
+    text="Is %s red?",
+    response=YesNoResponse(),
+    parameters=(Parameter("name"),),
+    price=0.01,
+    assignments=3,
+    feature_extractor=lambda payload: payload.get("features"),
+)
+
+FINDCEO_SPEC = TaskSpec(
+    name="findCEO",
+    task_type=TaskType.QUESTION,
+    text="Find the CEO for %s",
+    response=FormResponse((("CEO", "String"),)),
+    parameters=(Parameter("companyName"),),
+    returns=(ReturnField("CEO"),),
+    price=0.02,
+    assignments=3,
+)
+
+ORACLE = CallbackOracle(
+    predicate=lambda item: item.payload.get("is_red", False),
+    form=lambda item, field: f"CEO of {item.payload.get('companyName')}",
+)
+
+
+def build_manager(*, mix=None, cache=None, models=None, seed=1):
+    clock = SimulationClock()
+    pool = WorkerPool(size=50, seed=seed, mix=mix or PopulationMix(diligent=1, noisy=0, lazy=0, spammer=0))
+    platform = MTurkSimulator(clock, pool, ORACLE)
+    statistics = StatisticsManager()
+    budget = BudgetLedger()
+    manager = TaskManager(platform, statistics, budget, cache=cache, models=models)
+    return clock, platform, statistics, budget, manager
+
+
+def filter_task(manager_results, name="mug", is_red=True, query_id="q1", cache_key=None):
+    return Task(
+        kind=TaskKind.FILTER,
+        spec=FILTER_SPEC,
+        payload={"args": (name,), "name": name, "is_red": is_red},
+        callback=manager_results.append,
+        cache_key=cache_key,
+        query_id=query_id,
+    )
+
+
+class TestCrowdPath:
+    def test_submit_flush_complete(self):
+        clock, platform, statistics, _budget, manager = build_manager()
+        results = []
+        manager.submit(filter_task(results, is_red=True))
+        assert manager.pending_tasks() == 1
+        posted = manager.flush()
+        assert posted == 1
+        assert manager.inflight_hits() == 1
+        clock.run_until_idle()
+        assert len(results) == 1
+        result = results[0]
+        assert result.source is ResultSource.CROWD
+        assert result.reduced is True
+        assert len(result.answers) == 3
+        assert result.cost == pytest.approx(3 * (0.01 + 0.005))
+        assert result.latency > 0
+        assert statistics.spec("isRed").crowd_tasks == 1
+        assert statistics.query("q1").spent == pytest.approx(result.cost)
+        assert not manager.has_outstanding_work()
+
+    def test_batching_policy_groups_tasks_into_one_hit(self):
+        clock, platform, _stats, _budget, manager = build_manager()
+        manager.set_batching_policy("isRed", TaskKind.FILTER, FixedBatching(5))
+        results = []
+        for index in range(5):
+            manager.submit(filter_task(results, name=f"item{index}", is_red=index % 2 == 0))
+        assert manager.flush() == 1
+        assert platform.stats.hits_created == 1
+        clock.run_until_idle()
+        assert len(results) == 5
+        reduced = [r.reduced for r in results]
+        assert reduced == [True, False, True, False, True]
+
+    def test_partial_batches_flush_only_when_forced(self):
+        _clock, platform, _stats, _budget, manager = build_manager()
+        manager.set_batching_policy("isRed", TaskKind.FILTER, FixedBatching(10))
+        results = []
+        for index in range(4):
+            manager.submit(filter_task(results, name=f"n{index}"))
+        assert manager.flush(force=False) == 0
+        assert manager.flush(force=True) == 1
+        assert platform.stats.hits_created == 1
+
+    def test_worker_votes_recorded(self):
+        clock, _platform, statistics, _budget, manager = build_manager()
+        results = []
+        manager.submit(filter_task(results))
+        manager.flush()
+        clock.run_until_idle()
+        assert sum(stats.votes for stats in statistics._workers.values()) == 3
+
+
+class TestCachePath:
+    def test_cache_hit_answers_without_posting(self):
+        clock, platform, statistics, _budget, manager = build_manager(cache=TaskCache())
+        results = []
+        manager.submit(filter_task(results, cache_key=("mug",)))
+        manager.flush()
+        clock.run_until_idle()
+        assert platform.stats.hits_created == 1
+        manager.submit(filter_task(results, cache_key=("mug",), query_id="q2"))
+        assert len(results) == 2
+        assert results[1].source is ResultSource.CACHE
+        assert results[1].cost == 0.0
+        assert platform.stats.hits_created == 1
+        assert statistics.query("q2").cache_hits == 1
+
+
+class TestModelPath:
+    def test_trusted_model_short_circuits_the_crowd(self):
+        models = TaskModelRegistry()
+        model = models.register_default(
+            FILTER_SPEC, min_observations=10, trust_accuracy=0.8, confidence_threshold=0.3,
+            learning_rate=0.5,
+        )
+        clock, platform, statistics, _budget, manager = build_manager(models=models)
+        results = []
+        # Train through the crowd on a separable concept.
+        for index in range(40):
+            is_red = index % 2 == 0
+            task = Task(
+                kind=TaskKind.FILTER,
+                spec=FILTER_SPEC,
+                payload={
+                    "args": (f"item{index}",),
+                    "name": f"item{index}",
+                    "is_red": is_red,
+                    "features": [1.0, 0.0] if is_red else [0.0, 1.0],
+                },
+                callback=results.append,
+                query_id="train",
+            )
+            manager.submit(task)
+        manager.flush()
+        clock.run_until_idle()
+        assert model.is_trusted
+        hits_before = platform.stats.hits_created
+        task = Task(
+            kind=TaskKind.FILTER,
+            spec=FILTER_SPEC,
+            payload={"args": ("new",), "name": "new", "is_red": True, "features": [1.0, 0.0]},
+            callback=results.append,
+            query_id="q9",
+        )
+        manager.submit(task)
+        assert results[-1].source is ResultSource.MODEL
+        assert results[-1].reduced is True
+        assert platform.stats.hits_created == hits_before
+        assert statistics.query("q9").model_answers == 1
+        assert model.stats.dollars_saved > 0
+
+
+class TestBudgetEnforcement:
+    def test_posting_stops_when_budget_exceeded(self):
+        clock, _platform, _stats, budget, manager = build_manager()
+        budget.register("q1", 0.05)  # one HIT costs 3 * 0.015 = 0.045
+        results = []
+        manager.submit(filter_task(results, name="a"))
+        manager.submit(filter_task(results, name="b"))
+        with pytest.raises(BudgetExceededError):
+            manager.flush()
+        # The first HIT fit in the budget and still completes.
+        clock.run_until_idle()
+        assert len(results) == 1
+
+
+class TestGenerateTasks:
+    def test_question_task_reduces_fieldwise(self):
+        clock, _platform, _stats, _budget, manager = build_manager()
+        results = []
+        task = Task(
+            kind=TaskKind.GENERATE,
+            spec=FINDCEO_SPEC,
+            payload={"args": ("Acme",), "companyName": "Acme"},
+            callback=results.append,
+            cache_key=("Acme",),
+            query_id="q1",
+        )
+        manager.submit(task)
+        manager.flush()
+        clock.run_until_idle()
+        assert results[0].reduced == {"CEO": "CEO of Acme"}

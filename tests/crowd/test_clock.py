@@ -1,0 +1,86 @@
+"""Unit tests for the discrete-event simulation clock."""
+
+import pytest
+
+from repro.crowd import SimulationClock
+from repro.errors import CrowdError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        clock = SimulationClock()
+        fired = []
+        clock.schedule_at(10, lambda: fired.append("b"))
+        clock.schedule_at(5, lambda: fired.append("a"))
+        clock.schedule_at(20, lambda: fired.append("c"))
+        clock.advance_to(15)
+        assert fired == ["a", "b"]
+        assert clock.now == 15
+
+    def test_same_time_events_fire_fifo(self):
+        clock = SimulationClock()
+        fired = []
+        for label in "abc":
+            clock.schedule_at(5, lambda label=label: fired.append(label))
+        clock.advance_to(5)
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_in_past_rejected(self):
+        clock = SimulationClock(start=100)
+        with pytest.raises(CrowdError):
+            clock.schedule_at(50, lambda: None)
+        with pytest.raises(CrowdError):
+            clock.schedule_in(-1, lambda: None)
+
+    def test_rewind_rejected(self):
+        clock = SimulationClock(start=10)
+        with pytest.raises(CrowdError):
+            clock.advance_to(5)
+
+    def test_cancelled_events_do_not_fire(self):
+        clock = SimulationClock()
+        fired = []
+        event = clock.schedule_in(5, lambda: fired.append("x"))
+        event.cancel()
+        clock.advance_by(10)
+        assert fired == []
+        assert clock.pending_events == 0
+
+    def test_callbacks_can_schedule_more_events(self):
+        clock = SimulationClock()
+        fired = []
+
+        def chain():
+            fired.append(clock.now)
+            if len(fired) < 3:
+                clock.schedule_in(10, chain)
+
+        clock.schedule_in(10, chain)
+        clock.run_until_idle()
+        assert fired == [10, 20, 30]
+
+    def test_run_next_and_next_event_time(self):
+        clock = SimulationClock()
+        assert clock.next_event_time() is None
+        assert clock.run_next() is False
+        clock.schedule_at(3, lambda: None)
+        assert clock.next_event_time() == 3
+        assert clock.run_next() is True
+        assert clock.now == 3
+
+    def test_run_until_idle_guard_against_infinite_chains(self):
+        clock = SimulationClock()
+
+        def forever():
+            clock.schedule_in(1, forever)
+
+        clock.schedule_in(1, forever)
+        with pytest.raises(CrowdError):
+            clock.run_until_idle(max_events=100)
+
+    def test_events_fired_counter(self):
+        clock = SimulationClock()
+        clock.schedule_in(1, lambda: None)
+        clock.schedule_in(2, lambda: None)
+        clock.run_until_idle()
+        assert clock.events_fired == 2

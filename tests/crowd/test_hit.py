@@ -1,0 +1,130 @@
+"""Unit tests for the HIT / assignment lifecycle and content model."""
+
+import pytest
+
+from repro.crowd import (
+    Assignment,
+    AssignmentStatus,
+    FormField,
+    HIT,
+    HITContent,
+    HITInterface,
+    HITItem,
+    HITStatus,
+)
+from repro.errors import AssignmentError, HITError
+
+
+def form_content(n_items=1):
+    return HITContent(
+        interface=HITInterface.QUESTION_FORM,
+        title="Find the CEO",
+        instructions="Find the CEO and the CEO's phone number for the company",
+        items=tuple(
+            HITItem(f"item{i}", f"Company {i}", {"company": f"Company {i}"}) for i in range(n_items)
+        ),
+        fields=(FormField("CEO"), FormField("Phone")),
+    )
+
+
+def join_columns_content(n_left=2, n_right=3):
+    items = [
+        HITItem(f"L{i}", "celebrity", {"image": f"celeb-{i}"}, group="left") for i in range(n_left)
+    ] + [
+        HITItem(f"R{i}", "spotted", {"image": f"spot-{i}"}, group="right") for i in range(n_right)
+    ]
+    return HITContent(
+        interface=HITInterface.JOIN_COLUMNS,
+        title="Match celebrities",
+        instructions="Drag a picture of any Celebrity to their matching picture",
+        items=tuple(items),
+        left_label="Celebrity",
+        right_label="Spotted Star",
+    )
+
+
+class TestHITContent:
+    def test_question_form_requires_fields(self):
+        with pytest.raises(HITError):
+            HITContent(
+                interface=HITInterface.QUESTION_FORM,
+                title="t",
+                instructions="i",
+                items=(HITItem("a", "p"),),
+            )
+
+    def test_content_requires_items(self):
+        with pytest.raises(HITError):
+            HITContent(HITInterface.BINARY_CHOICE, "t", "i", items=())
+
+    def test_join_columns_requires_both_sides(self):
+        items = (HITItem("L0", "p", group="left"),)
+        with pytest.raises(HITError):
+            HITContent(HITInterface.JOIN_COLUMNS, "t", "i", items=items)
+
+    def test_left_right_partition(self):
+        content = join_columns_content(2, 3)
+        assert len(content.left_items) == 2
+        assert len(content.right_items) == 3
+
+    def test_work_units_for_join_columns_is_cross_product(self):
+        assert join_columns_content(2, 3).work_units == 6
+        assert form_content(4).work_units == 4
+
+
+class TestHITLifecycle:
+    def test_hit_validation(self):
+        with pytest.raises(HITError):
+            HIT("h", form_content(), reward=0.01, max_assignments=0, created_at=0.0)
+        with pytest.raises(HITError):
+            HIT("h", form_content(), reward=-0.01, max_assignments=1, created_at=0.0)
+
+    def test_fully_submitted_tracking(self):
+        hit = HIT("h", form_content(), reward=0.01, max_assignments=2, created_at=0.0)
+        assert not hit.is_fully_submitted
+        for i in range(2):
+            assignment = Assignment(f"a{i}", "h", f"w{i}", accepted_at=10.0)
+            assignment.submit({"item0": {"CEO": "Jane", "Phone": "5"}}, at=20.0)
+            hit.assignments.append(assignment)
+        assert hit.is_fully_submitted
+        assert hit.expires_at == pytest.approx(24 * 3600.0)
+
+
+class TestAssignmentLifecycle:
+    def make(self):
+        return Assignment("a1", "h1", "w1", accepted_at=5.0)
+
+    def test_submit_approve_flow(self):
+        assignment = self.make()
+        assignment.submit({"x": True}, at=65.0)
+        assert assignment.status is AssignmentStatus.SUBMITTED
+        assert assignment.work_duration == pytest.approx(60.0)
+        assignment.approve()
+        assert assignment.status is AssignmentStatus.APPROVED
+
+    def test_submit_reject_flow(self):
+        assignment = self.make()
+        assignment.submit({}, at=6.0)
+        assignment.reject()
+        assert assignment.status is AssignmentStatus.REJECTED
+
+    def test_double_submit_rejected(self):
+        assignment = self.make()
+        assignment.submit({}, at=6.0)
+        with pytest.raises(AssignmentError):
+            assignment.submit({}, at=7.0)
+
+    def test_submit_before_accept_rejected(self):
+        with pytest.raises(AssignmentError):
+            self.make().submit({}, at=1.0)
+
+    def test_approve_unsubmitted_rejected(self):
+        with pytest.raises(AssignmentError):
+            self.make().approve()
+
+    def test_work_duration_zero_while_in_flight(self):
+        assert self.make().work_duration == 0.0
+
+    def test_hit_status_enum_values(self):
+        assert HITStatus.OPEN.value == "open"
+        assert HITStatus.COMPLETED.value == "completed"

@@ -1,0 +1,38 @@
+"""Unit tests for the MTurk pricing policy."""
+
+import pytest
+
+from repro.crowd import CENTS, DEFAULT_PRICING, PricingPolicy
+from repro.errors import CrowdError
+
+
+class TestPricingPolicy:
+    def test_default_fee_has_minimum(self):
+        # 10% of one cent is below the half-cent minimum fee.
+        assert DEFAULT_PRICING.fee(1 * CENTS) == pytest.approx(0.005)
+        # For a $1 reward the proportional fee dominates.
+        assert DEFAULT_PRICING.fee(1.0) == pytest.approx(0.10)
+
+    def test_assignment_cost_adds_fee(self):
+        assert DEFAULT_PRICING.assignment_cost(0.02) == pytest.approx(0.025)
+
+    def test_hit_cost_scales_with_assignments(self):
+        assert DEFAULT_PRICING.hit_cost(0.02, 5) == pytest.approx(5 * 0.025)
+
+    def test_reward_below_minimum_rejected(self):
+        with pytest.raises(CrowdError):
+            DEFAULT_PRICING.assignment_cost(0.001)
+
+    def test_zero_assignments_rejected(self):
+        with pytest.raises(CrowdError):
+            DEFAULT_PRICING.hit_cost(0.02, 0)
+
+    def test_invalid_policy_parameters_rejected(self):
+        with pytest.raises(CrowdError):
+            PricingPolicy(commission_rate=-0.1)
+        with pytest.raises(CrowdError):
+            PricingPolicy(minimum_fee=-1)
+
+    def test_custom_policy_without_minimum_fee(self):
+        policy = PricingPolicy(commission_rate=0.2, minimum_fee=0.0, minimum_reward=0.0)
+        assert policy.assignment_cost(0.01) == pytest.approx(0.012)

@@ -1,0 +1,67 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DataType, Schema, Table, dump_csv, dumps_csv, load_csv, loads_csv
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(
+        ("name", DataType.STRING),
+        ("employees", DataType.INTEGER),
+        ("revenue", DataType.FLOAT),
+        ("public", DataType.BOOLEAN),
+    )
+
+
+CSV_TEXT = "name,employees,revenue,public\nAcme,10,1.5,true\nGlobex,,2.0,false\n"
+
+
+class TestLoad:
+    def test_loads_with_header(self, schema):
+        table = loads_csv("companies", schema, CSV_TEXT)
+        assert len(table) == 2
+        first = table.rows()[0]
+        assert first["employees"] == 10
+        assert first["public"] is True
+
+    def test_empty_cell_becomes_null(self, schema):
+        table = loads_csv("companies", schema, CSV_TEXT)
+        assert table.rows()[1]["employees"] is None
+
+    def test_bad_integer_raises(self, schema):
+        with pytest.raises(StorageError):
+            loads_csv("companies", schema, "name,employees,revenue,public\nAcme,xx,1.0,true\n")
+
+    def test_wrong_field_count_raises(self, schema):
+        with pytest.raises(StorageError, match="line"):
+            loads_csv("companies", schema, "name,employees,revenue,public\nAcme,1\n")
+
+    def test_header_width_mismatch_raises(self, schema):
+        with pytest.raises(StorageError, match="header"):
+            loads_csv("companies", schema, "just,two\n")
+
+    def test_load_from_disk_roundtrip(self, schema, tmp_path):
+        table = loads_csv("companies", schema, CSV_TEXT)
+        path = tmp_path / "companies.csv"
+        dump_csv(table, path)
+        reloaded = load_csv("companies", schema, path)
+        assert len(reloaded) == len(table)
+        assert reloaded.rows()[0]["name"] == "Acme"
+
+
+class TestDump:
+    def test_dumps_includes_header_and_nulls(self, schema):
+        table = loads_csv("companies", schema, CSV_TEXT)
+        text = dumps_csv(table)
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,employees,revenue,public"
+        assert lines[2].startswith("Globex,,")
+
+    def test_image_columns_cannot_be_dumped(self):
+        table = Table("t", Schema.of(("img", DataType.IMAGE),))
+        table.insert([object()])
+        with pytest.raises(StorageError):
+            dumps_csv(table)

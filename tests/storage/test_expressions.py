@@ -1,0 +1,128 @@
+"""Unit tests for the expression tree."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.storage import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    DataType,
+    FieldAccess,
+    FunctionCall,
+    Literal,
+    Not,
+    Row,
+    Schema,
+    find_calls,
+    walk,
+)
+
+
+@pytest.fixture
+def row():
+    schema = Schema.of(
+        ("name", DataType.STRING),
+        ("price", DataType.FLOAT),
+        ("stock", DataType.INTEGER),
+        ("ceo_info", DataType.ANY),
+    )
+    return Row(schema, ["Acme", 10.0, 3, {"CEO": "Jane", "Phone": "555"}])
+
+
+class TestBasicNodes:
+    def test_literal_and_column_ref(self, row):
+        assert Literal(5).evaluate(row) == 5
+        assert ColumnRef("name").evaluate(row) == "Acme"
+
+    def test_comparison_operators(self, row):
+        assert Comparison(">", ColumnRef("price"), Literal(5)).evaluate(row) is True
+        assert Comparison("=", ColumnRef("name"), Literal("Acme")).evaluate(row) is True
+        assert Comparison("!=", ColumnRef("stock"), Literal(3)).evaluate(row) is False
+
+    def test_comparison_null_semantics(self, row):
+        null = Literal(None)
+        assert Comparison("=", null, Literal(1)).evaluate(row) is None
+
+    def test_unknown_comparison_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", Literal(1), Literal(2))
+
+    def test_incomparable_values_raise(self, row):
+        expr = Comparison("<", ColumnRef("name"), Literal(3))
+        with pytest.raises(ExpressionError):
+            expr.evaluate(row)
+
+    def test_arithmetic(self, row):
+        expr = Arithmetic("*", ColumnRef("price"), ColumnRef("stock"))
+        assert expr.evaluate(row) == 30.0
+
+    def test_arithmetic_null_propagates(self, row):
+        assert Arithmetic("+", Literal(None), Literal(1)).evaluate(row) is None
+
+    def test_division_by_zero_raises_expression_error(self, row):
+        with pytest.raises(ExpressionError):
+            Arithmetic("/", Literal(1), Literal(0)).evaluate(row)
+
+
+class TestBooleanLogic:
+    def test_and_or_not(self, row):
+        true = Literal(True)
+        false = Literal(False)
+        assert BooleanOp("and", true, false).evaluate(row) is False
+        assert BooleanOp("or", true, false).evaluate(row) is True
+        assert Not(false).evaluate(row) is True
+
+    def test_three_valued_logic(self, row):
+        null = Literal(None)
+        assert BooleanOp("and", Literal(False), null).evaluate(row) is False
+        assert BooleanOp("and", Literal(True), null).evaluate(row) is None
+        assert BooleanOp("or", Literal(True), null).evaluate(row) is True
+        assert BooleanOp("or", Literal(False), null).evaluate(row) is None
+        assert Not(null).evaluate(row) is None
+
+
+class TestFunctionsAndFields:
+    def test_local_function_call(self, row):
+        call = FunctionCall("double", (ColumnRef("stock"),), implementation=lambda x: 2 * x)
+        assert call.evaluate(row) == 6
+
+    def test_crowd_udf_without_implementation_raises(self, row):
+        call = FunctionCall("findCEO", (ColumnRef("name"),))
+        with pytest.raises(ExpressionError, match="no local implementation"):
+            call.evaluate(row)
+
+    def test_field_access_on_dict(self, row):
+        expr = FieldAccess(ColumnRef("ceo_info"), "CEO")
+        assert expr.evaluate(row) == "Jane"
+
+    def test_field_access_missing_field(self, row):
+        expr = FieldAccess(ColumnRef("ceo_info"), "Fax")
+        with pytest.raises(ExpressionError):
+            expr.evaluate(row)
+
+    def test_field_access_on_null_is_null(self, row):
+        expr = FieldAccess(Literal(None), "CEO")
+        assert expr.evaluate(row) is None
+
+
+class TestTreeUtilities:
+    def test_walk_and_references(self):
+        expr = BooleanOp(
+            "and",
+            Comparison(">", ColumnRef("price"), Literal(5)),
+            FunctionCall("samePerson", (ColumnRef("a.image"), ColumnRef("b.image"))),
+        )
+        names = {type(node).__name__ for node in walk(expr)}
+        assert {"BooleanOp", "Comparison", "ColumnRef", "Literal", "FunctionCall"} <= names
+        assert expr.references() == {"price", "a.image", "b.image"}
+
+    def test_find_calls_filters_by_name(self):
+        expr = BooleanOp(
+            "and",
+            FunctionCall("f", (Literal(1),)),
+            FunctionCall("g", (FunctionCall("f", (Literal(2),)),)),
+        )
+        assert len(find_calls(expr)) == 3
+        assert len(find_calls(expr, "f")) == 2

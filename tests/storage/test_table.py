@@ -1,0 +1,75 @@
+"""Unit tests for heap tables, indexes and results-table polling."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage import DataType, Row, Schema, Table
+
+
+@pytest.fixture
+def table():
+    schema = Schema.of(("name", DataType.STRING), ("employees", DataType.INTEGER))
+    return Table("companies", schema)
+
+
+class TestInsertAndScan:
+    def test_insert_sequence_mapping_and_row(self, table):
+        table.insert(["Acme", 10])
+        table.insert({"name": "Globex", "employees": 20})
+        table.insert(Row(table.schema, ["Initech", 30]))
+        assert len(table) == 3
+        assert [row["name"] for row in table.scan()] == ["Acme", "Globex", "Initech"]
+
+    def test_insert_many_returns_ids(self, table):
+        ids = table.insert_many([["A", 1], ["B", 2]])
+        assert ids == [0, 1]
+
+    def test_empty_table_name_rejected(self):
+        with pytest.raises(StorageError):
+            Table("", Schema.of("a"))
+
+    def test_truncate_keeps_counting_row_ids(self, table):
+        table.insert(["A", 1])
+        table.truncate()
+        assert len(table) == 0
+        new_id = table.insert(["B", 2])
+        assert new_id == 1
+
+
+class TestPolling:
+    def test_rows_since_returns_only_new_rows(self, table):
+        table.insert(["A", 1])
+        first_seen = table.last_row_id()
+        table.insert(["B", 2])
+        table.insert(["C", 3])
+        new = table.rows_since(first_seen)
+        assert [row["name"] for _, row in new] == ["B", "C"]
+
+    def test_rows_since_minus_one_returns_everything(self, table):
+        table.insert(["A", 1])
+        assert len(table.rows_since(-1)) == 1
+
+    def test_last_row_id_empty(self, table):
+        assert table.last_row_id() == -1
+
+
+class TestIndexes:
+    def test_lookup_without_index_scans(self, table):
+        table.insert_many([["A", 1], ["B", 2], ["A", 3]])
+        assert len(table.lookup("name", "A")) == 2
+
+    def test_index_built_and_maintained(self, table):
+        table.insert_many([["A", 1], ["B", 2]])
+        table.create_index("name")
+        table.insert(["A", 3])
+        assert {row["employees"] for row in table.lookup("name", "A")} == {1, 3}
+        assert "name" in table.indexed_columns
+
+    def test_index_on_unknown_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.create_index("bogus")
+
+    def test_select_with_python_predicate(self, table):
+        table.insert_many([["A", 1], ["B", 20]])
+        big = table.select(lambda row: row["employees"] > 10)
+        assert [row["name"] for row in big] == ["B"]
