@@ -1,0 +1,93 @@
+"""Run every benchmark experiment and write a ``BENCH_*.json`` summary.
+
+The ``bench_e*.py`` modules are pytest files, but each one keeps its workload
+in plain ``run_*`` functions; this driver imports those functions directly,
+times them, and writes the collected metric rows to ``BENCH_SUMMARY.json`` at
+the repository root so the performance trajectory of the engine is recorded
+per change, not just eyeballed from pytest output.
+
+Usage::
+
+    python benchmarks/run_all.py            # all benchmarks
+    python benchmarks/run_all.py e8 e11     # only the named experiments
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(BENCH_DIR))
+
+
+def discover(selectors: list[str]) -> list[Path]:
+    modules = sorted(BENCH_DIR.glob("bench_*.py"))
+    if not selectors:
+        return modules
+    wanted = []
+    for module in modules:
+        tag = module.stem.split("_")[1]  # bench_e8_batching -> e8
+        if tag in selectors or module.stem in selectors:
+            wanted.append(module)
+    return wanted
+
+
+def run_module(path: Path) -> dict:
+    module = importlib.import_module(path.stem)
+    runners = {
+        name: fn
+        for name, fn in vars(module).items()
+        if name.startswith("run_") and callable(fn)
+    }
+    entry: dict = {"status": "ok", "experiments": {}}
+    for name, fn in sorted(runners.items()):
+        started = time.perf_counter()
+        try:
+            result = fn()
+        except Exception as error:  # keep the sweep going; record the failure
+            entry["status"] = "error"
+            entry["experiments"][name] = {"error": f"{type(error).__name__}: {error}"}
+            continue
+        entry["experiments"][name] = {
+            "wall_seconds": round(time.perf_counter() - started, 3),
+            "results": result,
+        }
+    if not runners:
+        entry["status"] = "skipped"
+        entry["reason"] = "no run_* functions found"
+    return entry
+
+
+def main(argv: list[str]) -> int:
+    modules = discover(argv)
+    if not modules:
+        print(f"no benchmarks match {argv!r}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    summary = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "benchmarks": {},
+    }
+    failures = 0
+    for path in modules:
+        print(f"running {path.stem} ...", flush=True)
+        entry = run_module(path)
+        summary["benchmarks"][path.stem] = entry
+        if entry["status"] == "error":
+            failures += 1
+    summary["total_wall_seconds"] = round(time.perf_counter() - started, 3)
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, default=str) + "\n")
+    print(f"wrote {SUMMARY_PATH} ({len(modules)} benchmark module(s), {failures} failure(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -33,6 +33,7 @@ from repro.core.answers import (
 )
 from repro.core.exec.context import QueryConfig
 from repro.core.exec.handle import QueryHandle, QueryStatus
+from repro.core.exec.scheduler import EngineScheduler, SchedulerEvent
 from repro.core.lang.sql_parser import parse_select
 from repro.core.lang.task_parser import parse_task, parse_tasks
 from repro.core.tasks.spec import (
@@ -56,6 +57,8 @@ __all__ = [
     "QueryHandle",
     "QueryStatus",
     "QueryConfig",
+    "EngineScheduler",
+    "SchedulerEvent",
     "QurkError",
     "TaskSpec",
     "TaskType",

@@ -1,14 +1,19 @@
-"""Asynchronous query execution: context, executor and query handles."""
+"""Asynchronous query execution: context, executor, scheduler and handles."""
 
 from repro.core.exec.context import ExecutionContext, QueryConfig
 from repro.core.exec.executor import ExecutorMetrics, QueryExecutor
-from repro.core.exec.handle import QueryHandle, QueryStatus
+from repro.core.exec.handle import TERMINAL_STATUSES, QueryHandle, QueryStatus
+from repro.core.exec.scheduler import EngineScheduler, SchedulerEvent, SchedulerMetrics
 
 __all__ = [
     "ExecutionContext",
     "QueryConfig",
     "QueryExecutor",
     "ExecutorMetrics",
+    "EngineScheduler",
+    "SchedulerEvent",
+    "SchedulerMetrics",
     "QueryHandle",
     "QueryStatus",
+    "TERMINAL_STATUSES",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -33,6 +34,16 @@ class QueryConfig:
     adaptive: bool = True
     use_cache: bool = True
     use_task_model: bool = True
+
+    def clone(self, **overrides) -> "QueryConfig":
+        """A copy of this config with ``overrides`` applied.
+
+        The engine clones its default config (and any caller-supplied config)
+        for every query, so per-query mutations — e.g. resolving the effective
+        budget — never leak into other queries, and new fields are carried
+        over automatically instead of being hand-copied.
+        """
+        return dataclasses.replace(self, **overrides)
 
 
 @dataclass

@@ -1,10 +1,20 @@
 """The Query Executor (Figure 1).
 
-The executor drives a tree of asynchronous operators: it repeatedly steps
-every operator, lets the Task Manager batch and post HITs, and — when no
-local progress is possible — advances the simulated clock so outstanding HITs
-complete.  Results flow into the results table via the plan's sink operator;
-the executor itself never returns rows.
+The executor is a *pure per-query stepper* over a tree of asynchronous
+operators: :meth:`QueryExecutor.step_local` steps every operator, propagates
+end-of-input signals, and lets the Task Manager fold the query's new tasks
+into (possibly cross-query) HIT batches.  It never advances the simulated
+clock — under the engine, that decision belongs to the
+:class:`~repro.core.exec.scheduler.EngineScheduler`, which advances time
+exactly once, globally, when *no* active query can make local progress.
+
+For standalone use (unit tests, programmatic plans with no engine attached),
+:meth:`QueryExecutor.step` and :meth:`QueryExecutor.run` bundle the old
+self-driving loop: local stepping plus forced flushes plus clock advances for
+a single query that has the marketplace to itself.
+
+Results flow into the results table via the plan's sink operator; the
+executor itself never returns rows.
 """
 
 from __future__ import annotations
@@ -79,13 +89,15 @@ class QueryExecutor:
         """Whether the plan has produced every result it ever will."""
         return self.root.is_done()
 
-    def step(self) -> bool:
-        """Run one executor pass.  Returns True when any progress was made.
+    def step_local(self, *, flush: bool = True, raise_on_budget: bool = True) -> bool:
+        """One pure local pass: step operators, propagate finishes, flush.
 
-        A pass steps every operator, propagates end-of-input signals, and
-        flushes full task batches.  When nothing moved locally, it forces a
-        flush of partial batches and, failing that, advances the simulated
-        clock to the next crowd event.
+        Returns True when any local progress was made.  Never touches the
+        clock — the engine scheduler (or the standalone :meth:`step` wrapper)
+        decides when simulated time may advance.  The scheduler passes
+        ``flush=False`` so all concurrent queries deposit their tasks before
+        one shared flush builds cross-query HITs, and ``raise_on_budget=False``
+        so budget exhaustion is routed per-query instead of raised here.
         """
         self.open()
         if self.is_complete():
@@ -96,11 +108,29 @@ class QueryExecutor:
                 progress = True
         if self._propagate_finishes():
             progress = True
-        if self.context.task_manager.flush(force=False) > 0:
+        if flush and self.context.task_manager.flush(
+            force=False, raise_on_budget=raise_on_budget
+        ) > 0:
             progress = True
         if progress:
             self.metrics.passes += 1
+        return progress
+
+    def step(self) -> bool:
+        """Run one standalone executor pass.  Returns True on any progress.
+
+        A pass steps every operator, propagates end-of-input signals, and
+        flushes full task batches.  When nothing moved locally, it forces a
+        flush of partial batches and, failing that, advances the simulated
+        clock to the next crowd event.  This self-driving loop is the
+        standalone mode — engine-created queries are driven by the
+        :class:`~repro.core.exec.scheduler.EngineScheduler` instead, which
+        shares both the flush and the clock advance across all active queries.
+        """
+        if self.step_local():
             return True
+        if self.is_complete():
+            return False
         if self.context.task_manager.flush(force=True) > 0:
             self.metrics.passes += 1
             return True

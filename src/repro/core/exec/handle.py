@@ -6,19 +6,31 @@ result set; they run asynchronously and append tuples to a results table that
 the executor, the results table and the per-query statistics, offering both
 the polling pattern and a convenience :meth:`wait` that drives the simulation
 to completion.
+
+Handles created through :class:`~repro.engine.QurkEngine` are registered with
+the engine's :class:`~repro.core.exec.scheduler.EngineScheduler`, so
+:meth:`step`, :meth:`run_until` and :meth:`wait` delegate to the shared
+scheduler: waiting on one handle also progresses every concurrent query on
+the same marketplace, and HITs may be shared across queries.  A handle built
+directly around a standalone executor (no scheduler) falls back to driving
+its own executor, which owns the clock for the single-query case.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import TYPE_CHECKING
 
 from repro.core.exec.executor import QueryExecutor
 from repro.core.optimizer.statistics import QueryStats
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, QueryStalledError
 from repro.storage.row import Row
 from repro.storage.table import Table
 
-__all__ = ["QueryStatus", "QueryHandle"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle: scheduler imports handle
+    from repro.core.exec.scheduler import EngineScheduler
+
+__all__ = ["QueryStatus", "TERMINAL_STATUSES", "QueryHandle"]
 
 
 class QueryStatus(enum.Enum):
@@ -28,17 +40,38 @@ class QueryStatus(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     BUDGET_EXCEEDED = "budget_exceeded"
+    STALLED = "stalled"
     FAILED = "failed"
+
+
+#: Statuses a query can never leave.
+TERMINAL_STATUSES = frozenset(
+    {
+        QueryStatus.COMPLETED,
+        QueryStatus.BUDGET_EXCEEDED,
+        QueryStatus.STALLED,
+        QueryStatus.FAILED,
+    }
+)
 
 
 class QueryHandle:
     """A running (or finished) Qurk query."""
 
-    def __init__(self, query_id: str, sql: str, executor: QueryExecutor, results_table: Table):
+    def __init__(
+        self,
+        query_id: str,
+        sql: str,
+        executor: QueryExecutor,
+        results_table: Table,
+        *,
+        scheduler: "EngineScheduler | None" = None,
+    ):
         self.query_id = query_id
         self.sql = sql
         self.executor = executor
         self.results_table = results_table
+        self.scheduler = scheduler
         self.status = QueryStatus.PENDING
         self.error: Exception | None = None
         self._poll_watermark = results_table.last_row_id()
@@ -62,9 +95,17 @@ class QueryHandle:
     # -- driving execution -----------------------------------------------------------------
 
     def step(self) -> bool:
-        """Advance the query a little (used by the dashboard's live view)."""
-        if self.status in (QueryStatus.COMPLETED, QueryStatus.BUDGET_EXCEEDED, QueryStatus.FAILED):
+        """Advance execution a little (used by the dashboard's live view).
+
+        Under a scheduler this runs one *global* scheduling pass — every
+        active query gets a slice, shared batches are flushed, and the clock
+        advances only if nobody moved.  Standalone handles step their own
+        executor.
+        """
+        if self.is_terminal:
             return False
+        if self.scheduler is not None:
+            return self.scheduler.step()
         self.status = QueryStatus.RUNNING
         try:
             progress = self.executor.step()
@@ -83,25 +124,34 @@ class QueryHandle:
 
     def run_until(self, simulated_time: float) -> None:
         """Run the query until the simulated clock reaches ``simulated_time``."""
-        while self.status not in (
-            QueryStatus.COMPLETED,
-            QueryStatus.BUDGET_EXCEEDED,
-            QueryStatus.FAILED,
-        ):
+        if self.scheduler is not None:
+            self.scheduler.run_until(simulated_time, watch=self)
+            return
+        while not self.is_terminal:
             if self.executor.context.clock.now >= simulated_time:
                 return
             if not self.step():
                 return
 
     def wait(self) -> list[Row]:
-        """Drive the query to completion and return every result row."""
-        while self.status not in (
-            QueryStatus.COMPLETED,
-            QueryStatus.BUDGET_EXCEEDED,
-            QueryStatus.FAILED,
-        ):
+        """Drive the query to completion and return every result row.
+
+        Raises :class:`~repro.errors.QueryStalledError` (and sets
+        ``status = STALLED``) if execution stops making progress before the
+        plan completes, rather than silently returning partial results.
+        """
+        if self.scheduler is not None:
+            return self.scheduler.wait(self)
+        while not self.is_terminal:
             if not self.step():
                 break
+        if self.status in (QueryStatus.RUNNING, QueryStatus.PENDING):
+            self.status = QueryStatus.STALLED
+            self.error = QueryStalledError(
+                f"query {self.query_id} stalled after emitting "
+                f"{len(self.results_table)} row(s): no further progress is possible"
+            )
+            raise self.error
         return self.results()
 
     # -- introspection -----------------------------------------------------------------------
@@ -110,6 +160,11 @@ class QueryHandle:
     def is_complete(self) -> bool:
         """Whether the query has produced all results it ever will."""
         return self.status is QueryStatus.COMPLETED
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the query has reached a state it can never leave."""
+        return self.status in TERMINAL_STATUSES
 
     @property
     def stats(self) -> QueryStats:

@@ -1,0 +1,325 @@
+"""The engine-level multi-query scheduler.
+
+The paper's Task Manager "maintains a global queue of tasks that have been
+enqueued by all operators" — which only pays off if the engine actually runs
+its queries *together*.  :class:`EngineScheduler` owns the run loop for every
+active query on one simulated marketplace:
+
+* **Admission control** — at most ``max_concurrent_queries`` queries run at a
+  time; later submissions wait in a FIFO pending-admission queue and are
+  admitted as running queries reach a terminal state.
+* **Priority-weighted round-robin stepping** — each global pass gives every
+  admitted query local steps in proportion to its priority (a deficit
+  counter accrues ``priority`` credits per pass and spends one per step;
+  the default priority of 1.0 degenerates to plain round-robin).
+* **Cross-query HIT batching** — queries deposit tasks during their local
+  steps *without* flushing; the scheduler then runs one shared Task Manager
+  flush per pass, so tasks from several queries land in the same HIT.
+* **A single clock-advance decision** — simulated time moves only when no
+  admitted query can make local progress and no partial batch can be
+  force-flushed.  Individual executors never touch the clock.
+* **Per-query lifecycle** — submission, admission, start, completion, budget
+  exhaustion and failure are recorded as :class:`SchedulerEvent`\\ s, which
+  the dashboard surfaces, and budget failures raised inside shared flushes
+  are routed back to the owning query instead of whichever handle happened
+  to be stepping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.exec.handle import QueryHandle, QueryStatus
+from repro.core.tasks.task_manager import TaskManager
+from repro.crowd.clock import SimulationClock
+from repro.errors import BudgetExceededError, ExecutionError, QueryStalledError
+from repro.storage.row import Row
+
+__all__ = ["SchedulerEvent", "SchedulerMetrics", "EngineScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """One point in a query's lifecycle, stamped with simulated time."""
+
+    time: float
+    query_id: str
+    event: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.event}@{self.time:,.0f}s"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+@dataclass
+class SchedulerMetrics:
+    """Aggregate counters for the shared run loop."""
+
+    passes: int = 0
+    clock_advances: int = 0
+    queries_admitted: int = 0
+    queries_finished: int = 0
+
+
+@dataclass
+class _ScheduledQuery:
+    """Bookkeeping for one admitted query."""
+
+    handle: QueryHandle
+    priority: float = 1.0
+    credit: float = 0.0
+    started: bool = False
+
+
+class EngineScheduler:
+    """Shared run loop for every query on one simulated marketplace."""
+
+    def __init__(
+        self,
+        clock: SimulationClock,
+        task_manager: TaskManager,
+        *,
+        max_concurrent_queries: int | None = None,
+    ) -> None:
+        if max_concurrent_queries is not None and max_concurrent_queries < 1:
+            raise ExecutionError("max_concurrent_queries must be >= 1 (or None for unlimited)")
+        self.clock = clock
+        self.task_manager = task_manager
+        self.max_concurrent_queries = max_concurrent_queries
+        self.metrics = SchedulerMetrics()
+        self.events: list[SchedulerEvent] = []
+        self._events_by_query: dict[str, list[SchedulerEvent]] = {}
+        self._active: dict[str, _ScheduledQuery] = {}
+        self._waiting: deque[_ScheduledQuery] = deque()
+
+    # -- submission and admission ---------------------------------------------------------
+
+    def submit(self, handle: QueryHandle, *, priority: float = 1.0) -> QueryHandle:
+        """Register a query with the shared run loop.
+
+        The query is admitted immediately if a concurrency slot is free,
+        otherwise it joins the pending-admission queue (status ``PENDING``)
+        and is admitted when a running query finishes.
+        """
+        if priority <= 0:
+            raise ExecutionError(f"query priority must be positive, got {priority}")
+        record = _ScheduledQuery(handle=handle, priority=priority)
+        handle.scheduler = self
+        self._record_event(handle.query_id, "submitted", f"priority {priority:g}")
+        self._waiting.append(record)
+        self._admit()
+        return handle
+
+    def _admit(self) -> None:
+        while self._waiting and (
+            self.max_concurrent_queries is None
+            or len(self._active) < self.max_concurrent_queries
+        ):
+            record = self._waiting.popleft()
+            if record.handle.is_terminal:
+                continue
+            self._active[record.handle.query_id] = record
+            self.metrics.queries_admitted += 1
+            self._record_event(record.handle.query_id, "admitted")
+
+    # -- introspection --------------------------------------------------------------------
+
+    def active_queries(self) -> list[str]:
+        """Ids of admitted, not-yet-terminal queries, in admission order."""
+        return list(self._active)
+
+    def queued_queries(self) -> list[str]:
+        """Ids of queries waiting for an admission slot, in arrival order."""
+        return [record.handle.query_id for record in self._waiting]
+
+    def state_of(self, query_id: str) -> str:
+        """One of ``active``, ``queued`` or ``finished`` (by this scheduler)."""
+        if query_id in self._active:
+            return "active"
+        if any(record.handle.query_id == query_id for record in self._waiting):
+            return "queued"
+        return "finished"
+
+    def events_for(self, query_id: str) -> list[SchedulerEvent]:
+        """Lifecycle events recorded for one query, oldest first."""
+        return list(self._events_by_query.get(query_id, ()))
+
+    def _record_event(self, query_id: str, event: str, detail: str = "") -> None:
+        record = SchedulerEvent(self.clock.now, query_id, event, detail)
+        self.events.append(record)
+        self._events_by_query.setdefault(query_id, []).append(record)
+
+    # -- the shared run loop --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One global scheduling pass.  Returns True when anything progressed.
+
+        Order of business: give every admitted query its priority-weighted
+        share of local steps (operators only — no flush, no clock), run one
+        shared non-forced flush so full cross-query batches post, route any
+        budget failures to their owning queries, and only if *nothing* moved
+        anywhere force-flush partial batches and finally advance the shared
+        clock to the next crowd event.
+        """
+        self._admit()
+        if not self._active:
+            return False
+        self.metrics.passes += 1
+        progress = False
+
+        # Let every starved query accrue enough credit to step at least once.
+        while self._active and max(r.credit for r in self._active.values()) < 1.0:
+            for record in self._active.values():
+                record.credit += record.priority
+
+        for record in list(self._active.values()):
+            steps = int(record.credit)
+            record.credit -= steps
+            for _ in range(steps):
+                if not self._step_query(record):
+                    break
+                progress = True
+
+        if self._flush(force=False) > 0:
+            progress = True
+        if self._reap() > 0:
+            progress = True
+        if progress:
+            return True
+        if not self._active:
+            return False
+
+        # A forced flush (or clock advance) that posts nothing can still
+        # retire queries — e.g. by routing a budget failure — and that is
+        # progress too, so check the reap before falling through to a stall.
+        posted = self._flush(force=True)
+        if posted > 0 or self._reap() > 0:
+            return True
+        if self.clock.run_next():
+            self.metrics.clock_advances += 1
+            self._reap()
+            return True
+
+        if self.task_manager.has_outstanding_work():
+            raise ExecutionError(
+                "scheduler is stuck: tasks are outstanding but no crowd events are scheduled"
+            )
+        error = QueryStalledError(
+            "scheduler is stuck: no active query can make progress and no work is outstanding "
+            f"(active: {', '.join(self._active)})"
+        )
+        for record in list(self._active.values()):
+            if record.handle.is_terminal:
+                continue
+            record.handle.status = QueryStatus.STALLED
+            record.handle.error = error
+            self._record_event(record.handle.query_id, "stalled")
+        self._reap()
+        raise error
+
+    def _step_query(self, record: _ScheduledQuery) -> bool:
+        handle = record.handle
+        if handle.is_terminal:
+            return False
+        if not record.started:
+            record.started = True
+            handle.status = QueryStatus.RUNNING
+            self._record_event(handle.query_id, "started")
+        try:
+            moved = handle.executor.step_local(flush=False, raise_on_budget=False)
+        except BudgetExceededError as error:
+            self._fail_over_budget(handle, error)
+            return False
+        except Exception as error:
+            handle.status = QueryStatus.FAILED
+            handle.error = error
+            # Cancel what the dead query left in the shared queues so later
+            # flushes don't post (and bill) HITs nobody will consume.
+            self.task_manager.cancel_query(handle.query_id)
+            self._record_event(handle.query_id, "failed", type(error).__name__)
+            raise
+        if handle.executor.is_complete():
+            self._complete(handle)
+            return True
+        return moved
+
+    def _flush(self, *, force: bool) -> int:
+        posted = self.task_manager.flush(force=force, raise_on_budget=False)
+        self._route_budget_errors()
+        return posted
+
+    def _route_budget_errors(self) -> None:
+        for query_id, error in self.task_manager.take_budget_errors().items():
+            record = self._active.get(query_id)
+            if record is None or record.handle.is_terminal:
+                continue
+            self._fail_over_budget(record.handle, error)
+
+    def _fail_over_budget(self, handle: QueryHandle, error: BudgetExceededError) -> None:
+        handle.status = QueryStatus.BUDGET_EXCEEDED
+        handle.error = error
+        cancelled = self.task_manager.cancel_query(handle.query_id)
+        self._record_event(
+            handle.query_id, "budget_exceeded", f"{cancelled} pending task(s) cancelled"
+        )
+
+    def _complete(self, handle: QueryHandle) -> None:
+        handle.executor.close()
+        handle.status = QueryStatus.COMPLETED
+        # A plan can finish with speculative tasks still queued (e.g. a LIMIT
+        # satisfied early); drop them before a shared flush pays for them.
+        cancelled = self.task_manager.cancel_query(handle.query_id)
+        detail = f"{len(handle.results_table)} row(s)"
+        if cancelled:
+            detail += f", {cancelled} speculative task(s) cancelled"
+        self._record_event(handle.query_id, "completed", detail)
+
+    def _reap(self) -> int:
+        """Remove terminal queries from the active set and admit successors."""
+        finished = [query_id for query_id, r in self._active.items() if r.handle.is_terminal]
+        for query_id in finished:
+            del self._active[query_id]
+            self.metrics.queries_finished += 1
+        if finished:
+            self._admit()
+        return len(finished)
+
+    # -- driving to a target --------------------------------------------------------------
+
+    def run_until(self, simulated_time: float, *, watch: QueryHandle | None = None) -> None:
+        """Step until the clock reaches ``simulated_time`` (or work runs out).
+
+        When ``watch`` is given, also stop as soon as that query reaches a
+        terminal state — concurrent queries keep whatever progress they made
+        along the way and resume on the next call.
+        """
+        while self.clock.now < simulated_time:
+            if watch is not None and watch.is_terminal:
+                return
+            if not self.step():
+                return
+
+    def wait(self, handle: QueryHandle) -> list[Row]:
+        """Drive the run loop until ``handle`` finishes; return its rows.
+
+        Every scheduling pass also progresses the other active queries, so
+        waiting on one handle naturally advances the whole marketplace.
+        Budget exhaustion surfaces as ``status = BUDGET_EXCEEDED`` with
+        partial results; a stall raises
+        :class:`~repro.errors.QueryStalledError` instead of silently
+        returning an incomplete result set.
+        """
+        while not handle.is_terminal:
+            if not self.step():
+                break
+        if not handle.is_terminal:
+            handle.status = QueryStatus.STALLED
+            handle.error = QueryStalledError(
+                f"query {handle.query_id} stalled after emitting "
+                f"{len(handle.results_table)} row(s): the scheduler ran out of work"
+            )
+            self._record_event(handle.query_id, "stalled")
+            raise handle.error
+        return handle.results()

@@ -11,7 +11,7 @@ dashboard consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with the task layer
     from repro.core.tasks.task import TaskResult
@@ -178,12 +178,19 @@ class StatisticsManager:
             spec_stats.boolean_total += 1
             spec_stats.boolean_true += int(result.reduced)
 
-    def record_hit_posted(self, spec_name: str, query_id: str, cost: float) -> None:
-        """Record that a HIT was posted (cost is committed at posting time)."""
+    def record_hit_posted(self, spec_name: str, query_ids: "str | Iterable[str]") -> None:
+        """Record that a HIT was posted (spend is attributed via results).
+
+        ``query_ids`` is one query id or an iterable of them — a HIT built by
+        cross-query batching counts once for the spec but once *per
+        participating query* in each query's own view.
+        """
         self.spec(spec_name).hits_posted += 1
-        if query_id:
-            stats = self.query(query_id)
-            stats.hits_posted += 1
+        if isinstance(query_ids, str):
+            query_ids = (query_ids,) if query_ids else ()
+        for query_id in query_ids:
+            if query_id:
+                self.query(query_id).hits_posted += 1
 
     def record_task_submitted(self, query_id: str) -> None:
         """Record that an operator handed a task to the Task Manager."""

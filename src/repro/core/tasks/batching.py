@@ -6,6 +6,13 @@ single HIT.  The task manager can feed batches of tuples to a single operator
 many pending tasks of one group to put into each HIT and when a partially
 filled batch should be flushed anyway (so the tail of a workload is not stuck
 waiting for peers that will never arrive).
+
+Groups are keyed by (task spec, kind) *across* queries: under the engine
+scheduler, concurrent queries over the same crowd UDF feed one shared queue,
+so a policy's batches — and the HITs they become — may mix tasks from several
+queries.  Forced flushes happen only when no active query can make local
+progress, which gives concurrent workloads the longest window to fill
+batches before partial HITs are posted.
 """
 
 from __future__ import annotations

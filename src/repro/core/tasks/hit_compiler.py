@@ -46,6 +46,19 @@ class CompiledHIT:
     #: JOIN_BLOCK only: item id -> ("left"|"right", index into the block lists).
     block_positions: dict[str, tuple[str, int]] = field(default_factory=dict)
 
+    def query_ids(self) -> tuple[str, ...]:
+        """Distinct query ids contributing tasks, in first-contribution order.
+
+        A HIT compiled under cross-query batching may carry tasks from
+        several concurrent queries; answer extraction and cost attribution
+        both route through each task's own ``query_id``.
+        """
+        seen: dict[str, None] = {}
+        for task in self.tasks:
+            if task.query_id:
+                seen.setdefault(task.query_id, None)
+        return tuple(seen)
+
     def extract_answers(self, assignment: Assignment) -> dict[str, Any]:
         """Return ``{task id: this worker's answer}`` for one assignment.
 

@@ -8,19 +8,29 @@ As an optimization, the manager can batch several tasks into a single HIT."
 
 Responsibilities implemented here:
 
-* a global pending queue, grouped by (query, task spec, kind);
+* a global pending queue, grouped by (task spec, kind) **across queries** —
+  one posted HIT may carry tasks enqueued by several concurrent queries,
+  which is what makes the engine-level scheduler's cross-query batching pay
+  off (fewer, fuller HITs under concurrent load);
 * answer short-circuiting through the Task Cache and the learned Task Model;
 * batching pending tasks into HITs via per-group batching policies;
-* budget authorisation before any HIT is posted;
+* per-query budget authorisation before any HIT is posted: a shared HIT's
+  cost is split across the participating queries in proportion to the tasks
+  each contributed, and a query that cannot afford its share is dropped from
+  the batch (and reported via :meth:`TaskManager.take_budget_errors`) without
+  blocking the other queries;
 * collecting submitted assignments, reducing answer lists with the spec's
   combiner, updating the Statistics Manager / Task Model / Task Cache, and
-  delivering :class:`~repro.core.tasks.task.TaskResult` to operator callbacks.
+  delivering :class:`~repro.core.tasks.task.TaskResult` to operator callbacks
+  — results route back to the submitting operator (and its query's
+  statistics) via each task's ``query_id``, so attribution stays per-query
+  even inside shared HITs.
 """
 
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.answers import AnswerList, get_aggregate
 from repro.core.optimizer.budget import BudgetLedger
@@ -33,11 +43,11 @@ from repro.core.tasks.task_cache import TaskCache
 from repro.core.tasks.task_model import LearnedTaskModel, TaskModelRegistry
 from repro.crowd.hit import HIT, Assignment
 from repro.crowd.mturk import MTurkSimulator
-from repro.errors import TaskError
+from repro.errors import BudgetExceededError, TaskError
 
 __all__ = ["TaskManagerStats", "TaskManager"]
 
-GroupKey = tuple[str, str, str]  # (query_id, spec name, kind)
+GroupKey = tuple[str, str]  # (spec name, kind) — shared across queries
 
 
 @dataclass
@@ -49,7 +59,10 @@ class TaskManagerStats:
     cache_answers: int = 0
     model_answers: int = 0
     hits_posted: int = 0
+    #: HITs whose task batch mixed two or more queries (cross-query batching).
+    cross_query_hits: int = 0
     hit_dollars_committed: float = 0.0
+    tasks_dropped_over_budget: int = 0
 
 
 @dataclass
@@ -88,6 +101,7 @@ class TaskManager:
         self._policies: dict[tuple[str, str], BatchingPolicy] = {}
         self._inflight: dict[str, _InflightHIT] = {}
         self._submitted_at: dict[str, float] = {}
+        self._budget_errors: dict[str, BudgetExceededError] = {}
         platform.on_assignment_submitted(self._on_assignment_submitted)
 
     # -- configuration -------------------------------------------------------------
@@ -151,16 +165,26 @@ class TaskManager:
                 )
                 return
 
-        key: GroupKey = (task.query_id, task.spec.name, task.kind.value)
+        key: GroupKey = (task.spec.name, task.kind.value)
         self._pending.setdefault(key, deque()).append(task)
 
     # -- flushing pending tasks into HITs ----------------------------------------------
 
-    def flush(self, *, force: bool = False) -> int:
+    def flush(self, *, force: bool = False, raise_on_budget: bool = True) -> int:
         """Turn pending tasks into HITs.  Returns the number of HITs posted.
 
-        ``force`` flushes partially filled batches; the executor forces a
-        flush once an operator signals it has no more input coming.
+        ``force`` flushes partially filled batches; the driver (the engine
+        scheduler, or a standalone executor) forces a flush once no query can
+        make local progress.
+
+        ``raise_on_budget`` controls how a failed budget authorisation
+        surfaces: when True (the legacy/standalone behaviour) a batch whose
+        tasks all belong to one query raises :class:`BudgetExceededError`;
+        when False every failure is recorded per-query and retrievable via
+        :meth:`take_budget_errors`, so one exhausted query never aborts a
+        flush serving its neighbours.  Batches mixing several queries never
+        raise — the unaffordable query's tasks are dropped and the HIT is
+        posted for the remaining queries.
         """
         posted = 0
         for key in list(self._pending):
@@ -173,52 +197,95 @@ class TaskManager:
             while queue and policy.should_flush(len(queue), force=force):
                 size = policy.batch_size(len(queue))
                 batch = [queue.popleft() for _ in range(min(size, len(queue)))]
-                self._post_batch(batch)
-                posted += 1
+                posted += self._post_batch(batch, raise_on_budget=raise_on_budget)
             if not queue:
                 del self._pending[key]
         return posted
 
-    def _post_batch(self, batch: list[Task]) -> None:
+    def _post_batch(self, batch: list[Task], *, raise_on_budget: bool = True) -> int:
         if not batch:
             raise TaskError("cannot post an empty batch")
-        first = batch[0]
-        if first.kind is TaskKind.JOIN_BLOCK:
+        if batch[0].kind is TaskKind.JOIN_BLOCK:
+            posted = 0
             for task in batch:
-                self._post_single_block(task)
-            return
-        compiled = self.compiler.compile(batch)
-        self._post_compiled(compiled, first)
+                posted += self._post_tasks([task], raise_on_budget=raise_on_budget)
+            return posted
+        return self._post_tasks(batch, raise_on_budget=raise_on_budget)
 
-    def _post_single_block(self, task: Task) -> None:
-        compiled = self.compiler.compile([task])
-        self._post_compiled(compiled, task)
+    def _cost_shares(self, tasks: list[Task]) -> tuple[float, float, float, dict[str, float]]:
+        """Reward, assignments, total cost and each query's share for a batch.
 
-    def _post_compiled(self, compiled: CompiledHIT, representative: Task) -> None:
-        reward = representative.price
-        assignments = representative.assignments
+        Every assignment answers the whole HIT, so the reward and redundancy
+        of the posted HIT are the maxima over the batch; the committed cost is
+        split across queries in proportion to each task's *own* intrinsic
+        cost (price x redundancy), not the batch maxima — a query batching
+        cheap low-redundancy tasks next to an expensive neighbour must not be
+        billed at the neighbour's rate.
+        """
+        reward = max(task.price for task in tasks)
+        assignments = max(task.assignments for task in tasks)
         cost = self.platform.pricing.assignment_cost(reward) * assignments
-        self.budget.authorize(
-            representative.query_id,
-            cost,
-            description=f"HIT for {representative.spec.name}",
-        )
+        weights: Counter = Counter()
+        for task in tasks:
+            weights[task.query_id] += task.price * task.assignments
+        total_weight = sum(weights.values())
+        shares = {qid: cost * weight / total_weight for qid, weight in weights.items()}
+        return reward, assignments, cost, shares
+
+    def _post_tasks(self, tasks: list[Task], *, raise_on_budget: bool) -> int:
+        """Authorise, compile and post one batch.  Returns HITs posted (0/1)."""
+        single_query_batch = len({task.query_id for task in tasks}) == 1
+        # Dropping an unaffordable query shifts its slice of the (fixed) HIT
+        # cost onto the survivors, so re-check affordability to a fixed point
+        # before authorising anything — authorize below must never raise.
+        while True:
+            reward, assignments, cost, shares = self._cost_shares(tasks)
+            unaffordable: set[str] = set()
+            for query_id in shares:
+                if not self.budget.would_exceed(query_id, shares[query_id]):
+                    continue
+                budget = self.budget.budget(query_id)
+                error = BudgetExceededError(
+                    f"query {query_id}: posting a {tasks[0].spec.name} HIT share of "
+                    f"${shares[query_id]:.2f} would exceed the ${budget.limit or 0.0:.2f} "
+                    f"budget (already committed ${budget.committed:.2f})",
+                    spent=budget.committed,
+                    budget=budget.limit or 0.0,
+                    query_id=query_id,
+                )
+                if raise_on_budget and single_query_batch:
+                    raise error
+                unaffordable.add(query_id)
+                self._budget_errors[query_id] = error
+            if not unaffordable:
+                break
+            self.stats.tasks_dropped_over_budget += sum(
+                1 for task in tasks if task.query_id in unaffordable
+            )
+            tasks = [task for task in tasks if task.query_id not in unaffordable]
+            if not tasks:
+                return 0
+        spec_name = tasks[0].spec.name
+        for query_id in shares:
+            self.budget.authorize(query_id, shares[query_id], description=f"HIT for {spec_name}")
+        compiled = self.compiler.compile(tasks)
         hit = self.platform.create_hit(
             compiled.content,
             reward=reward,
             max_assignments=assignments,
-            requester_annotation=representative.spec.name,
+            requester_annotation=spec_name,
         )
         self.stats.hits_posted += 1
+        if len(shares) > 1:
+            self.stats.cross_query_hits += 1
         self.stats.hit_dollars_committed += cost
-        self.statistics.record_hit_posted(
-            representative.spec.name, representative.query_id, cost
-        )
+        self.statistics.record_hit_posted(spec_name, compiled.query_ids())
         self._inflight[hit.hit_id] = _InflightHIT(
             compiled=compiled,
             posted_at=self.platform.clock.now,
             cost_committed=cost,
         )
+        return 1
 
     # -- completion handling ---------------------------------------------------------
 
@@ -244,10 +311,13 @@ class TaskManager:
                 per_task_workers[task_id].append(assignment.worker_id)
 
         actual_cost = self.platform.pricing.assignment_cost(hit.reward) * len(submissions)
-        cost_per_task = actual_cost / max(len(compiled.tasks), 1)
+        # Attribute actual spend the same way commitments were authorised:
+        # in proportion to each task's intrinsic cost (price x redundancy).
+        total_weight = sum(task.price * task.assignments for task in compiled.tasks) or 1.0
         now = self.platform.clock.now
 
         for task in compiled.tasks:
+            cost_per_task = actual_cost * task.price * task.assignments / total_weight
             answers = AnswerList.of(per_task_answers[task.task_id], per_task_workers[task.task_id])
             if len(answers) == 0:
                 # Every worker skipped this item; treat as an unanswered task.
@@ -299,11 +369,15 @@ class TaskManager:
         self.statistics.record_result(result)
         result.task.callback(result)
 
-    # -- executor integration ------------------------------------------------------------
+    # -- scheduler / executor integration -----------------------------------------------
 
-    def pending_tasks(self) -> int:
-        """Tasks queued but not yet posted in a HIT."""
-        return sum(len(queue) for queue in self._pending.values())
+    def pending_tasks(self, query_id: str | None = None) -> int:
+        """Tasks queued but not yet posted in a HIT (optionally one query's)."""
+        if query_id is None:
+            return sum(len(queue) for queue in self._pending.values())
+        return sum(
+            1 for queue in self._pending.values() for task in queue if task.query_id == query_id
+        )
 
     def inflight_hits(self) -> int:
         """HITs posted and awaiting full submission."""
@@ -312,3 +386,32 @@ class TaskManager:
     def has_outstanding_work(self) -> bool:
         """Whether any task is still queued or any HIT is still in flight."""
         return self.pending_tasks() > 0 or self.inflight_hits() > 0
+
+    def take_budget_errors(self) -> dict[str, BudgetExceededError]:
+        """Drain budget failures recorded since the last call, keyed by query.
+
+        The engine scheduler polls this after every flush so an exhausted
+        query can be transitioned to ``BUDGET_EXCEEDED`` (and its remaining
+        pending tasks cancelled) without interrupting concurrent queries that
+        may share HITs with it.
+        """
+        errors, self._budget_errors = self._budget_errors, {}
+        return errors
+
+    def cancel_query(self, query_id: str) -> int:
+        """Drop a finished/failed query's still-pending tasks.
+
+        Returns the number of tasks removed.  HITs already in flight are left
+        alone — their cost is committed and their answers still feed the Task
+        Cache and statistics, plus any co-batched queries.
+        """
+        removed = 0
+        for key in list(self._pending):
+            queue = self._pending[key]
+            kept = deque(task for task in queue if task.query_id != query_id)
+            removed += len(queue) - len(kept)
+            if kept:
+                self._pending[key] = kept
+            else:
+                del self._pending[key]
+        return removed

@@ -48,6 +48,14 @@ class QueryDashboard:
         budget = self.engine.budget_ledger.budget(handle.query_id)
         model_savings = self.engine.task_models.total_savings()
         operators = tuple(self._operator_snapshots(handle))
+        scheduler = getattr(self.engine, "scheduler", None)
+        scheduler_state = ""
+        lifecycle: tuple[str, ...] = ()
+        if scheduler is not None:
+            scheduler_state = scheduler.state_of(handle.query_id)
+            lifecycle = tuple(
+                event.describe() for event in scheduler.events_for(handle.query_id)
+            )
         return QueryDashboardSnapshot(
             query_id=handle.query_id,
             sql=handle.sql,
@@ -70,6 +78,8 @@ class QueryDashboard:
             elapsed_seconds=self.engine.clock.now - stats.started_at,
             estimated_latency=estimate.latency_seconds,
             operators=operators,
+            scheduler_state=scheduler_state,
+            lifecycle=lifecycle,
         )
 
     def _operator_snapshots(self, handle: QueryHandle) -> list[OperatorSnapshot]:
@@ -132,6 +142,9 @@ class QueryDashboard:
             f"savings — cache: ${snapshot.cache_savings:,.2f} ({snapshot.cache_hits} hits)"
             f" | classifier: ${snapshot.model_savings:,.2f} ({snapshot.model_answers} answers)"
         )
+        if snapshot.scheduler_state:
+            lifecycle = " -> ".join(snapshot.lifecycle) or "<no events>"
+            lines.append(f"scheduler: {snapshot.scheduler_state} | {lifecycle}")
         lines.append("plan:")
         for operator in snapshot.operators:
             indent = "  " * (operator.depth + 1)

@@ -58,6 +58,10 @@ class QueryDashboardSnapshot:
     estimated_latency: float
     # Plan progress
     operators: tuple[OperatorSnapshot, ...] = field(default_factory=tuple)
+    # Engine scheduler view: admission state ("active" / "queued" /
+    # "finished") and the query's lifecycle events ("submitted@0s", ...).
+    scheduler_state: str = ""
+    lifecycle: tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def budget_utilisation(self) -> float | None:

@@ -34,6 +34,7 @@ import itertools
 from repro.core.exec.context import ExecutionContext, QueryConfig
 from repro.core.exec.executor import QueryExecutor
 from repro.core.exec.handle import QueryHandle
+from repro.core.exec.scheduler import EngineScheduler
 from repro.core.lang.ast import SelectStatement
 from repro.core.lang.sql_parser import parse_select
 from repro.core.lang.task_parser import parse_task
@@ -79,6 +80,10 @@ class QurkEngine:
     optimizer_config, default_query_config:
         Tuning knobs for the optimizer and for queries that do not override
         them.
+    max_concurrent_queries:
+        Admission-control limit for the engine scheduler: at most this many
+        queries run concurrently; later queries wait in a FIFO admission
+        queue.  ``None`` (the default) means unlimited.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class QurkEngine:
         enable_task_model: bool = True,
         optimizer_config: OptimizerConfig | None = None,
         default_query_config: QueryConfig | None = None,
+        max_concurrent_queries: int | None = None,
     ) -> None:
         self.database = Database()
         self.clock = SimulationClock()
@@ -112,6 +118,9 @@ class QurkEngine:
             cache=self.task_cache,
             models=self.task_models,
             compiler=self.hit_compiler,
+        )
+        self.scheduler = EngineScheduler(
+            self.clock, self.task_manager, max_concurrent_queries=max_concurrent_queries
         )
         self.cost_model = CostModel(pricing)
         self.optimizer = QueryOptimizer(self.statistics, self.cost_model, optimizer_config)
@@ -178,17 +187,19 @@ class QurkEngine:
         *,
         budget: float | None = None,
         config: QueryConfig | None = None,
+        priority: float = 1.0,
     ) -> QueryHandle:
-        """Parse, optimize and start a query; returns a pollable handle."""
+        """Parse, optimize and start a query; returns a pollable handle.
+
+        The query is registered with the engine scheduler, so driving any
+        handle (``step``/``run_until``/``wait``) progresses every concurrent
+        query on this marketplace; ``priority`` weights this query's share of
+        scheduler passes.
+        """
         statement = parse_select(sql) if isinstance(sql, str) else sql
-        query_config = config or QueryConfig(
-            budget=self.default_query_config.budget,
-            default_assignments=self.default_query_config.default_assignments,
-            target_confidence=self.default_query_config.target_confidence,
-            adaptive=self.default_query_config.adaptive,
-            use_cache=self.default_query_config.use_cache,
-            use_task_model=self.default_query_config.use_task_model,
-        )
+        # Clone so per-query budget resolution never mutates the caller's (or
+        # the engine's default) config, and new QueryConfig fields carry over.
+        query_config = (config or self.default_query_config).clone()
         effective_budget = budget if budget is not None else statement.budget
         if effective_budget is None:
             effective_budget = query_config.budget
@@ -212,6 +223,7 @@ class QurkEngine:
         raw_sql = statement.raw_sql or (sql if isinstance(sql, str) else "")
         handle = QueryHandle(query_id, raw_sql, executor, planned.root.results_table)
         self.queries[query_id] = handle
+        self.scheduler.submit(handle, priority=priority)
         return handle
 
     def run(self, sql: str | SelectStatement, **kwargs):

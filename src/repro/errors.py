@@ -21,6 +21,7 @@ __all__ = [
     "ExecutionError",
     "OperatorError",
     "BudgetExceededError",
+    "QueryStalledError",
     "CrowdError",
     "HITError",
     "AssignmentError",
@@ -103,12 +104,22 @@ class OperatorError(ExecutionError):
 
 
 class BudgetExceededError(ExecutionError):
-    """Posting further HITs would exceed the query's monetary budget."""
+    """Posting further HITs would exceed the query's monetary budget.
 
-    def __init__(self, message: str, spent: float, budget: float):
+    ``query_id`` identifies the offending query so a scheduler driving many
+    queries over one shared Task Manager can attribute the failure without
+    guessing which query triggered the flush.
+    """
+
+    def __init__(self, message: str, spent: float, budget: float, query_id: str = ""):
         super().__init__(message)
         self.spent = spent
         self.budget = budget
+        self.query_id = query_id
+
+
+class QueryStalledError(ExecutionError):
+    """A query stopped making progress before producing all of its results."""
 
 
 # ---------------------------------------------------------------------------

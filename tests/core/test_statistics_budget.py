@@ -89,7 +89,7 @@ class TestStatisticsManager:
 
     def test_result_emission_and_hit_posting_counters(self):
         stats = StatisticsManager()
-        stats.record_hit_posted("isRed", "q1", 0.05)
+        stats.record_hit_posted("isRed", "q1")
         stats.record_task_submitted("q1")
         stats.record_result_emitted("q1", 3)
         query = stats.query("q1")
