@@ -10,6 +10,7 @@ Usage::
 
     python benchmarks/run_all.py            # all benchmarks
     python benchmarks/run_all.py e8 e11     # only the named experiments
+    python benchmarks/run_all.py --quick    # CI smoke subset (plan layer + caching)
 """
 
 from __future__ import annotations
@@ -26,6 +27,11 @@ SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(BENCH_DIR))
+
+#: The ``--quick`` smoke subset: one cheap end-to-end caching experiment and
+#: the adaptive re-planning experiment, so plan-layer regressions surface in
+#: CI without paying for the full sweep.
+QUICK_SELECTORS = ("e2", "e12")
 
 
 def discover(selectors: list[str]) -> list[Path]:
@@ -47,7 +53,11 @@ def run_module(path: Path) -> dict:
         for name, fn in vars(module).items()
         if name.startswith("run_") and callable(fn)
     }
-    entry: dict = {"status": "ok", "experiments": {}}
+    entry: dict = {
+        "status": "ok",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "experiments": {},
+    }
     for name, fn in sorted(runners.items()):
         started = time.perf_counter()
         try:
@@ -67,14 +77,29 @@ def run_module(path: Path) -> dict:
 
 
 def main(argv: list[str]) -> int:
+    if "--quick" in argv:
+        argv = [arg for arg in argv if arg != "--quick"] + list(QUICK_SELECTORS)
     modules = discover(argv)
     if not modules:
         print(f"no benchmarks match {argv!r}", file=sys.stderr)
         return 2
     started = time.perf_counter()
+    # Subset runs merge into the existing summary instead of erasing the
+    # other benchmarks' recorded results — the summary tracks the whole
+    # suite's trajectory even when only a few experiments are re-run.
+    previous: dict = {}
+    if SUMMARY_PATH.exists():
+        try:
+            previous = json.loads(SUMMARY_PATH.read_text()).get("benchmarks", {})
+        except (json.JSONDecodeError, OSError):
+            previous = {}
+    # ``ran`` and the per-entry ``recorded_at`` stamps make clear which
+    # entries this invocation refreshed; ``total_wall_seconds`` covers only
+    # the modules run this time.
     summary = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "benchmarks": {},
+        "ran": [path.stem for path in modules],
+        "benchmarks": dict(previous),
     }
     failures = 0
     for path in modules:

@@ -19,7 +19,7 @@ executor itself never returns rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.exec.context import ExecutionContext
 from repro.core.operators.base import Operator
@@ -164,6 +164,49 @@ class QueryExecutor:
                 raise ExecutionError(f"query did not finish within {max_passes} executor passes")
         if self.is_complete():
             self.close()
+
+    # -- adaptive re-planning --------------------------------------------------------
+
+    def replace_operator(self, old: Operator, new: Operator) -> None:
+        """Swap a not-yet-started operator for ``new`` in the running plan.
+
+        Used by the adaptive replanner to change a pending operator's
+        strategy mid-query (e.g. a comparison sort for a rating sort).  The
+        replacement inherits the old operator's position, input queues and
+        end-of-input signals, and any input rows the old operator had merely
+        buffered (:meth:`Operator.consumed_input`) are replayed in front of
+        the queues, so no tuple is lost or reordered.  Refuses to replace an
+        operator that has already submitted crowd work or emitted rows —
+        money spent is never discarded.
+        """
+        if old not in self._operators:
+            raise ExecutionError(f"operator {old.name} is not part of this plan")
+        if old.metrics.tasks_created > 0 or old.metrics.rows_out > 0:
+            raise ExecutionError(
+                f"cannot replace operator {old.name}: it has already started "
+                f"({old.metrics.tasks_created} task(s), {old.metrics.rows_out} row(s))"
+            )
+        if old.parent is None:
+            raise ExecutionError("the plan root (results sink) cannot be replaced")
+        if len(new._in_queues) != 0 or new.children:
+            raise ExecutionError("the replacement operator must be freshly constructed")
+
+        # Adopt the children and their queues/end-of-input state wholesale.
+        new.children = old.children
+        for child in new.children:
+            child.parent = new
+        new._in_queues = old._in_queues
+        new._inputs_done = old._inputs_done
+        for row, slot in reversed(old.consumed_input()):
+            new._in_queues[slot].appendleft(row)
+
+        new.parent = old.parent
+        new.child_slot = old.child_slot
+        old.parent.children[old.child_slot] = new
+        if self._opened:
+            new.open(self.context)
+        self._operators = list(self.root.walk())
+        self._finish_signalled.discard(id(old))
 
     # -- helpers ---------------------------------------------------------------------
 

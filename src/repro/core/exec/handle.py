@@ -166,6 +166,18 @@ class QueryHandle:
         """Whether the query has reached a state it can never leave."""
         return self.status in TERMINAL_STATUSES
 
+    def plan_history(self) -> list:
+        """The query's plan decisions and mid-query revisions, oldest first.
+
+        The first entry records the physical plan the optimizer chose; later
+        entries are :class:`~repro.core.optimizer.adaptive.PlanChange`
+        records for every strategy the adaptive replanner swapped while the
+        query ran.  Standalone handles (no scheduler) have no history.
+        """
+        if self.scheduler is not None and self.scheduler.replanner is not None:
+            return self.scheduler.replanner.history(self.query_id)
+        return []
+
     @property
     def stats(self) -> QueryStats:
         """Per-query statistics (spend, HITs, cache/model savings, ...)."""

@@ -28,13 +28,18 @@ active query on one simulated marketplace:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
 
 from repro.core.exec.handle import QueryHandle, QueryStatus
 from repro.core.tasks.task_manager import TaskManager
 from repro.crowd.clock import SimulationClock
 from repro.errors import BudgetExceededError, ExecutionError, QueryStalledError
 from repro.storage.row import Row
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.optimizer.adaptive import AdaptiveReplanner
 
 __all__ = ["SchedulerEvent", "SchedulerMetrics", "EngineScheduler"]
 
@@ -82,12 +87,14 @@ class EngineScheduler:
         task_manager: TaskManager,
         *,
         max_concurrent_queries: int | None = None,
+        replanner: "AdaptiveReplanner | None" = None,
     ) -> None:
         if max_concurrent_queries is not None and max_concurrent_queries < 1:
             raise ExecutionError("max_concurrent_queries must be >= 1 (or None for unlimited)")
         self.clock = clock
         self.task_manager = task_manager
         self.max_concurrent_queries = max_concurrent_queries
+        self.replanner = replanner
         self.metrics = SchedulerMetrics()
         self.events: list[SchedulerEvent] = []
         self._events_by_query: dict[str, list[SchedulerEvent]] = {}
@@ -229,6 +236,13 @@ class EngineScheduler:
             self._record_event(handle.query_id, "started")
         try:
             moved = handle.executor.step_local(flush=False, raise_on_budget=False)
+            if self.replanner is not None and not handle.is_terminal:
+                # Operator-completion barrier: when an operator of this query
+                # just finished, the replanner re-costs the not-yet-started
+                # plan suffix with observed statistics and may swap pending
+                # strategies (join interface, sort interface, redundancy).
+                for change in self.replanner.maybe_replan(handle):
+                    self._record_event(handle.query_id, "replanned", change.describe())
         except BudgetExceededError as error:
             self._fail_over_budget(handle, error)
             return False
@@ -282,6 +296,8 @@ class EngineScheduler:
         for query_id in finished:
             del self._active[query_id]
             self.metrics.queries_finished += 1
+            if self.replanner is not None:
+                self.replanner.release(query_id)
         if finished:
             self._admit()
         return len(finished)

@@ -16,7 +16,7 @@ and it has flushed any internal buffers.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import OperatorError
@@ -52,6 +52,10 @@ class Operator:
         self.parent: Operator | None = None
         self.child_slot: int = 0
         self.metrics = OperatorMetrics()
+        #: Cardinality the physical planner expected on this operator's first
+        #: input (None for hand-built plans).  The adaptive replanner compares
+        #: it against observed cardinalities to detect misestimation.
+        self.planned_input_rows: float | None = None
         self._in_queues: list[deque[Row]] = []
         self._inputs_done: list[bool] = []
         self._outstanding_tasks = 0
@@ -120,6 +124,17 @@ class Operator:
         self.metrics.rows_out += 1
         if self.parent is not None:
             self.parent.push(row, self.child_slot)
+
+    def consumed_input(self) -> list[tuple[Row, int]]:
+        """Input rows this operator has drained but not irrevocably acted on.
+
+        Operators that merely *buffer* their input before submitting crowd
+        work (joins, sorts) override this so the adaptive replanner can
+        replay those rows into a replacement operator.  Operators that act
+        on rows immediately return the empty list (the default), which makes
+        them non-replaceable once any input has been processed.
+        """
+        return []
 
     # -- task accounting -------------------------------------------------------------------
 

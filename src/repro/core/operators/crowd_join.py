@@ -100,6 +100,14 @@ class CrowdJoinOperator(Operator):
         self.pairs_considered = 0
         self.pairs_prefiltered = 0
         self.pairs_asked = 0
+        #: Planner cardinality expectations per side (set by PhysicalPlanner).
+        self.planned_left_rows: float | None = None
+        self.planned_right_rows: float | None = None
+
+    def consumed_input(self) -> list[tuple[Row, int]]:
+        rows = [(row, 0) for row in self._left_rows]
+        rows += [(row, 1) for row in self._right_rows]
+        return rows
 
     @property
     def output_schema(self) -> Schema:

@@ -82,6 +82,9 @@ class CrowdSortOperator(Operator):
         self.comparisons_asked = 0
         self.ratings_asked = 0
 
+    def consumed_input(self) -> list[tuple[Row, int]]:
+        return [(row, 0) for row in self._rows]
+
     @property
     def output_schema(self) -> Schema:
         return self._schema

@@ -1,5 +1,6 @@
 """Query optimization: statistics, budgets, cost model and plan tuning."""
 
+from repro.core.optimizer.adaptive import AdaptiveReplanner, PlanChange
 from repro.core.optimizer.budget import BudgetLedger, QueryBudget
 from repro.core.optimizer.statistics import (
     QueryStats,
@@ -9,6 +10,8 @@ from repro.core.optimizer.statistics import (
 )
 
 __all__ = [
+    "AdaptiveReplanner",
+    "PlanChange",
     "BudgetLedger",
     "QueryBudget",
     "StatisticsManager",

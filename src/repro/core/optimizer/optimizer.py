@@ -17,31 +17,45 @@ Decisions implemented here:
   two-column Figure 3 interface, chosen by comparing cost-model estimates;
 * **sort strategy** — comparison-based versus rating-based crowd sort;
 * **plan cost estimation** — dollars / HITs / latency for the dashboard.
+
+Plan-level costing runs over the logical IR: every logical node prices
+itself (:meth:`~repro.core.plan.logical.LogicalNode.estimate_cost`) against a
+:class:`CostingPass`, which snapshots each task spec's statistics exactly
+once per pass.  Physical plans are costed through the structural bridge in
+:func:`repro.core.plan.logical.from_physical`.
 """
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
 from repro.core.operators.base import Operator
-from repro.core.operators.crowd_filter import CrowdFilterOperator
-from repro.core.operators.crowd_generate import CrowdGenerateOperator
-from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
-from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
-from repro.core.operators.scan import ScanOperator
+from repro.core.operators.crowd_join import JoinStrategy
+from repro.core.operators.crowd_sort import SortStrategy
 from repro.core.optimizer.cost_model import CostEstimate, CostModel
-from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.optimizer.statistics import SpecStats, StatisticsManager, blend_selectivity
 from repro.core.tasks.spec import JoinColumnsResponse, RatingResponse, TaskSpec
+from repro.errors import OptimizerError
 
-__all__ = ["OptimizerConfig", "JoinChoice", "QueryOptimizer", "majority_accuracy"]
+__all__ = [
+    "OptimizerConfig",
+    "JoinChoice",
+    "CostingPass",
+    "QueryOptimizer",
+    "majority_accuracy",
+]
 
 
+@functools.lru_cache(maxsize=4096)
 def majority_accuracy(single_accuracy: float, assignments: int) -> float:
     """Probability that a majority of ``assignments`` independent workers is right.
 
     Ties (possible only for even counts) are counted as failures, which makes
     the estimate conservative; the optimizer only considers odd counts.
+    Memoized: the adaptive redundancy rule evaluates this once per task on
+    the hot path, over a handful of distinct (accuracy, k) pairs.
     """
     p = min(max(single_accuracy, 0.0), 1.0)
     total = 0.0
@@ -52,15 +66,58 @@ def majority_accuracy(single_accuracy: float, assignments: int) -> float:
     return total
 
 
+#: How the initial physical plan chooses a crowd sort's interface.
+#: ``response`` — the TASK's Response type is authoritative (a Comparison
+#: response sorts by pairwise comparisons, a Rating response by ratings);
+#: ``cost`` — the physical planner enumerates both interfaces for Comparison
+#: tasks and keeps the cost-minimal one.
+SORT_POLICIES = ("response", "cost")
+
+
 @dataclass(frozen=True)
 class OptimizerConfig:
-    """Optimizer-wide tuning knobs."""
+    """Optimizer-wide tuning knobs.
+
+    ``candidate_assignments`` must contain odd counts only: majority voting
+    over an even worker count wastes the tying assignment (ties count as
+    failures), so even values silently degrade accuracy per dollar.
+    """
 
     target_confidence: float = 0.9
     max_assignments: int = 7
     candidate_assignments: tuple[int, ...] = (1, 3, 5, 7)
     default_worker_accuracy: float = 0.85
     adaptive: bool = True
+    sort_policy: str = "response"
+
+    def __post_init__(self) -> None:
+        if not self.candidate_assignments:
+            raise OptimizerError("candidate_assignments must not be empty")
+        for candidate in self.candidate_assignments:
+            if candidate < 1:
+                raise OptimizerError(
+                    f"candidate assignment counts must be >= 1, got {candidate}"
+                )
+            if candidate % 2 == 0:
+                raise OptimizerError(
+                    f"candidate assignment counts must be odd (majority voting over an "
+                    f"even count wastes the tying vote), got {candidate}"
+                )
+        if self.max_assignments < 1:
+            raise OptimizerError(f"max_assignments must be >= 1, got {self.max_assignments}")
+        if min(self.candidate_assignments) > self.max_assignments:
+            raise OptimizerError(
+                f"max_assignments ({self.max_assignments}) excludes every candidate "
+                f"assignment count {self.candidate_assignments}"
+            )
+        if not 0.0 < self.target_confidence <= 1.0:
+            raise OptimizerError(
+                f"target_confidence must be in (0, 1], got {self.target_confidence}"
+            )
+        if self.sort_policy not in SORT_POLICIES:
+            raise OptimizerError(
+                f"sort_policy must be one of {SORT_POLICIES}, got {self.sort_policy!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -72,6 +129,74 @@ class JoinChoice:
     left_per_hit: int = 3
     right_per_hit: int = 3
     estimate: CostEstimate = CostEstimate()
+
+
+class CostingPass:
+    """One plan-costing pass: cached statistics plus shared knobs.
+
+    Logical nodes cost themselves against this object.  Spec statistics are
+    fetched from the :class:`StatisticsManager` exactly once per spec per
+    pass — per-node quantities (cache hit rate, selectivity, single-worker
+    accuracy) all derive from that one snapshot.
+    """
+
+    def __init__(
+        self, statistics: StatisticsManager, cost_model: CostModel, config: OptimizerConfig
+    ) -> None:
+        self.statistics = statistics
+        self.cost_model = cost_model
+        self.config = config
+        self._spec_stats: dict[str, SpecStats] = {}
+
+    def spec_stats(self, name: str) -> SpecStats:
+        """The (cached) statistics snapshot for one task spec."""
+        if name not in self._spec_stats:
+            self._spec_stats[name] = self.statistics.spec(name)
+        return self._spec_stats[name]
+
+    def worker_accuracy(self, spec: TaskSpec) -> float:
+        """Single-worker accuracy proxy from the cached snapshot."""
+        return _worker_accuracy(self.spec_stats(spec.name), self.config)
+
+    def assignments_for(self, spec: TaskSpec) -> int:
+        """Redundancy the adaptive rule would pick for ``spec`` right now."""
+        return _pick_assignments(
+            self.worker_accuracy(spec), self.config, self.config.target_confidence
+        )
+
+    def selectivity(self, name: str, *, prior: float | None = None) -> float:
+        """Blended selectivity estimate from the cached statistics snapshot."""
+        if prior is None:
+            prior = StatisticsManager.DEFAULT_SELECTIVITY_PRIOR
+        return blend_selectivity(self.spec_stats(name), prior)
+
+
+def _worker_accuracy(stats: SpecStats, config: OptimizerConfig) -> float:
+    """Single-worker accuracy proxy: observed agreement with the majority.
+
+    The one heuristic shared by plan-time costing (CostingPass) and the
+    runtime redundancy rule, so candidate costs and per-task assignment
+    choices can never diverge on the accuracy model.  Agreement with the
+    majority is an optimistic proxy; damp it a little.
+    """
+    if stats.crowd_tasks >= 3:
+        return min(max(stats.mean_agreement, 0.55), 0.99)
+    return config.default_worker_accuracy
+
+
+def _pick_assignments(accuracy: float, config: OptimizerConfig, target: float) -> int:
+    """Smallest candidate redundancy whose majority vote meets ``target``.
+
+    The fallback is the largest *candidate* within ``max_assignments`` —
+    never ``max_assignments`` itself, which may be even and would silently
+    waste the tying vote the odd-only validation exists to prevent.
+    """
+    for candidate in config.candidate_assignments:
+        if candidate > config.max_assignments:
+            break
+        if majority_accuracy(accuracy, candidate) >= target:
+            return candidate
+    return max(c for c in config.candidate_assignments if c <= config.max_assignments)
 
 
 class QueryOptimizer:
@@ -91,22 +216,12 @@ class QueryOptimizer:
 
     def estimate_worker_accuracy(self, spec: TaskSpec) -> float:
         """Single-worker accuracy proxy: observed agreement with the majority."""
-        stats = self.statistics.spec(spec.name)
-        if stats.crowd_tasks >= 3:
-            # Agreement with the majority is an optimistic proxy; damp it a little.
-            return min(max(stats.mean_agreement, 0.55), 0.99)
-        return self.config.default_worker_accuracy
+        return _worker_accuracy(self.statistics.spec(spec.name), self.config)
 
     def choose_assignments(self, spec: TaskSpec, *, target_confidence: float | None = None) -> int:
         """Smallest candidate redundancy whose majority vote meets the target."""
         target = target_confidence if target_confidence is not None else self.config.target_confidence
-        accuracy = self.estimate_worker_accuracy(spec)
-        for candidate in self.config.candidate_assignments:
-            if candidate > self.config.max_assignments:
-                break
-            if majority_accuracy(accuracy, candidate) >= target:
-                return candidate
-        return min(max(self.config.candidate_assignments), self.config.max_assignments)
+        return _pick_assignments(self.estimate_worker_accuracy(spec), self.config, target)
 
     # -- join interface ----------------------------------------------------------------------
 
@@ -184,91 +299,30 @@ class QueryOptimizer:
 
     # -- plan-level estimation ---------------------------------------------------------------------
 
-    def estimate_plan_cost(self, root: Operator) -> CostEstimate:
-        """Walk a physical plan and estimate its total crowd cost.
+    def costing_pass(self) -> CostingPass:
+        """A fresh costing context (statistics snapshotted once per spec)."""
+        return CostingPass(self.statistics, self.cost_model, self.config)
+
+    def estimate_logical_cost(self, root) -> CostEstimate:
+        """Cost a logical plan; annotates every node's rows/cost en route.
 
         Cardinalities flow bottom-up: scans contribute their table sizes,
         crowd filters apply the (estimated) selectivity of their predicate,
-        joins multiply.  The estimate is refreshed by the dashboard while the
-        query runs, so it tightens as observed selectivities replace priors.
+        joins multiply.  Each node prices itself — there is no central
+        operator-type dispatch here.
         """
-        total = CostEstimate()
+        from repro.core.plan.logical import annotate_plan
 
-        def visit(operator: Operator) -> float:
-            nonlocal total
-            child_cards = [visit(child) for child in operator.children]
-            if isinstance(operator, ScanOperator):
-                return float(len(operator.table))
-            if isinstance(operator, CrowdGenerateOperator):
-                cardinality = child_cards[0] if child_cards else 0.0
-                cache_rate = self.statistics.spec(operator.spec.name).cache_hits / max(
-                    self.statistics.spec(operator.spec.name).tasks_completed, 1
-                )
-                total = total.plus(
-                    self.cost_model.generate_cost(
-                        operator.spec,
-                        cardinality,
-                        assignments=self.choose_assignments(operator.spec),
-                        cache_hit_rate=cache_rate,
-                    )
-                )
-                return cardinality
-            if isinstance(operator, CrowdFilterOperator):
-                cardinality = child_cards[0] if child_cards else 0.0
-                total = total.plus(
-                    self.cost_model.filter_cost(
-                        operator.spec,
-                        cardinality,
-                        assignments=self.choose_assignments(operator.spec),
-                    )
-                )
-                selectivity = self.statistics.estimate_selectivity(operator.spec.name)
-                return cardinality * selectivity
-            if isinstance(operator, CrowdJoinOperator):
-                n_left = child_cards[0] if child_cards else 0.0
-                n_right = child_cards[1] if len(child_cards) > 1 else 0.0
-                if operator.strategy is JoinStrategy.PAIRWISE:
-                    estimate = self.cost_model.join_cost_pairwise(
-                        operator.spec,
-                        n_left,
-                        n_right,
-                        assignments=self.choose_assignments(operator.spec),
-                        pairs_per_hit=operator.pairs_per_hit,
-                    )
-                else:
-                    estimate = self.cost_model.join_cost_columns(
-                        operator.spec,
-                        n_left,
-                        n_right,
-                        assignments=self.choose_assignments(operator.spec),
-                        left_per_hit=operator.left_per_hit,
-                        right_per_hit=operator.right_per_hit,
-                    )
-                total = total.plus(estimate)
-                selectivity = self.statistics.estimate_selectivity(
-                    operator.spec.name, prior=min(1.0 / max(n_right, 1.0), 1.0)
-                )
-                return max(n_left * n_right * selectivity, 0.0)
-            if isinstance(operator, CrowdSortOperator):
-                cardinality = child_cards[0] if child_cards else 0.0
-                if operator.strategy is SortStrategy.COMPARISON:
-                    estimate = self.cost_model.sort_cost_comparison(
-                        operator.spec,
-                        cardinality,
-                        assignments=self.choose_assignments(operator.spec),
-                        comparisons_per_hit=operator.items_per_hit,
-                    )
-                else:
-                    estimate = self.cost_model.sort_cost_rating(
-                        operator.spec,
-                        cardinality,
-                        assignments=self.choose_assignments(operator.spec),
-                        ratings_per_hit=operator.items_per_hit,
-                    )
-                total = total.plus(estimate)
-                return cardinality
-            # Local operators: pass through the (first) child cardinality.
-            return child_cards[0] if child_cards else 0.0
+        return annotate_plan(root, self.costing_pass())
 
-        visit(root)
-        return total
+    def estimate_plan_cost(self, root: Operator) -> CostEstimate:
+        """Walk a physical plan and estimate its total crowd cost.
+
+        The physical tree is mirrored into the logical IR (carrying the
+        decisions the plan has already committed to) and costed per-node.
+        The estimate is refreshed by the dashboard while the query runs, so
+        it tightens as observed selectivities replace priors.
+        """
+        from repro.core.plan.logical import from_physical
+
+        return self.estimate_logical_cost(from_physical(root))

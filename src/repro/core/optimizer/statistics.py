@@ -16,7 +16,30 @@ from typing import TYPE_CHECKING, Iterable
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with the task layer
     from repro.core.tasks.task import TaskResult
 
-__all__ = ["SpecStats", "WorkerStats", "QueryStats", "StatisticsManager"]
+__all__ = [
+    "SpecStats",
+    "WorkerStats",
+    "QueryStats",
+    "StatisticsManager",
+    "blend_selectivity",
+]
+
+
+#: Pseudo-count of prior observations in the selectivity blend, so early
+#: estimates do not swing wildly on the first few answers (Section 2).
+SELECTIVITY_PSEUDO_COUNT = 4.0
+
+
+def blend_selectivity(stats: "SpecStats", prior: float) -> float:
+    """Blend a selectivity prior with one spec's observed boolean answers.
+
+    The single formula shared by plan-time costing (the optimizer's
+    CostingPass works from cached snapshots) and runtime estimation
+    (:meth:`StatisticsManager.estimate_selectivity`), so the two can never
+    silently diverge.
+    """
+    pseudo = SELECTIVITY_PSEUDO_COUNT
+    return (prior * pseudo + stats.boolean_true) / (pseudo + stats.boolean_total)
 
 
 @dataclass
@@ -217,13 +240,11 @@ class StatisticsManager:
     def estimate_selectivity(self, spec_name: str, prior: float | None = None) -> float:
         """Selectivity estimate blending a prior with online observations.
 
-        Uses a pseudo-count of 4 prior observations so early estimates do not
+        Uses a pseudo-count of prior observations so early estimates do not
         swing wildly on the first few answers (adaptive behaviour, Section 2).
         """
         prior = self.DEFAULT_SELECTIVITY_PRIOR if prior is None else prior
-        stats = self.spec(spec_name)
-        pseudo = 4.0
-        return (prior * pseudo + stats.boolean_true) / (pseudo + stats.boolean_total)
+        return blend_selectivity(self.spec(spec_name), prior)
 
     def estimate_latency(self, spec_name: str) -> float:
         """Expected seconds for one crowd task of this spec."""

@@ -1,6 +1,36 @@
-"""Query planning: the crowd UDF registry and the SELECT planner."""
+"""Query planning: the crowd UDF registry, the logical IR and the planners."""
 
+from repro.core.plan.logical import (
+    LogicalFilter,
+    LogicalGenerate,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.core.plan.physical import PhysicalCandidate, PhysicalPlanner
 from repro.core.plan.planner import PlannedQuery, QueryPlanner
 from repro.core.plan.registry import RegisteredTask, TaskRegistry
 
-__all__ = ["TaskRegistry", "RegisteredTask", "QueryPlanner", "PlannedQuery"]
+__all__ = [
+    "TaskRegistry",
+    "RegisteredTask",
+    "QueryPlanner",
+    "PlannedQuery",
+    "PhysicalPlanner",
+    "PhysicalCandidate",
+    "LogicalNode",
+    "LogicalPlan",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalGenerate",
+    "LogicalSort",
+    "LogicalProject",
+    "LogicalGroupBy",
+    "LogicalLimit",
+]

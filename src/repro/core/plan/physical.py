@@ -1,0 +1,397 @@
+"""The physical planner: enumerate, cost, pick, build.
+
+Given a :class:`~repro.core.plan.logical.LogicalPlan`, the
+:class:`PhysicalPlanner` enumerates the physical alternatives the paper's
+demo lets the audience explore:
+
+* **join order** — for multi-join queries, every left-deep order in which
+  the join predicates keep the joined tables connected;
+* **join interface** — pairwise yes/no HITs versus the two-column Figure 3
+  interface (only JoinColumns specs can render the latter);
+* **sort interface** — pairwise comparisons versus per-item ratings, when
+  ``OptimizerConfig.sort_policy`` is ``"cost"`` (under the default
+  ``"response"`` policy the TASK's Response type is authoritative);
+* **crowd-filter placement** — on the filtered table below the joins, or
+  above the joins over the (usually smaller) join result, plus the order in
+  which several filters on one table run.
+
+Every candidate is costed through the optimizer's per-node logical costing
+and the cost-minimal candidate (dollars, then HITs, then tasks) is built
+into a tree of physical operators.  The chosen candidate's cardinality
+annotations are stamped onto the physical operators (``planned_input_rows``)
+so the adaptive replanner can later detect misestimation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.operators.aggregate import GroupByOperator, LimitOperator
+from repro.core.operators.base import Operator
+from repro.core.operators.crowd_filter import CrowdFilterOperator
+from repro.core.operators.crowd_generate import CrowdGenerateOperator
+from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
+from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
+from repro.core.operators.project import LocalFilterOperator, ProjectOperator, ProjectionItem
+from repro.core.operators.scan import ScanOperator
+from repro.core.operators.sort_local import LocalSortOperator
+from repro.core.optimizer.cost_model import CostEstimate
+from repro.core.optimizer.optimizer import QueryOptimizer
+from repro.core.plan.logical import (
+    LogicalFilter,
+    LogicalGenerate,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.errors import PlanError
+from repro.storage.expressions import ColumnRef, Expression
+
+__all__ = ["PhysicalCandidate", "PhysicalPlanner"]
+
+
+@dataclass(frozen=True)
+class PhysicalCandidate:
+    """One fully-decided physical alternative for a query."""
+
+    root: LogicalNode
+    cost: CostEstimate
+    decisions: tuple[str, ...]
+
+    def describe(self) -> str:
+        parts = ", ".join(self.decisions) or "default"
+        return f"${self.cost.dollars:,.2f} / {self.cost.hits:,.0f} HITs :: {parts}"
+
+
+class PhysicalPlanner:
+    """Enumerates physical plans for a logical plan and builds the winner."""
+
+    #: Upper bound on costed candidates; the axes are enumerated in stable
+    #: order (join orders, then interfaces, then sorts, then placements), so
+    #: truncation keeps the earliest — default-most — alternatives.
+    MAX_CANDIDATES = 64
+
+    def __init__(self, optimizer: QueryOptimizer) -> None:
+        self.optimizer = optimizer
+
+    # -- enumeration --------------------------------------------------------------------
+
+    def choose(self, plan: LogicalPlan) -> tuple[PhysicalCandidate, tuple[PhysicalCandidate, ...]]:
+        """Enumerate and cost candidates; return (winner, all candidates)."""
+        candidates = self.enumerate_candidates(plan)
+        chosen = min(
+            candidates,
+            key=lambda c: (round(c.cost.dollars, 9), c.cost.hits, c.cost.tasks),
+        )
+        return chosen, tuple(candidates)
+
+    def enumerate_candidates(self, plan: LogicalPlan) -> list[PhysicalCandidate]:
+        """All physical alternatives (capped at :attr:`MAX_CANDIDATES`), costed."""
+        join_orders = self._join_orders(plan)
+        interface_axes = [self._join_interfaces(join) for join in plan.join_predicates]
+        sort_axes = [self._sort_strategies(sort) for sort in plan.crowd_sorts()]
+        filter_bindings = sorted(plan.crowd_filters)
+        placement_axes = [
+            self._filter_placements(plan, binding) for binding in filter_bindings
+        ]
+
+        combos = itertools.product(join_orders, *interface_axes, *sort_axes, *placement_axes)
+        candidates: list[PhysicalCandidate] = []
+        n_joins = len(plan.join_predicates)
+        n_sorts = len(sort_axes)
+        for combo in itertools.islice(combos, self.MAX_CANDIDATES):
+            order = combo[0]
+            interfaces = combo[1 : 1 + n_joins]
+            sorts = combo[1 + n_joins : 1 + n_joins + n_sorts]
+            placements = dict(zip(filter_bindings, combo[1 + n_joins + n_sorts :]))
+            root, decisions = self._compose(plan, order, interfaces, sorts, placements)
+            cost = self.optimizer.estimate_logical_cost(root)
+            candidates.append(PhysicalCandidate(root=root, cost=cost, decisions=decisions))
+        return candidates
+
+    def default_tree(self, plan: LogicalPlan) -> LogicalNode:
+        """The canonical undecided tree (declared join order, filters below).
+
+        Used by EXPLAIN to show the logical plan before physical decisions.
+        """
+        orders = self._join_orders(plan)
+        root, _decisions = self._compose(
+            plan,
+            orders[0],
+            [None] * len(plan.join_predicates),
+            [None] * len(plan.crowd_sorts()),
+            {
+                binding: ("below", tuple(filters))
+                for binding, filters in plan.crowd_filters.items()
+            },
+        )
+        return root
+
+    # -- per-axis options ----------------------------------------------------------------
+
+    def _join_orders(self, plan: LogicalPlan) -> list[tuple[int, ...]]:
+        """Valid left-deep join orders as tuples of predicate indices."""
+        bindings = set(plan.table_pipelines)
+        predicates = plan.join_predicates
+        if len(bindings) > 1 and not predicates:
+            raise PlanError(
+                "joining several tables requires a crowd join predicate in WHERE "
+                "(cartesian products are never what you want to pay for)"
+            )
+        if not predicates:
+            return [()]
+        referenced = set()
+        for join in predicates:
+            referenced.update((join.left_binding, join.right_binding))
+        if referenced != bindings:
+            missing = ", ".join(sorted(bindings - referenced)) or "<none>"
+            raise PlanError(
+                f"tables are not connected by join predicates (unjoined: {missing}); "
+                "every FROM table needs a crowd join predicate linking it in"
+            )
+        orders: list[tuple[int, ...]] = []
+        for permutation in itertools.permutations(range(len(predicates))):
+            joined: set[str] = set()
+            valid = True
+            for index in permutation:
+                join = predicates[index]
+                ends = {join.left_binding, join.right_binding}
+                if not joined:
+                    joined |= ends
+                    continue
+                overlap = ends & joined
+                if len(overlap) != 1:
+                    # Disconnected (0) or a cycle edge (2): not a left-deep step.
+                    valid = False
+                    break
+                joined |= ends
+            if valid:
+                orders.append(permutation)
+        if not orders:
+            raise PlanError(
+                "join predicates do not form a tree over the FROM tables; "
+                "cyclic or disconnected crowd join predicates are not supported"
+            )
+        return orders
+
+    def _join_interfaces(self, join: LogicalJoin) -> list[JoinStrategy]:
+        if join.supports_columns:
+            # COLUMNS first so equal-cost ties keep the two-column interface.
+            return [JoinStrategy.COLUMNS, JoinStrategy.PAIRWISE]
+        return [JoinStrategy.PAIRWISE]
+
+    def _sort_strategies(self, sort: LogicalSort) -> list[SortStrategy]:
+        if sort.preferred_strategy is SortStrategy.RATING:
+            return [SortStrategy.RATING]
+        if self.optimizer.config.sort_policy == "cost":
+            # COMPARISON first so equal-cost ties keep the response-preferred
+            # interface.
+            return [SortStrategy.COMPARISON, SortStrategy.RATING]
+        return [SortStrategy.COMPARISON]
+
+    def _filter_placements(
+        self, plan: LogicalPlan, binding: str
+    ) -> list[tuple[str, tuple[LogicalFilter, ...]]]:
+        filters = plan.crowd_filters[binding]
+        if len(filters) <= 3:
+            orders = [tuple(p) for p in itertools.permutations(filters)]
+        else:
+            orders = [tuple(filters)]
+        placements = ["below"]
+        if plan.join_predicates:
+            placements.append("above")
+        return [(placement, order) for placement in placements for order in orders]
+
+    # -- candidate composition ------------------------------------------------------------
+
+    def _compose(
+        self,
+        plan: LogicalPlan,
+        join_order: tuple[int, ...],
+        join_strategies,
+        sort_strategies,
+        filter_choices: dict[str, tuple[str, tuple[LogicalFilter, ...]]],
+    ) -> tuple[LogicalNode, tuple[str, ...]]:
+        decisions: list[str] = []
+        pipelines = {binding: node.clone() for binding, node in plan.table_pipelines.items()}
+
+        for binding in sorted(filter_choices):
+            placement, order = filter_choices[binding]
+            names = "+".join(f.spec.name for f in order)
+            if placement == "below":
+                for template in order:
+                    node = template.clone()
+                    node.add_child(pipelines[binding])
+                    pipelines[binding] = node
+            if plan.join_predicates:
+                decisions.append(f"filter[{names}]: {placement} join")
+            elif len(order) > 1:
+                decisions.append(f"filter order[{binding}]: {names}")
+
+        current: LogicalNode | None = None
+        joined: set[str] = set()
+        order_labels: list[str] = []
+        for index in join_order:
+            template = plan.join_predicates[index]
+            node = template.clone()
+            # join_strategies is indexed by predicate, not by order position.
+            strategy = join_strategies[index] if join_strategies else None
+            node.strategy = strategy
+            left, right = template.left_binding, template.right_binding
+            if current is None:
+                node.add_child(pipelines[left])
+                node.add_child(pipelines[right])
+                joined |= {left, right}
+            elif left in joined:
+                node.add_child(current)
+                node.add_child(pipelines[right])
+                joined.add(right)
+            else:
+                node.add_child(pipelines[left])
+                node.add_child(current)
+                joined.add(left)
+            current = node
+            order_labels.append(template.spec.name)
+            if strategy is not None:
+                decisions.append(f"join[{template.spec.name}]: {strategy.value}")
+        if len(join_order) > 1:
+            decisions.append("join order: " + " -> ".join(order_labels))
+
+        if current is None:
+            current = next(iter(pipelines.values()))
+
+        for template in plan.post_join_filters:
+            node = template.clone()
+            node.add_child(current)
+            current = node
+
+        for binding in sorted(filter_choices):
+            placement, order = filter_choices[binding]
+            if placement != "above":
+                continue
+            for template in order:
+                node = template.clone()
+                node.add_child(current)
+                current = node
+
+        sort_index = 0
+        for template in plan.upper:
+            node = template.clone()
+            if isinstance(node, LogicalSort) and node.is_crowd:
+                strategy = sort_strategies[sort_index] if sort_strategies else None
+                sort_index += 1
+                node.strategy = strategy
+                if strategy is not None:
+                    decisions.append(f"sort[{node.spec.name}]: {strategy.value}")
+            node.add_child(current)
+            current = node
+        return current, tuple(decisions)
+
+    # -- physical construction -------------------------------------------------------------
+
+    def build(self, root: LogicalNode) -> Operator:
+        """Turn a decided (and annotated) logical tree into physical operators."""
+        return self._build_node(root)
+
+    def _build_node(self, node: LogicalNode) -> Operator:
+        children = [self._build_node(child) for child in node.children]
+        operator = self._make_operator(node, children)
+        for child in children:
+            operator.add_child(child)
+        operator.planned_input_rows = (
+            node.children[0].estimated_rows if node.children else None
+        )
+        if isinstance(operator, CrowdJoinOperator) and len(node.children) == 2:
+            operator.planned_left_rows = node.children[0].estimated_rows
+            operator.planned_right_rows = node.children[1].estimated_rows
+        return operator
+
+    def _make_operator(self, node: LogicalNode, children: list[Operator]) -> Operator:
+        input_schema = children[0].output_schema if children else None
+        if isinstance(node, LogicalScan):
+            return ScanOperator(node.table, alias=node.alias)
+        if isinstance(node, LogicalFilter):
+            if node.is_crowd:
+                return CrowdFilterOperator(
+                    node.spec,
+                    list(node.call.args) if node.call is not None else [],
+                    input_schema,
+                    negate=node.negate,
+                )
+            return LocalFilterOperator(node.predicate, input_schema)
+        if isinstance(node, LogicalJoin):
+            strategy = node.strategy
+            if strategy is None:
+                choice = self.optimizer.choose_join_strategy(
+                    node.spec,
+                    int(node.children[0].estimated_rows or 0),
+                    int(node.children[1].estimated_rows or 0),
+                )
+                strategy = choice.strategy
+            entry = node.entry
+            return CrowdJoinOperator(
+                node.spec,
+                children[0].output_schema,
+                children[1].output_schema,
+                strategy=strategy,
+                pairs_per_hit=node.pairs_per_hit,
+                left_per_hit=node.left_per_hit,
+                right_per_hit=node.right_per_hit,
+                left_payload=entry.left_payload if entry else None,
+                right_payload=entry.right_payload if entry else None,
+                prefilter=entry.prefilter if entry else None,
+            )
+        if isinstance(node, LogicalGenerate):
+            return CrowdGenerateOperator(
+                node.spec,
+                list(node.call.args) if node.call is not None else [],
+                input_schema,
+                output_prefix=node.output_prefix,
+            )
+        if isinstance(node, LogicalSort):
+            if node.is_crowd:
+                entry = node.entry
+                return CrowdSortOperator(
+                    node.spec,
+                    input_schema,
+                    strategy=node.strategy or node.preferred_strategy,
+                    descending=not node.ascending,
+                    items_per_hit=node.items_per_hit,
+                    payload=entry.payload if entry else None,
+                )
+            return LocalSortOperator(node.key, input_schema, ascending=node.ascending)
+        if isinstance(node, LogicalGroupBy):
+            return GroupByOperator(node.group_columns, node.aggregates, input_schema)
+        if isinstance(node, LogicalLimit):
+            return LimitOperator(node.limit, input_schema)
+        if isinstance(node, LogicalProject):
+            return _build_projection(node.items)
+        raise PlanError(f"cannot build a physical operator for {node.label()}")
+
+
+def _build_projection(select_items) -> ProjectOperator:
+    """The final projection, with de-duplicated output column names."""
+    items: list[ProjectionItem] = []
+    seen: set[str] = set()
+    for item in select_items:
+        name = item.alias or _default_output_name(item.expression)
+        base = name
+        counter = 2
+        while name in seen:
+            name = f"{base}_{counter}"
+            counter += 1
+        seen.add(name)
+        items.append(ProjectionItem(name, item.expression))
+    return ProjectOperator(items)
+
+
+def _default_output_name(expression: Expression) -> str:
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    return str(expression)

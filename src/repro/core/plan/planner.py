@@ -1,19 +1,27 @@
-"""Plans SELECT statements into trees of physical operators.
+"""Plans SELECT statements in two phases: logical lowering, then physical.
 
-The planner rewrites crowd UDF calls into crowd operators:
+**Phase 1 — lowering** (:meth:`QueryPlanner.lower`) rewrites the parsed
+statement into the logical IR of :mod:`repro.core.plan.logical`:
 
 * ``findCEO(companyName).CEO`` in the SELECT list → a
-  :class:`~repro.core.operators.crowd_generate.CrowdGenerateOperator` below
-  the projection, with the field access rewritten to the generated column;
-* ``WHERE isTargetColor(name)`` → a crowd filter on that table;
-* ``WHERE samePerson(a.image, b.image)`` over two tables → a crowd join,
-  whose interface (pairwise vs two-column) the optimizer chooses by cost;
-* ``ORDER BY biggerItem(...)`` / a Rank UDF → a crowd sort, comparison or
-  rating based.
+  :class:`~repro.core.plan.logical.LogicalGenerate` below the projection,
+  with the field access rewritten to the generated column;
+* ``WHERE isTargetColor(name)`` → a crowd :class:`LogicalFilter` on that
+  table;
+* ``WHERE samePerson(a.image, b.image)`` over two tables → a
+  :class:`LogicalJoin` predicate (multi-join queries produce several);
+* ``ORDER BY biggerItem(...)`` / a Rank UDF → a crowd
+  :class:`LogicalSort`.
 
 Locally evaluable predicates are pushed onto their tables *below* the crowd
 operators, because a free machine filter that removes tuples before they
 reach the crowd directly reduces monetary cost.
+
+**Phase 2 — physical planning** hands the logical plan to the
+:class:`~repro.core.plan.physical.PhysicalPlanner`, which enumerates join
+orders, join and sort interfaces and crowd-filter placements, costs every
+candidate through the optimizer's per-node logical costing, and builds the
+cost-minimal tree of physical operators.
 """
 
 from __future__ import annotations
@@ -22,22 +30,22 @@ from dataclasses import dataclass
 
 from repro.core.exec.context import QueryConfig
 from repro.core.lang.ast import SelectItem, SelectStatement
-from repro.core.operators.aggregate import (
-    AGGREGATE_FUNCTIONS,
-    AggregateSpec,
-    GroupByOperator,
-    LimitOperator,
-)
-from repro.core.operators.base import Operator
-from repro.core.operators.crowd_filter import CrowdFilterOperator
-from repro.core.operators.crowd_generate import CrowdGenerateOperator
-from repro.core.operators.crowd_join import CrowdJoinOperator
-from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
-from repro.core.operators.project import LocalFilterOperator, ProjectOperator, ProjectionItem
-from repro.core.operators.scan import ScanOperator
+from repro.core.operators.aggregate import AGGREGATE_FUNCTIONS, AggregateSpec
 from repro.core.operators.sink import ResultSinkOperator
-from repro.core.operators.sort_local import LocalSortOperator
 from repro.core.optimizer.optimizer import QueryOptimizer
+from repro.core.plan.logical import (
+    LogicalFilter,
+    LogicalGenerate,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    render_tree,
+)
+from repro.core.plan.physical import PhysicalCandidate, PhysicalPlanner
 from repro.core.plan.registry import RegisteredTask, TaskRegistry
 from repro.errors import PlanError
 from repro.storage.database import Database
@@ -58,11 +66,19 @@ __all__ = ["PlannedQuery", "QueryPlanner"]
 
 @dataclass
 class PlannedQuery:
-    """The output of planning: the sink-rooted operator tree and its schema."""
+    """The output of planning: the sink-rooted operator tree and its schema.
+
+    ``logical``, ``candidates`` and ``chosen`` expose the optimizer's work —
+    the logical plan, every costed physical alternative, and the winner —
+    for ``EXPLAIN`` and the dashboard.
+    """
 
     root: ResultSinkOperator
     output_schema: Schema
     statement: SelectStatement
+    logical: LogicalPlan | None = None
+    candidates: tuple[PhysicalCandidate, ...] = ()
+    chosen: PhysicalCandidate | None = None
 
 
 class QueryPlanner:
@@ -80,66 +96,115 @@ class QueryPlanner:
         self.registry = registry
         self.optimizer = optimizer
         self.config = config if config is not None else QueryConfig()
+        self.physical = PhysicalPlanner(optimizer)
 
-    # -- entry point --------------------------------------------------------------------
+    # -- entry points -------------------------------------------------------------------
 
     def plan(self, statement: SelectStatement, *, query_id: str = "") -> PlannedQuery:
         """Plan a statement; the results table is created by the caller."""
+        logical = self.lower(statement)
+        chosen, candidates = self.physical.choose(logical)
+        top = self.physical.build(chosen.root)
+        results_table = self.database.create_results_table(
+            top.output_schema, query_id=query_id or None
+        )
+        sink = ResultSinkOperator(results_table)
+        sink.add_child(top)
+        return PlannedQuery(
+            root=sink,
+            output_schema=top.output_schema,
+            statement=statement,
+            logical=logical,
+            candidates=candidates,
+            chosen=chosen,
+        )
+
+    def explain(self, statement: SelectStatement) -> str:
+        """Render the logical plan, every costed candidate and the winner.
+
+        Side-effect free: no results table is created and no operator is
+        built, so EXPLAIN can be called on a live engine without cost.
+        """
+        logical = self.lower(statement)
+        default = self.physical.default_tree(logical)
+        self.optimizer.estimate_logical_cost(default)
+        chosen, candidates = self.physical.choose(logical)
+        lines = [
+            "== logical plan (cardinalities from current statistics) ==",
+            render_tree(default),
+            f"== physical candidates ({len(candidates)} enumerated) ==",
+        ]
+        for candidate in sorted(
+            candidates, key=lambda c: (round(c.cost.dollars, 9), c.cost.hits)
+        ):
+            marker = "-> " if candidate is chosen else "   "
+            suffix = "   (chosen)" if candidate is chosen else ""
+            lines.append(f"{marker}{candidate.describe()}{suffix}")
+        lines.append("== chosen physical plan ==")
+        lines.append(render_tree(chosen.root))
+        return "\n".join(lines)
+
+    # -- phase 1: logical lowering ----------------------------------------------------------
+
+    def lower(self, statement: SelectStatement) -> LogicalPlan:
+        """Rewrite a SELECT statement into the logical IR."""
         scans = self._build_scans(statement)
         conjuncts = _split_conjuncts(statement.where)
         local_conjuncts, crowd_filters, join_predicates = self._classify_conjuncts(
             conjuncts, scans
         )
 
-        pipelines = {
-            binding: self._build_table_pipeline(
-                binding, scan, local_conjuncts.get(binding, []), crowd_filters.get(binding, [])
-            )
-            for binding, scan in scans.items()
-        }
-        current = self._combine_tables(statement, pipelines, join_predicates, scans)
+        plan = LogicalPlan(statement=statement)
+        for binding, scan in scans.items():
+            current = scan
+            for predicate in local_conjuncts.get(binding, []):
+                node = LogicalFilter(predicate=predicate)
+                node.add_child(current)
+                current = node
+            plan.table_pipelines[binding] = current
+        for binding, filters in crowd_filters.items():
+            plan.crowd_filters[binding] = [
+                LogicalFilter(spec=entry.spec, call=call, entry=entry, negate=negated)
+                for entry, call, negated in filters
+            ]
+        plan.join_predicates = [
+            LogicalJoin(entry.spec, call=call, entry=entry, left_binding=left, right_binding=right)
+            for entry, call, left, right in join_predicates
+        ]
+        plan.post_join_filters = [
+            LogicalFilter(predicate=predicate) for predicate in local_conjuncts.get(None, [])
+        ]
 
-        post_join_filters = local_conjuncts.get(None, [])
-        for predicate in post_join_filters:
-            operator = LocalFilterOperator(predicate, current.output_schema)
-            operator.add_child(current)
-            current = operator
-
-        current, rewritten_items = self._plan_generates(statement.select_items, current)
-        current = self._plan_order_by(statement, current)
-        current, rewritten_items = self._plan_grouping(statement, rewritten_items, current)
+        upper, rewritten_items = self._lower_generates(statement.select_items)
+        upper.extend(self._lower_order_by(statement))
+        grouping, rewritten_items = self._lower_grouping(statement, rewritten_items)
+        upper.extend(grouping)
         if statement.limit is not None:
-            limit = LimitOperator(statement.limit, current.output_schema)
-            limit.add_child(current)
-            current = limit
-
-        project = self._build_projection(rewritten_items, current)
-        project.add_child(current)
-
-        results_table = self.database.create_results_table(
-            project.output_schema, query_id=query_id or None
-        )
-        sink = ResultSinkOperator(results_table)
-        sink.add_child(project)
-        return PlannedQuery(root=sink, output_schema=project.output_schema, statement=statement)
+            upper.append(LogicalLimit(statement.limit))
+        upper.append(LogicalProject(tuple(rewritten_items)))
+        plan.upper = upper
+        plan.select_items = tuple(rewritten_items)
+        return plan
 
     # -- FROM ----------------------------------------------------------------------------------
 
-    def _build_scans(self, statement: SelectStatement) -> dict[str, ScanOperator]:
+    def _build_scans(self, statement: SelectStatement) -> dict[str, LogicalScan]:
         if not statement.from_tables:
             raise PlanError("a query needs at least one table in FROM")
-        scans: dict[str, ScanOperator] = {}
+        scans: dict[str, LogicalScan] = {}
         for table_ref in statement.from_tables:
             table = self.database.table(table_ref.name)
             if table_ref.binding in scans:
                 raise PlanError(f"duplicate table binding {table_ref.binding!r}")
-            scans[table_ref.binding] = ScanOperator(table, alias=table_ref.alias)
+            scans[table_ref.binding] = LogicalScan(
+                table, alias=table_ref.alias, binding=table_ref.binding
+            )
         return scans
 
     # -- WHERE classification --------------------------------------------------------------------
 
     def _classify_conjuncts(
-        self, conjuncts: list[Expression], scans: dict[str, ScanOperator]
+        self, conjuncts: list[Expression], scans: dict[str, LogicalScan]
     ) -> tuple[dict, dict, list]:
         local_conjuncts: dict[str | None, list[Expression]] = {}
         crowd_filters: dict[str, list[tuple[RegisteredTask, FunctionCall, bool]]] = {}
@@ -182,7 +247,7 @@ class QueryPlanner:
                     "nor a locally implemented function"
                 )
 
-    def _bindings_of(self, expression: Expression, scans: dict[str, ScanOperator]) -> set[str]:
+    def _bindings_of(self, expression: Expression, scans: dict[str, LogicalScan]) -> set[str]:
         bindings: set[str] = set()
         for name in expression.references():
             qualifier = name.rsplit(".", 1)[0] if "." in name else None
@@ -190,7 +255,11 @@ class QueryPlanner:
                 bindings.add(qualifier)
                 continue
             # Unqualified column: find which table defines it.
-            owners = [b for b, scan in scans.items() if name in scan.output_schema]
+            owners = [
+                b
+                for b, scan in scans.items()
+                if name in scan.table.schema.qualified(scan.binding)
+            ]
             if len(owners) == 1:
                 bindings.add(owners[0])
             elif len(owners) > 1:
@@ -200,82 +269,15 @@ class QueryPlanner:
         return bindings
 
     @staticmethod
-    def _ordered_bindings(bindings: set[str], scans: dict[str, ScanOperator]) -> tuple[str, str]:
+    def _ordered_bindings(bindings: set[str], scans: dict[str, LogicalScan]) -> tuple[str, str]:
         ordered = [binding for binding in scans if binding in bindings]
         return ordered[0], ordered[1]
 
-    # -- per-table pipelines -------------------------------------------------------------------------
-
-    def _build_table_pipeline(
-        self,
-        binding: str,
-        scan: ScanOperator,
-        local_predicates: list[Expression],
-        crowd_predicates: list[tuple[RegisteredTask, FunctionCall, bool]],
-    ) -> Operator:
-        current: Operator = scan
-        for predicate in local_predicates:
-            operator = LocalFilterOperator(predicate, current.output_schema)
-            operator.add_child(current)
-            current = operator
-        for entry, call, negated in crowd_predicates:
-            operator = CrowdFilterOperator(
-                entry.spec,
-                list(call.args),
-                current.output_schema,
-                negate=negated,
-            )
-            operator.add_child(current)
-            current = operator
-        return current
-
-    def _combine_tables(
-        self,
-        statement: SelectStatement,
-        pipelines: dict[str, Operator],
-        join_predicates: list[tuple[RegisteredTask, FunctionCall, str, str]],
-        scans: dict[str, ScanOperator],
-    ) -> Operator:
-        if len(pipelines) == 1:
-            if join_predicates:
-                raise PlanError("a join predicate needs two tables in FROM")
-            return next(iter(pipelines.values()))
-        if len(pipelines) != 2:
-            raise PlanError("queries over more than two tables are not supported")
-        if not join_predicates:
-            raise PlanError(
-                "joining two tables requires a crowd join predicate in WHERE "
-                "(cartesian products are never what you want to pay for)"
-            )
-        if len(join_predicates) > 1:
-            raise PlanError("only one crowd join predicate per query is supported")
-        entry, _call, left_binding, right_binding = join_predicates[0]
-        left = pipelines[left_binding]
-        right = pipelines[right_binding]
-        n_left = len(scans[left_binding].table)
-        n_right = len(scans[right_binding].table)
-        choice = self.optimizer.choose_join_strategy(entry.spec, n_left, n_right)
-        join = CrowdJoinOperator(
-            entry.spec,
-            left.output_schema,
-            right.output_schema,
-            strategy=choice.strategy,
-            pairs_per_hit=choice.pairs_per_hit,
-            left_per_hit=choice.left_per_hit,
-            right_per_hit=choice.right_per_hit,
-            left_payload=entry.left_payload,
-            right_payload=entry.right_payload,
-            prefilter=entry.prefilter,
-        )
-        join.add_child(left)
-        join.add_child(right)
-        return join
-
     # -- SELECT-list crowd generates ---------------------------------------------------------------------
 
-    def _plan_generates(
-        self, select_items: tuple[SelectItem, ...], current: Operator
-    ) -> tuple[Operator, list[SelectItem]]:
+    def _lower_generates(
+        self, select_items: tuple[SelectItem, ...]
+    ) -> tuple[list, list[SelectItem]]:
         generate_calls: dict[str, tuple[RegisteredTask, FunctionCall, str]] = {}
         for item in select_items:
             for call in find_calls(item.expression):
@@ -287,66 +289,55 @@ class QueryPlanner:
                     suffix = "" if not generate_calls else f"_{len(generate_calls) + 1}"
                     prefix = f"{entry.spec.name}{suffix}"
                     generate_calls[key] = (entry, call, prefix)
-        for entry, call, prefix in generate_calls.values():
-            operator = CrowdGenerateOperator(
-                entry.spec,
-                list(call.args),
-                current.output_schema,
-                output_prefix=prefix,
-            )
-            operator.add_child(current)
-            current = operator
+        nodes = [
+            LogicalGenerate(entry.spec, call=call, entry=entry, output_prefix=prefix)
+            for entry, call, prefix in generate_calls.values()
+        ]
         prefixes = {key: prefix for key, (_e, _c, prefix) in generate_calls.items()}
         specs = {key: entry.spec for key, (entry, _c, _p) in generate_calls.items()}
         rewritten = [
             SelectItem(_rewrite_generates(item.expression, prefixes, specs), item.alias)
             for item in select_items
         ]
-        return current, rewritten
+        return nodes, rewritten
 
     # -- ORDER BY -----------------------------------------------------------------------------------------
 
-    def _plan_order_by(self, statement: SelectStatement, current: Operator) -> Operator:
+    def _lower_order_by(self, statement: SelectStatement) -> list[LogicalSort]:
+        nodes: list[LogicalSort] = []
         for order_item in statement.order_by:
             expression = order_item.expression
-            crowd_call = None
+            entry = None
             if isinstance(expression, FunctionCall):
-                entry = self.registry.lookup(expression.name)
-                if entry is not None and entry.is_rank:
-                    crowd_call = (entry, expression)
-            if crowd_call is not None:
-                entry, _call = crowd_call
-                # The TASK's Response type is authoritative: a Rating response
-                # sorts by per-item ratings, a Comparison response by pairwise
-                # comparisons (the optimizer only arbitrates programmatic
-                # sorts that could go either way).
-                strategy = (
-                    SortStrategy.RATING if entry.prefers_rating_sort else SortStrategy.COMPARISON
-                )
-                operator = CrowdSortOperator(
-                    entry.spec,
-                    current.output_schema,
-                    strategy=strategy,
-                    descending=not order_item.ascending,
-                    items_per_hit=entry.spec.batch_size,
-                    payload=entry.payload,
+                candidate = self.registry.lookup(expression.name)
+                if candidate is not None and candidate.is_rank:
+                    entry = candidate
+            if entry is not None:
+                # The TASK's Response type is authoritative by default: a
+                # Rating response sorts by per-item ratings, a Comparison
+                # response by pairwise comparisons.  Under the optimizer's
+                # "cost" sort policy the physical planner enumerates both
+                # interfaces for Comparison tasks and keeps the cheaper one.
+                nodes.append(
+                    LogicalSort(
+                        spec=entry.spec,
+                        call=expression,
+                        entry=entry,
+                        ascending=order_item.ascending,
+                        items_per_hit=entry.spec.batch_size,
+                    )
                 )
             else:
-                operator = LocalSortOperator(
-                    expression, current.output_schema, ascending=order_item.ascending
-                )
-            operator.add_child(current)
-            current = operator
-        return current
+                nodes.append(LogicalSort(key=expression, ascending=order_item.ascending))
+        return nodes
 
     # -- GROUP BY / aggregates ---------------------------------------------------------------------------------
 
-    def _plan_grouping(
+    def _lower_grouping(
         self,
         statement: SelectStatement,
         select_items: list[SelectItem],
-        current: Operator,
-    ) -> tuple[Operator, list[SelectItem]]:
+    ) -> tuple[list[LogicalGroupBy], list[SelectItem]]:
         aggregate_items = [
             item
             for item in select_items
@@ -354,7 +345,7 @@ class QueryPlanner:
             and item.expression.name.lower() in AGGREGATE_FUNCTIONS
         ]
         if not statement.group_by and not aggregate_items:
-            return current, select_items
+            return [], select_items
         aggregates = []
         rewritten: list[SelectItem] = []
         for index, item in enumerate(select_items):
@@ -378,25 +369,7 @@ class QueryPlanner:
                 for item in select_items
                 if isinstance(item.expression, ColumnRef) and item not in aggregate_items
             ]
-        operator = GroupByOperator(group_columns, aggregates, current.output_schema)
-        operator.add_child(current)
-        return operator, rewritten
-
-    # -- projection ----------------------------------------------------------------------------------------------
-
-    def _build_projection(self, select_items: list[SelectItem], current: Operator) -> ProjectOperator:
-        items = []
-        seen: set[str] = set()
-        for item in select_items:
-            name = item.alias or _default_output_name(item.expression)
-            base = name
-            counter = 2
-            while name in seen:
-                name = f"{base}_{counter}"
-                counter += 1
-            seen.add(name)
-            items.append(ProjectionItem(name, item.expression))
-        return ProjectOperator(items)
+        return [LogicalGroupBy(group_columns, aggregates)], rewritten
 
 
 # -- helpers -------------------------------------------------------------------------------------------
@@ -461,18 +434,3 @@ def _rewrite_generates(
     if isinstance(expression, Not):
         return Not(_rewrite_generates(expression.operand, prefixes, specs))
     return expression
-
-
-def _default_output_name(expression: Expression) -> str:
-    if isinstance(expression, ColumnRef):
-        return expression.name
-    return str(expression)
-
-
-def _estimate_rows(operator: Operator) -> int:
-    """Crude cardinality guess for sort-strategy selection (scan sizes below)."""
-    total = 0
-    for node in operator.walk():
-        if isinstance(node, ScanOperator):
-            total = max(total, len(node.table))
-    return total or 10

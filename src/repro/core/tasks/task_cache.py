@@ -10,7 +10,7 @@ so the cache tracks the spend it avoided.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable
 
 __all__ = ["CacheEntry", "CacheStats", "TaskCache"]

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from repro.core.answers import AnswerList, get_aggregate
 from repro.core.optimizer.budget import BudgetLedger
 from repro.core.optimizer.statistics import StatisticsManager
-from repro.core.tasks.batching import BatchingPolicy, FixedBatching, NoBatching, batches_of
+from repro.core.tasks.batching import BatchingPolicy, FixedBatching, NoBatching
 from repro.core.tasks.hit_compiler import CompiledHIT, HITCompiler
 from repro.core.tasks.spec import TaskSpec
 from repro.core.tasks.task import ResultSource, Task, TaskKind, TaskResult

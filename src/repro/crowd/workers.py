@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.crowd.hit import HITContent, HITInterface, HITItem
+from repro.crowd.hit import HITContent, HITInterface
 from repro.crowd.oracle import AnswerOracle
 from repro.errors import WorkerError
 

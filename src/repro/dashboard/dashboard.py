@@ -56,6 +56,7 @@ class QueryDashboard:
             lifecycle = tuple(
                 event.describe() for event in scheduler.events_for(handle.query_id)
             )
+        plan_changes = tuple(change.describe() for change in handle.plan_history())
         return QueryDashboardSnapshot(
             query_id=handle.query_id,
             sql=handle.sql,
@@ -80,6 +81,7 @@ class QueryDashboard:
             operators=operators,
             scheduler_state=scheduler_state,
             lifecycle=lifecycle,
+            plan_changes=plan_changes,
         )
 
     def _operator_snapshots(self, handle: QueryHandle) -> list[OperatorSnapshot]:
@@ -145,6 +147,8 @@ class QueryDashboard:
         if snapshot.scheduler_state:
             lifecycle = " -> ".join(snapshot.lifecycle) or "<no events>"
             lines.append(f"scheduler: {snapshot.scheduler_state} | {lifecycle}")
+        for change in snapshot.plan_changes:
+            lines.append(f"plan change: {change}")
         lines.append("plan:")
         for operator in snapshot.operators:
             indent = "  " * (operator.depth + 1)

@@ -62,6 +62,9 @@ class QueryDashboardSnapshot:
     # "finished") and the query's lifecycle events ("submitted@0s", ...).
     scheduler_state: str = ""
     lifecycle: tuple[str, ...] = field(default_factory=tuple)
+    # Adaptive re-optimization: the initial plan choice plus every mid-query
+    # strategy swap the replanner applied, oldest first.
+    plan_changes: tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def budget_utilisation(self) -> float | None:

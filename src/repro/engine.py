@@ -38,6 +38,7 @@ from repro.core.exec.scheduler import EngineScheduler
 from repro.core.lang.ast import SelectStatement
 from repro.core.lang.sql_parser import parse_select
 from repro.core.lang.task_parser import parse_task
+from repro.core.optimizer.adaptive import AdaptiveReplanner
 from repro.core.optimizer.budget import BudgetLedger
 from repro.core.optimizer.cost_model import CostEstimate, CostModel
 from repro.core.optimizer.optimizer import OptimizerConfig, QueryOptimizer
@@ -119,11 +120,15 @@ class QurkEngine:
             models=self.task_models,
             compiler=self.hit_compiler,
         )
-        self.scheduler = EngineScheduler(
-            self.clock, self.task_manager, max_concurrent_queries=max_concurrent_queries
-        )
         self.cost_model = CostModel(pricing)
         self.optimizer = QueryOptimizer(self.statistics, self.cost_model, optimizer_config)
+        self.replanner = AdaptiveReplanner(self.optimizer, self.statistics)
+        self.scheduler = EngineScheduler(
+            self.clock,
+            self.task_manager,
+            max_concurrent_queries=max_concurrent_queries,
+            replanner=self.replanner,
+        )
         self.registry = TaskRegistry()
         self.default_query_config = default_query_config or QueryConfig()
         self.queries: dict[str, QueryHandle] = {}
@@ -222,6 +227,10 @@ class QurkEngine:
         executor = QueryExecutor(planned.root, context)
         raw_sql = statement.raw_sql or (sql if isinstance(sql, str) else "")
         handle = QueryHandle(query_id, raw_sql, executor, planned.root.results_table)
+        if planned.chosen is not None:
+            self.replanner.record_initial(
+                query_id, ", ".join(planned.chosen.decisions) or "default plan", self.clock.now
+            )
         self.queries[query_id] = handle
         self.scheduler.submit(handle, priority=priority)
         return handle
@@ -233,6 +242,22 @@ class QurkEngine:
     def estimate_query_cost(self, handle: QueryHandle) -> CostEstimate:
         """The optimizer's current cost estimate for a (possibly running) query."""
         return self.optimizer.estimate_plan_cost(handle.executor.root)
+
+    def explain(self, sql: str | SelectStatement, *, config: QueryConfig | None = None) -> str:
+        """EXPLAIN a query without running it (or paying for anything).
+
+        Renders the logical plan with current cardinality estimates, every
+        physical candidate the enumerator costed, and the chosen plan.  No
+        results table is created and no task is submitted.
+        """
+        statement = parse_select(sql) if isinstance(sql, str) else sql
+        planner = QueryPlanner(
+            self.database,
+            self.registry,
+            self.optimizer,
+            config=(config or self.default_query_config).clone(),
+        )
+        return planner.explain(statement)
 
     # -- simulation control ------------------------------------------------------------------------
 

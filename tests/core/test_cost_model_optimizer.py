@@ -12,6 +12,7 @@ from repro.core.operators import (
 from repro.core.optimizer.cost_model import CostEstimate, CostModel
 from repro.core.optimizer.optimizer import OptimizerConfig, QueryOptimizer, majority_accuracy
 from repro.core.optimizer.statistics import StatisticsManager
+from repro.errors import OptimizerError
 from repro.core.tasks.spec import (
     ComparisonResponse,
     JoinColumnsResponse,
@@ -33,6 +34,57 @@ JOIN_PAIRS = TaskSpec(
     price=0.02, assignments=3,
 )
 RANK = TaskSpec(name="r", task_type=TaskType.RANK, text="?", response=ComparisonResponse(), price=0.01)
+
+
+class TestOptimizerConfigValidation:
+    def test_even_candidate_assignments_rejected(self):
+        with pytest.raises(OptimizerError, match="odd"):
+            OptimizerConfig(candidate_assignments=(1, 2, 3))
+
+    def test_non_positive_candidates_rejected(self):
+        with pytest.raises(OptimizerError):
+            OptimizerConfig(candidate_assignments=(0, 3))
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(OptimizerError, match="empty"):
+            OptimizerConfig(candidate_assignments=())
+
+    def test_bad_target_confidence_rejected(self):
+        with pytest.raises(OptimizerError, match="target_confidence"):
+            OptimizerConfig(target_confidence=0.0)
+
+    def test_bad_sort_policy_rejected(self):
+        with pytest.raises(OptimizerError, match="sort_policy"):
+            OptimizerConfig(sort_policy="vibes")
+
+    def test_odd_candidates_accepted(self):
+        config = OptimizerConfig(candidate_assignments=(1, 3, 9), max_assignments=9)
+        assert config.candidate_assignments == (1, 3, 9)
+
+    def test_max_assignments_must_cover_a_candidate(self):
+        with pytest.raises(OptimizerError, match="excludes"):
+            OptimizerConfig(candidate_assignments=(5, 7), max_assignments=4)
+
+    def test_fallback_redundancy_stays_odd(self):
+        # max_assignments caps below the largest candidate; the fallback must
+        # return the largest odd *candidate* within the cap, never the even cap.
+        statistics = StatisticsManager()
+        optimizer = QueryOptimizer(
+            statistics,
+            CostModel(),
+            OptimizerConfig(
+                default_worker_accuracy=0.6, target_confidence=0.99, max_assignments=4
+            ),
+        )
+        assert optimizer.choose_assignments(FILTER) == 3
+
+
+class TestMajorityAccuracyMemoization:
+    def test_repeat_calls_hit_the_cache(self):
+        majority_accuracy.cache_clear()
+        assert majority_accuracy(0.815, 3) == majority_accuracy(0.815, 3)
+        info = majority_accuracy.cache_info()
+        assert info.hits >= 1 and info.misses == 1
 
 
 class TestMajorityAccuracy:

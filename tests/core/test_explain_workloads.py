@@ -1,0 +1,58 @@
+"""EXPLAIN coverage: every workload query renders a costed plan."""
+
+import pytest
+
+from repro.experiments import (
+    QUERY1_SQL,
+    QUERY2_SQL,
+    build_celebrity_engine,
+    build_companies_engine,
+    build_products_engine,
+)
+
+PRODUCTS_QUERIES = (
+    "SELECT name FROM products WHERE isTargetColor(name)",
+    "SELECT name FROM products WHERE NOT isTargetColor(name) AND price < 50",
+    "SELECT name FROM products ORDER BY biggerItem(name)",
+    "SELECT name FROM products ORDER BY rateSize(name) LIMIT 4",
+    "SELECT category, count(name) AS n, avg(price) AS mean_price "
+    "FROM products GROUP BY category",
+    "SELECT name FROM products ORDER BY price ASC",
+)
+
+
+def assert_valid_explain(text: str) -> None:
+    assert "== logical plan" in text
+    assert "== physical candidates" in text
+    assert "(chosen)" in text
+    assert "== chosen physical plan ==" in text
+
+
+class TestExplainEveryWorkloadQuery:
+    def test_companies_query1(self):
+        run = build_companies_engine(n_companies=12)
+        text = run.engine.explain(QUERY1_SQL)
+        assert_valid_explain(text)
+        assert "crowd-generate(findCEO)" in text
+
+    def test_celebrities_query2(self):
+        run = build_celebrity_engine(n_celebrities=8, n_spotted=8)
+        text = run.engine.explain(QUERY2_SQL)
+        assert_valid_explain(text)
+        assert "crowd-join(samePerson" in text
+
+    @pytest.mark.parametrize("sql", PRODUCTS_QUERIES)
+    def test_products_queries(self, sql):
+        run = build_products_engine(n_products=10)
+        text = run.engine.explain(sql)
+        assert_valid_explain(text)
+
+    def test_explain_reflects_observed_statistics(self):
+        """Re-EXPLAINing after a run uses tightened selectivities."""
+        run = build_products_engine(n_products=10)
+        engine = run.engine
+        before = engine.explain("SELECT name FROM products WHERE isTargetColor(name)")
+        handle = engine.query("SELECT name FROM products WHERE isTargetColor(name)")
+        handle.wait()
+        after = engine.explain("SELECT name FROM products WHERE isTargetColor(name)")
+        assert before != after  # cardinality annotations moved with the data

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage import Column, DataType, Row, Schema, Table
+from repro.storage import DataType, Row, Schema, Table
 
 
 names = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
