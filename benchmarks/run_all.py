@@ -28,10 +28,11 @@ SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(BENCH_DIR))
 
-#: The ``--quick`` smoke subset: one cheap end-to-end caching experiment and
-#: the adaptive re-planning experiment, so plan-layer regressions surface in
-#: CI without paying for the full sweep.
-QUICK_SELECTORS = ("e2", "e12")
+#: The ``--quick`` smoke subset: one cheap end-to-end caching experiment, the
+#: adaptive re-planning experiment, and the engine-overhead benchmark, so
+#: plan-layer and data-plane regressions surface in CI without paying for the
+#: full sweep.
+QUICK_SELECTORS = ("e2", "e12", "e13")
 
 
 def discover(selectors: list[str]) -> list[Path]:

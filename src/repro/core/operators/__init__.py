@@ -13,9 +13,11 @@ from repro.core.operators.crowd_filter import CrowdFilterOperator
 from repro.core.operators.crowd_generate import CrowdGenerateOperator
 from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
 from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
+from repro.core.operators.join_local import LocalHashJoinOperator
 from repro.core.operators.project import LocalFilterOperator, ProjectOperator, ProjectionItem
 from repro.core.operators.scan import ScanOperator
 from repro.core.operators.sink import ResultSinkOperator
+from repro.core.operators.sort_local import LocalSortOperator
 
 __all__ = [
     "Operator",
@@ -28,8 +30,10 @@ __all__ = [
     "CrowdFilterOperator",
     "CrowdJoinOperator",
     "JoinStrategy",
+    "LocalHashJoinOperator",
     "CrowdSortOperator",
     "SortStrategy",
+    "LocalSortOperator",
     "GroupByOperator",
     "LimitOperator",
     "AggregateSpec",

@@ -9,14 +9,17 @@ of a SELECT statement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.operators.base import Operator
 from repro.errors import OperatorError
-from repro.storage.expressions import Expression
+from repro.storage.expressions import Expression, compile_expression
 from repro.storage.row import Row
 from repro.storage.schema import Column, Schema
 from repro.storage.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.exec.context import ExecutionContext
 
 __all__ = ["AggregateSpec", "GroupByOperator", "LimitOperator", "AGGREGATE_FUNCTIONS"]
 
@@ -96,30 +99,60 @@ class GroupByOperator(Operator):
         self._schema = Schema(tuple(columns))
         self._groups: dict[tuple, list[Row]] = {}
         self._order: list[tuple] = []
+        self._group_indices: tuple[int, ...] | None = None
+        self._compiled_aggregates: list[Callable[[Row], Any] | None] | None = None
 
     @property
     def output_schema(self) -> Schema:
         return self._schema
 
+    def open(self, context: "ExecutionContext") -> None:
+        super().open(context)
+        input_schema = (
+            self.children[0].output_schema if self.children else self._input_schema
+        )
+        self._group_indices = input_schema.indices_of(self.group_columns)
+        self._compiled_aggregates = [
+            None if agg.expression is None else compile_expression(agg.expression, input_schema)
+            for agg in self.aggregates
+        ]
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        indices = self._group_indices
+        if indices is None:
+            indices = self._input_schema.indices_of(self.group_columns)
+        groups = self._groups
+        order = self._order
+        for row in rows:
+            row_values = row.values
+            key = tuple(row_values[i] for i in indices)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(row)
+
     def _process(self, row: Row, slot: int) -> None:
-        key = tuple(row[name] for name in self.group_columns)
-        if key not in self._groups:
-            self._groups[key] = []
-            self._order.append(key)
-        self._groups[key].append(row)
+        self._process_batch([row], slot)
 
     def _on_inputs_finished(self) -> None:
+        compiled = self._compiled_aggregates or [
+            None if agg.expression is None else agg.expression.evaluate
+            for agg in self.aggregates
+        ]
+        out: list[Row] = []
         for key in self._order:
             rows = self._groups[key]
             values: list[Any] = list(key)
-            for aggregate in self.aggregates:
-                if aggregate.expression is None:
+            for aggregate, evaluate in zip(self.aggregates, compiled):
+                if evaluate is None:
                     group_values: list[Any] = [1] * len(rows)
                 else:
-                    group_values = [aggregate.expression.evaluate(row) for row in rows]
+                    group_values = [evaluate(row) for row in rows]
                 function = AGGREGATE_FUNCTIONS[aggregate.function.lower()]
                 values.append(function(group_values))
-            self.emit(Row(self._schema, values))
+            out.append(Row(self._schema, values))
+        self.emit_batch(out)
 
 
 class LimitOperator(Operator):

@@ -46,6 +46,16 @@ class Operator:
     #: keeping single steps cheap so the executor can interleave operators.
     MAX_ROWS_PER_STEP = 64
 
+    #: Drain bound for plans with no crowd operator anywhere: nothing is
+    #: waiting on simulated HIT latency, so steps may be large and cheap
+    #: instead of small and interleaved.  The executor raises each
+    #: operator's ``_max_rows_per_step`` to this for local-only plans.
+    LOCAL_MAX_ROWS_PER_STEP = 8192
+
+    #: Whether this operator submits crowd tasks.  Crowd subclasses override
+    #: this; the executor uses it to spot plans that never touch the crowd.
+    IS_CROWD = False
+
     def __init__(self, name: str):
         self.name = name
         self.children: list[Operator] = []
@@ -56,6 +66,7 @@ class Operator:
         #: input (None for hand-built plans).  The adaptive replanner compares
         #: it against observed cardinalities to detect misestimation.
         self.planned_input_rows: float | None = None
+        self._max_rows_per_step = self.MAX_ROWS_PER_STEP
         self._in_queues: list[deque[Row]] = []
         self._inputs_done: list[bool] = []
         self._outstanding_tasks = 0
@@ -107,6 +118,10 @@ class Operator:
         """Enqueue an input row from child ``slot``."""
         self._in_queues[slot].append(row)
 
+    def push_batch(self, rows: list[Row], slot: int = 0) -> None:
+        """Enqueue several input rows from child ``slot`` in one call."""
+        self._in_queues[slot].extend(rows)
+
     def finish_input(self, slot: int = 0) -> None:
         """Signal that child ``slot`` will push no more rows."""
         self._inputs_done[slot] = True
@@ -124,6 +139,14 @@ class Operator:
         self.metrics.rows_out += 1
         if self.parent is not None:
             self.parent.push(row, self.child_slot)
+
+    def emit_batch(self, rows: list[Row]) -> None:
+        """Push several produced rows into the parent's queue in one call."""
+        if not rows:
+            return
+        self.metrics.rows_out += len(rows)
+        if self.parent is not None:
+            self.parent.push_batch(rows, self.child_slot)
 
     def consumed_input(self) -> list[tuple[Row, int]]:
         """Input rows this operator has drained but not irrevocably acted on.
@@ -156,21 +179,44 @@ class Operator:
     # -- stepping ---------------------------------------------------------------------------
 
     def step(self) -> bool:
-        """Perform a bounded amount of work.  Returns True when progress was made."""
+        """Perform a bounded amount of work.  Returns True when progress was made.
+
+        Input queues are drained in slices handed to :meth:`_process_batch`,
+        so an operator pays one call per slice instead of one virtual call
+        per row.  The drain budget is shared across slots, exactly like the
+        old one-``popleft``-per-row loop.
+        """
         progress = False
-        drained = 0
+        budget = self._max_rows_per_step
         for slot, queue in enumerate(self._in_queues):
-            while queue and drained < self.MAX_ROWS_PER_STEP:
-                row = queue.popleft()
-                self.metrics.rows_in += 1
-                self._process(row, slot)
-                drained += 1
+            while queue and budget > 0:
+                if len(queue) <= budget:
+                    rows = list(queue)
+                    queue.clear()
+                else:
+                    rows = [queue.popleft() for _ in range(budget)]
+                self.metrics.rows_in += len(rows)
+                budget -= len(rows)
+                self._process_batch(rows, slot)
                 progress = True
+            if budget <= 0:
+                break
         if not self._finalized and self.inputs_finished() and self.queued_rows() == 0:
             self._finalized = True
             self._on_inputs_finished()
             progress = True
         return progress
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        """Handle one slice of input rows.
+
+        The default is the per-row loop; operators with a cheaper bulk form
+        (buffer extends, compiled-expression loops, batch table appends)
+        override this instead of :meth:`_process`.
+        """
+        process = self._process
+        for row in rows:
+            process(row, slot)
 
     def _process(self, row: Row, slot: int) -> None:
         """Handle one input row (override in subclasses)."""

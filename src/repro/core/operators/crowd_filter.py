@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 from repro.core.operators.base import Operator
 from repro.core.tasks.spec import TaskSpec
 from repro.core.tasks.task import Task, TaskKind, TaskResult
-from repro.storage.expressions import Expression
+from repro.storage.expressions import Expression, compile_expression
 from repro.storage.row import Row
 from repro.storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.exec.context import ExecutionContext
 
 __all__ = ["CrowdFilterOperator"]
 
@@ -33,6 +36,8 @@ class CrowdFilterOperator(Operator):
         When True, emit rows the crowd answered "no" for (``WHERE NOT f(x)``).
     """
 
+    IS_CROWD = True
+
     def __init__(
         self,
         spec: TaskSpec,
@@ -48,13 +53,40 @@ class CrowdFilterOperator(Operator):
         self.cache_key_fn = cache_key_fn
         self.negate = negate
         self._schema = input_schema
+        self._arg_fns: list[Callable[[Row], Any]] | None = None
 
     @property
     def output_schema(self) -> Schema:
         return self._schema
 
+    def open(self, context: "ExecutionContext") -> None:
+        super().open(context)
+        input_schema = self.children[0].output_schema if self.children else self._schema
+        self._arg_fns = [
+            compile_expression(expression, input_schema)
+            for expression in self.arg_expressions
+        ]
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        """Drain a whole input slice, evaluating compiled args per row.
+
+        Task submission stays per-row (each row becomes one crowd task, and
+        redundancy is re-resolved per task so adaptive assignment keeps
+        tightening mid-query), but the name-resolution work is hoisted out.
+        """
+        arg_fns = self._arg_fns
+        if arg_fns is None:
+            for row in rows:
+                self._process(row, slot)
+            return
+        for row in rows:
+            self._submit(row, tuple(fn(row) for fn in arg_fns))
+
     def _process(self, row: Row, slot: int) -> None:
         args = tuple(expression.evaluate(row) for expression in self.arg_expressions)
+        self._submit(row, args)
+
+    def _submit(self, row: Row, args: tuple[Any, ...]) -> None:
         payload: dict[str, Any] = {"args": args, "row": row.to_dict()}
         for parameter, value in zip(self.spec.parameters, args):
             payload[parameter.name] = value

@@ -40,6 +40,8 @@ class CrowdGenerateOperator(Operator):
         ``findCEO.CEO`` / ``findCEO.Phone``.
     """
 
+    IS_CROWD = True
+
     def __init__(
         self,
         spec: TaskSpec,

@@ -69,6 +69,8 @@ class CrowdJoinOperator(Operator):
         crowd; pairs failing it are assumed non-matching for free.
     """
 
+    IS_CROWD = True
+
     def __init__(
         self,
         spec: TaskSpec,
@@ -121,6 +123,15 @@ class CrowdJoinOperator(Operator):
             )
 
     # -- streaming input ------------------------------------------------------------
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        if self.strategy is JoinStrategy.COLUMNS:
+            # Build sides only buffer until end-of-input: extend wholesale.
+            (self._left_rows if slot == 0 else self._right_rows).extend(rows)
+            return
+        # Pairwise streams tasks as rows arrive; keep per-row pair order.
+        for row in rows:
+            self._process(row, slot)
 
     def _process(self, row: Row, slot: int) -> None:
         if slot == 0:

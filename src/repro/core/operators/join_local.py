@@ -1,0 +1,91 @@
+"""Local (machine-evaluated) equi-join.
+
+The paper's joins are crowd-powered (``samePerson``), but the engine also
+needs a conventional join for the purely-local parts of a workload — e.g.
+joining crowd results back to a dimension table, or the crowd-free
+engine-overhead benchmark (E13).  This is a classic blocking hash join:
+both inputs are buffered, the smaller convention (left) side is hashed on
+its key, and the right side probes it once all inputs have arrived.
+
+NULL keys never match, following SQL equi-join semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.operators.base import Operator
+from repro.storage.expressions import Expression, compile_expression
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+__all__ = ["LocalHashJoinOperator"]
+
+
+class LocalHashJoinOperator(Operator):
+    """Joins its two inputs on locally evaluable equi-join keys.
+
+    Parameters
+    ----------
+    left_key, right_key:
+        Expressions evaluated against left (child 0) / right (child 1) rows;
+        rows pair up when the two keys compare equal.  Keys must be hashable.
+    left_schema, right_schema:
+        Schemas of the two children.
+    """
+
+    def __init__(
+        self,
+        left_key: Expression,
+        right_key: Expression,
+        left_schema: Schema,
+        right_schema: Schema,
+    ):
+        super().__init__("join(local-hash)")
+        self.left_key = left_key
+        self.right_key = right_key
+        self._schema = left_schema.concat(right_schema)
+        self._left_rows: list[Row] = []
+        self._right_rows: list[Row] = []
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def consumed_input(self) -> list[tuple[Row, int]]:
+        rows = [(row, 0) for row in self._left_rows]
+        rows += [(row, 1) for row in self._right_rows]
+        return rows
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        (self._left_rows if slot == 0 else self._right_rows).extend(rows)
+
+    def _process(self, row: Row, slot: int) -> None:
+        (self._left_rows if slot == 0 else self._right_rows).append(row)
+
+    def _on_inputs_finished(self) -> None:
+        left_schema = (
+            self.children[0].output_schema if self.children else self._schema
+        )
+        right_schema = (
+            self.children[1].output_schema if len(self.children) > 1 else self._schema
+        )
+        left_key_of = compile_expression(self.left_key, left_schema)
+        right_key_of = compile_expression(self.right_key, right_schema)
+        table: dict[Any, list[Row]] = {}
+        for left in self._left_rows:
+            key = left_key_of(left)
+            if key is None:
+                continue
+            table.setdefault(key, []).append(left)
+        out: list[Row] = []
+        empty: tuple[Row, ...] = ()
+        for right in self._right_rows:
+            key = right_key_of(right)
+            if key is None:
+                continue
+            for left in table.get(key, empty):
+                out.append(left.concat(right))
+        self.emit_batch(out)
+        self._left_rows.clear()
+        self._right_rows.clear()

@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.operators.base import Operator
-from repro.storage.expressions import Expression
+from repro.storage.expressions import Expression, compile_expression
 from repro.storage.row import Row
 from repro.storage.schema import Column, Schema
 from repro.storage.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.exec.context import ExecutionContext
 
 __all__ = ["ProjectionItem", "ProjectOperator", "LocalFilterOperator"]
 
@@ -23,16 +27,53 @@ class ProjectionItem:
 
 
 class ProjectOperator(Operator):
-    """Evaluates a list of expressions against each input row."""
+    """Evaluates a list of expressions against each input row.
+
+    The expressions are compiled once per open against the child's output
+    schema, so per-row evaluation reads values positionally instead of
+    resolving column names per row.
+    """
 
     def __init__(self, items: list[ProjectionItem]):
         super().__init__("project")
         self.items = list(items)
         self._schema = Schema.of(*[Column(item.alias, item.data_type) for item in self.items])
+        # Untyped nullable outputs need no coercion, so projected rows can
+        # take the trusted constructor; typed outputs keep full validation.
+        self._trusted_output = all(
+            c.data_type is DataType.ANY and c.nullable for c in self._schema.columns
+        )
+        self._compiled: list[Callable[[Row], Any]] | None = None
 
     @property
     def output_schema(self) -> Schema:
         return self._schema
+
+    def open(self, context: "ExecutionContext") -> None:
+        super().open(context)
+        if self.children:
+            input_schema = self.children[0].output_schema
+            self._compiled = [
+                compile_expression(item.expression, input_schema) for item in self.items
+            ]
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        compiled = self._compiled
+        if compiled is None:  # hand-built plan stepped without children/open
+            for row in rows:
+                self._process(row, slot)
+            return
+        schema = self._schema
+        if self._trusted_output:
+            out = [
+                Row.unchecked(schema, tuple(evaluate(row) for evaluate in compiled))
+                for row in rows
+            ]
+        else:
+            out = [
+                Row(schema, [evaluate(row) for evaluate in compiled]) for row in rows
+            ]
+        self.emit_batch(out)
 
     def _process(self, row: Row, slot: int) -> None:
         values = [item.expression.evaluate(row) for item in self.items]
@@ -45,17 +86,29 @@ class LocalFilterOperator(Operator):
     The optimizer pushes these below crowd operators whenever possible,
     because a free local filter that removes tuples before they reach a
     crowd operator directly reduces monetary cost (Section 4.1:
-    "filtering-based reduction in cross-product size").
+    "filtering-based reduction in cross-product size").  The predicate is
+    compiled once per open; each batch then filters with one callable per
+    row and emits the survivors in a single batch.
     """
 
     def __init__(self, predicate: Expression, input_schema: Schema):
         super().__init__("filter(local)")
         self.predicate = predicate
         self._schema = input_schema
+        self._predicate_fn: Callable[[Row], Any] | None = None
 
     @property
     def output_schema(self) -> Schema:
         return self._schema
+
+    def open(self, context: "ExecutionContext") -> None:
+        super().open(context)
+        input_schema = self.children[0].output_schema if self.children else self._schema
+        self._predicate_fn = compile_expression(self.predicate, input_schema)
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        predicate = self._predicate_fn or self.predicate.evaluate
+        self.emit_batch([row for row in rows if predicate(row) is True])
 
     def _process(self, row: Row, slot: int) -> None:
         if self.predicate.evaluate(row) is True:

@@ -13,10 +13,13 @@ __all__ = ["ScanOperator"]
 class ScanOperator(Operator):
     """Emits every row of a base table, re-qualified with the table (or alias) name.
 
-    The scan emits at most :attr:`MAX_ROWS_PER_STEP` rows per step so the
+    The scan emits at most one drain bound's worth of rows per step so the
     executor can interleave scans with downstream crowd operators — important
     because downstream operators start posting HITs as soon as the first
-    tuples arrive (asynchronous pipelining, Section 2).
+    tuples arrive (asynchronous pipelining, Section 2).  Each step takes one
+    slice of the table snapshot and emits it as a single batch; re-qualifying
+    a row is a schema rebind (:meth:`Row.with_schema` fast path), not a
+    re-validation.
     """
 
     def __init__(self, table: Table, alias: str | None = None):
@@ -25,7 +28,8 @@ class ScanOperator(Operator):
         self.table = table
         self.alias = name
         self._schema = table.schema.qualified(name)
-        self._iterator = None
+        self._snapshot: list[Row] | None = None
+        self._position = 0
         self._exhausted = False
 
     @property
@@ -33,20 +37,29 @@ class ScanOperator(Operator):
         return self._schema
 
     def step(self) -> bool:
-        if self._exhausted:
-            return super().step()
-        if self._iterator is None:
-            self._iterator = iter(self.table.scan())
         emitted = 0
-        while emitted < self.MAX_ROWS_PER_STEP:
-            try:
-                raw = next(self._iterator)
-            except StopIteration:
+        if not self._exhausted:
+            if self._snapshot is None:
+                self._snapshot = self.table.rows()
+            start = self._position
+            end = min(start + self._max_rows_per_step, len(self._snapshot))
+            if end > start:
+                schema = self._schema
+                if schema.same_shape_as(self.table.schema):
+                    # Qualifying renames columns but keeps their types, so
+                    # stored values rebind without per-row validation.
+                    unchecked = Row.unchecked
+                    batch = [
+                        unchecked(schema, row.values) for row in self._snapshot[start:end]
+                    ]
+                else:  # pragma: no cover - qualification never changes types
+                    batch = [row.with_schema(schema) for row in self._snapshot[start:end]]
+                self._position = end
+                self.metrics.rows_in += len(batch)
+                self.emit_batch(batch)
+                emitted = end - start
+            if self._position >= len(self._snapshot):
                 self._exhausted = True
-                break
-            self.metrics.rows_in += 1
-            self.emit(raw.with_schema(self._schema))
-            emitted += 1
         # Let the base class run the finalisation hook once exhausted.
         base_progress = super().step() if self._exhausted else False
         return emitted > 0 or base_progress

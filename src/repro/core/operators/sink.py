@@ -16,7 +16,12 @@ __all__ = ["ResultSinkOperator"]
 
 
 class ResultSinkOperator(Operator):
-    """Appends every produced row to the query's results table."""
+    """Appends every produced row to the query's results table.
+
+    Result rows were validated when they entered the plan and every
+    derivation kept them validated, so batches land via the table's trusted
+    bulk append instead of one re-validating insert per row.
+    """
 
     def __init__(self, results_table: Table):
         super().__init__("results-sink")
@@ -26,10 +31,13 @@ class ResultSinkOperator(Operator):
     def output_schema(self) -> Schema:
         return self.results_table.schema
 
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        inserted = self.results_table.append_rows(rows)
+        self.metrics.rows_out += inserted
+        self.context.statistics.record_result_emitted(self.context.query_id, inserted)
+
     def _process(self, row: Row, slot: int) -> None:
-        self.results_table.insert(row.values)
-        self.metrics.rows_out += 1
-        self.context.statistics.record_result_emitted(self.context.query_id)
+        self._process_batch([row], slot)
 
     def emit(self, row: Row) -> None:  # pragma: no cover - sinks never emit upward
         raise AssertionError("the results sink is the top-most operator")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.operators.base import Operator
-from repro.storage.expressions import Expression
+from repro.storage.expressions import Expression, compile_expression
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 
@@ -14,6 +14,8 @@ class LocalSortOperator(Operator):
     """Buffers its input and emits it ordered by a locally evaluable key.
 
     NULL keys sort last regardless of direction, matching common SQL engines.
+    Input batches extend the buffer wholesale; the key expression is compiled
+    once when the buffer is sorted, and the ordered output leaves as batches.
     """
 
     def __init__(self, key: Expression, input_schema: Schema, *, ascending: bool = True):
@@ -27,11 +29,16 @@ class LocalSortOperator(Operator):
     def output_schema(self) -> Schema:
         return self._schema
 
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        self._rows.extend(rows)
+
     def _process(self, row: Row, slot: int) -> None:
         self._rows.append(row)
 
     def _on_inputs_finished(self) -> None:
-        keyed = [(self.key.evaluate(row), row) for row in self._rows]
+        input_schema = self.children[0].output_schema if self.children else self._schema
+        key_of = compile_expression(self.key, input_schema)
+        keyed = [(key_of(row), row) for row in self._rows]
         non_null = [(value, row) for value, row in keyed if value is not None]
         nulls = [row for value, row in keyed if value is None]
         try:
@@ -39,7 +46,6 @@ class LocalSortOperator(Operator):
         except TypeError:
             # Mixed types that cannot be compared directly: sort by text.
             non_null.sort(key=lambda pair: str(pair[0]), reverse=not self.ascending)
-        for _value, row in non_null:
-            self.emit(row)
-        for row in nulls:
-            self.emit(row)
+        self.emit_batch([row for _value, row in non_null])
+        self.emit_batch(nulls)
+        self._rows.clear()

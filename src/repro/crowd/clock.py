@@ -32,10 +32,15 @@ class ScheduledEvent:
     callback: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    _clock: "SimulationClock | None" = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing when its time arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._clock is not None:
+            self._clock._note_cancelled()
 
 
 class SimulationClock:
@@ -50,6 +55,10 @@ class SimulationClock:
         self._events: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._fired = 0
+        #: Cancelled events still sitting in the heap.  Kept exact so
+        #: :attr:`pending_events` is O(1) and the heap can be compacted
+        #: lazily once cancellations dominate.
+        self._cancelled_in_heap = 0
 
     # -- inspection ----------------------------------------------------------
 
@@ -61,7 +70,7 @@ class SimulationClock:
     @property
     def pending_events(self) -> int:
         """Number of events that have not yet fired or been cancelled."""
-        return sum(1 for event in self._events if not event.cancelled)
+        return len(self._events) - self._cancelled_in_heap
 
     @property
     def events_fired(self) -> int:
@@ -71,8 +80,25 @@ class SimulationClock:
     def next_event_time(self) -> float | None:
         """Time of the earliest pending event, or None if the queue is empty."""
         while self._events and self._events[0].cancelled:
-            heapq.heappop(self._events)
+            heapq.heappop(self._events)._clock = None
+            self._cancelled_in_heap -= 1
         return self._events[0].time if self._events else None
+
+    # -- cancellation bookkeeping --------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`ScheduledEvent.cancel`; compacts when bloated.
+
+        Mass cancellations (a finished query abandoning speculative HITs)
+        used to leave dead entries in the heap until their time came up,
+        bloating every push/pop.  Once more than half the heap is cancelled
+        events, rebuild it from the live ones.
+        """
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap * 2 > len(self._events) and self._cancelled_in_heap > 16:
+            self._events = [event for event in self._events if not event.cancelled]
+            heapq.heapify(self._events)
+            self._cancelled_in_heap = 0
 
     # -- scheduling ----------------------------------------------------------
 
@@ -82,7 +108,7 @@ class SimulationClock:
             raise CrowdError(
                 f"cannot schedule event at {time:.3f}, clock is already at {self._now:.3f}"
             )
-        event = ScheduledEvent(time, next(self._sequence), callback, label)
+        event = ScheduledEvent(time, next(self._sequence), callback, label, _clock=self)
         heapq.heappush(self._events, event)
         return event
 
@@ -101,7 +127,10 @@ class SimulationClock:
         fired = 0
         while self._events and self._events[0].time <= time:
             event = heapq.heappop(self._events)
+            # Popped events are out of the heap: late cancels must not count.
+            event._clock = None
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             event.callback()

@@ -9,6 +9,7 @@ not millions — but fully typed, with schemas, expression evaluation, hash
 indexes, CSV import/export and results tables supporting incremental polling.
 """
 
+from repro.storage.batch import RowBatch
 from repro.storage.catalog import Catalog
 from repro.storage.csv_io import dump_csv, dumps_csv, load_csv, loads_csv
 from repro.storage.database import Database
@@ -22,6 +23,7 @@ from repro.storage.expressions import (
     FunctionCall,
     Literal,
     Not,
+    compile_expression,
     find_calls,
     walk,
 )
@@ -37,6 +39,7 @@ __all__ = [
     "Schema",
     "Column",
     "Row",
+    "RowBatch",
     "DataType",
     "coerce_value",
     "is_null",
@@ -51,6 +54,7 @@ __all__ = [
     "Arithmetic",
     "walk",
     "find_calls",
+    "compile_expression",
     "load_csv",
     "loads_csv",
     "dump_csv",

@@ -1,0 +1,111 @@
+"""Column-major row batches.
+
+A :class:`RowBatch` holds the values of many rows over one shared schema as a
+tuple of columns (one value-tuple per column).  The operator pipeline itself
+exchanges row-major ``list[Row]`` slices (queues stay row-oriented); a
+``RowBatch`` is the complementary *bulk exchange* container for
+column-at-a-time work at the storage boundary — snapshotting a table
+(:meth:`Table.to_batch`), bulk-loading one (:meth:`Table.insert_batch`), or
+handing a column to analysis code without paying one :class:`Row` lookup per
+value: extracting a column is a single tuple reference instead of ``n``
+per-row lookups.
+
+Batches are immutable, like rows, and round-trip losslessly:
+``RowBatch.from_rows(schema, rows).to_rows() == rows``.  Materializing rows
+from a batch goes through :meth:`Row.unchecked` — batch values are taken from
+already-validated rows (or validated on :meth:`from_values`), so they are
+never re-coerced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+__all__ = ["RowBatch"]
+
+
+class RowBatch:
+    """An immutable, column-major block of rows sharing one schema."""
+
+    __slots__ = ("_schema", "_columns", "_length")
+
+    def __init__(self, schema: Schema, columns: Sequence[Sequence[Any]]):
+        columns = tuple(tuple(column) for column in columns)
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"batch has {len(columns)} columns but schema has {len(schema)}"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"batch columns have unequal lengths: {sorted(lengths)}")
+        self._schema = schema
+        self._columns = columns
+        self._length = lengths.pop() if lengths else 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Row]) -> "RowBatch":
+        """Transpose validated rows into a column-major batch (no re-coercion)."""
+        rows = list(rows)
+        width = len(schema)
+        for row in rows:
+            if len(row.values) != width:
+                raise SchemaError(
+                    f"row width {len(row.values)} does not match schema width {width}"
+                )
+        if not rows:
+            return cls(schema, tuple(() for _ in range(width)))
+        batch = object.__new__(cls)
+        batch._schema = schema
+        batch._columns = tuple(zip(*(row.values for row in rows)))
+        batch._length = len(rows)
+        return batch
+
+    @classmethod
+    def from_values(cls, schema: Schema, value_rows: Iterable[Sequence[Any]]) -> "RowBatch":
+        """Validate row-major raw values against ``schema`` and batch them."""
+        rows = [Row(schema, values) for values in value_rows]
+        return cls.from_rows(schema, rows)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The schema every row of this batch conforms to."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, name: str) -> tuple[Any, ...]:
+        """All values of one column, resolved by (possibly unqualified) name."""
+        return self._columns[self._schema.index_of(name)]
+
+    def column_at(self, index: int) -> tuple[Any, ...]:
+        """All values of the column at ``index``."""
+        return self._columns[index]
+
+    @property
+    def columns(self) -> tuple[tuple[Any, ...], ...]:
+        """The underlying column tuples, in schema order."""
+        return self._columns
+
+    # -- materialization ----------------------------------------------------
+
+    def to_rows(self) -> list[Row]:
+        """Materialize the batch back into rows (trusted fast path)."""
+        schema = self._schema
+        if not self._columns:
+            return [Row.unchecked(schema, ()) for _ in range(self._length)]
+        return [Row.unchecked(schema, values) for values in zip(*self._columns)]
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.to_rows())
+
+    def __repr__(self) -> str:
+        return f"RowBatch({self._length} rows, schema={self._schema})"

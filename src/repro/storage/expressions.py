@@ -11,10 +11,13 @@ analysed uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.errors import ExpressionError
 from repro.storage.row import Row
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.storage.schema import Schema
 
 __all__ = [
     "Expression",
@@ -26,6 +29,7 @@ __all__ = [
     "BooleanOp",
     "Not",
     "Arithmetic",
+    "compile_expression",
     "walk",
     "find_calls",
 ]
@@ -266,6 +270,100 @@ class Arithmetic(Expression):
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
+
+
+def compile_expression(expression: Expression, schema: "Schema") -> Callable[[Row], Any]:
+    """Compile an expression to a callable with all column names pre-resolved.
+
+    :meth:`Expression.evaluate` resolves every :class:`ColumnRef` by name on
+    every call — a per-row dict lookup (and, pre-vectorization, a linear
+    scan).  Operators on the local hot path instead compile their expressions
+    once per open against their input schema; the compiled callable reads row
+    values positionally and raises the same errors as interpretation for
+    unknown/ambiguous names (at compile time) and type failures (at run
+    time).
+    """
+    if isinstance(expression, Literal):
+        value = expression.value
+        return lambda row: value
+    if isinstance(expression, ColumnRef):
+        index = schema.index_of(expression.name)
+        return lambda row: row._values[index]
+    if isinstance(expression, Comparison):
+        left = compile_expression(expression.left, schema)
+        right = compile_expression(expression.right, schema)
+        comparator = _COMPARATORS[expression.op]
+        op = expression.op
+
+        def compare(row: Row) -> bool | None:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return comparator(lhs, rhs)
+            except TypeError as exc:
+                raise ExpressionError(f"cannot compare {lhs!r} {op} {rhs!r}") from exc
+
+        return compare
+    if isinstance(expression, BooleanOp):
+        left = compile_expression(expression.left, schema)
+        right = compile_expression(expression.right, schema)
+        if expression.op == "and":
+
+            def conjoin(row: Row) -> bool | None:
+                lhs = left(row)
+                rhs = right(row)
+                if lhs is False or rhs is False:
+                    return False
+                if lhs is None or rhs is None:
+                    return None
+                return bool(lhs) and bool(rhs)
+
+            return conjoin
+
+        def disjoin(row: Row) -> bool | None:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is True or rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return bool(lhs) or bool(rhs)
+
+        return disjoin
+    if isinstance(expression, Not):
+        operand = compile_expression(expression.operand, schema)
+
+        def negate(row: Row) -> bool | None:
+            value = operand(row)
+            return None if value is None else not value
+
+        return negate
+    if isinstance(expression, Arithmetic):
+        left = compile_expression(expression.left, schema)
+        right = compile_expression(expression.right, schema)
+        arith = _ARITHMETIC[expression.op]
+        op = expression.op
+
+        def apply(row: Row) -> Any:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return arith(lhs, rhs)
+            except (TypeError, ZeroDivisionError) as exc:
+                raise ExpressionError(f"cannot compute {lhs!r} {op} {rhs!r}") from exc
+
+        return apply
+    if isinstance(expression, FunctionCall) and expression.implementation is not None:
+        args = tuple(compile_expression(arg, schema) for arg in expression.args)
+        implementation = expression.implementation
+        return lambda row: implementation(*(arg(row) for arg in args))
+    # Anything else (FieldAccess over crowd results, unimplemented calls,
+    # future node types) falls back to tree interpretation.
+    return expression.evaluate
 
 
 def walk(expression: Expression) -> Iterator[Expression]:

@@ -5,6 +5,14 @@ A :class:`Schema` is an ordered collection of :class:`Column` objects.  Rows
 Schemas support the operations query processing needs: projection, renaming
 with a table qualifier, concatenation (for joins), and extension (for the
 schema-widening UDF operator of Query 1).
+
+Schemas sit on the engine's per-row hot path — every named value access
+resolves a column, and joins/projections derive a schema per emitted row —
+so resolution is backed by a name→index map built once per schema, and all
+derivations (:meth:`Schema.project`, :meth:`Schema.concat`,
+:meth:`Schema.extend`, :meth:`Schema.qualified`) are memoized per instance:
+deriving the same shape twice returns the *same* schema object, which lets
+rows share one schema per operator output instead of allocating one per row.
 """
 
 from __future__ import annotations
@@ -16,6 +24,9 @@ from repro.errors import SchemaError
 from repro.storage.types import DataType, coerce_value
 
 __all__ = ["Column", "Schema"]
+
+#: Sentinel index for unqualified names shared by several columns.
+_AMBIGUOUS = -1
 
 
 @dataclass(frozen=True)
@@ -76,16 +87,38 @@ class Schema:
     """An ordered, immutable collection of columns.
 
     Column lookup accepts either the exact (possibly qualified) name or an
-    unambiguous unqualified name, mirroring SQL name resolution.
+    unambiguous unqualified name, mirroring SQL name resolution.  Resolution
+    goes through a dict built once at construction; exact (qualified) names
+    win over unqualified ones, and ambiguous unqualified names map to a
+    sentinel so they still raise.
     """
 
     columns: tuple[Column, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
-        names = [c.name for c in self.columns]
-        if len(names) != len(set(names)):
-            dupes = sorted({n for n in names if names.count(n) > 1})
-            raise SchemaError(f"duplicate column names: {', '.join(dupes)}")
+        lookup: dict[str, int] = {}
+        seen: set[str] = set()
+        dupes: set[str] = set()
+        for i, column in enumerate(self.columns):
+            name = column.name
+            if name in seen:
+                dupes.add(name)
+            seen.add(name)
+            unqualified = column.unqualified_name
+            lookup[unqualified] = _AMBIGUOUS if unqualified in lookup else i
+        if dupes:
+            raise SchemaError(f"duplicate column names: {', '.join(sorted(dupes))}")
+        # Exact (qualified) matches overwrite unqualified candidates: they win.
+        for i, column in enumerate(self.columns):
+            lookup[column.name] = i
+        # The dataclass is frozen for value semantics; the caches below are
+        # derived data, invisible to __eq__/__hash__.
+        object.__setattr__(self, "_lookup", lookup)
+        object.__setattr__(self, "_names", tuple(c.name for c in self.columns))
+        object.__setattr__(
+            self, "_shape", tuple((c.data_type, c.nullable) for c in self.columns)
+        )
+        object.__setattr__(self, "_derived", {})
 
     # -- construction -------------------------------------------------------
 
@@ -114,16 +147,13 @@ class Schema:
         return iter(self.columns)
 
     def __contains__(self, name: str) -> bool:
-        try:
-            self.index_of(name)
-        except SchemaError:
-            return False
-        return True
+        index = self._lookup.get(name)
+        return index is not None and index != _AMBIGUOUS
 
     @property
     def names(self) -> tuple[str, ...]:
         """All column names, in order."""
-        return tuple(c.name for c in self.columns)
+        return self._names
 
     def column(self, name: str) -> Column:
         """Return the column called ``name`` (qualified or unambiguous)."""
@@ -135,33 +165,97 @@ class Schema:
         Exact (qualified) matches win; otherwise the unqualified name must be
         unambiguous across the schema.
         """
-        for i, col in enumerate(self.columns):
-            if col.name == name:
-                return i
-        matches = [i for i, col in enumerate(self.columns) if col.unqualified_name == name]
-        if len(matches) == 1:
-            return matches[0]
-        if len(matches) > 1:
+        index = self._lookup.get(name)
+        if index is None:
+            raise SchemaError(f"unknown column {name!r}; have {', '.join(self._names)}")
+        if index == _AMBIGUOUS:
             raise SchemaError(f"column reference {name!r} is ambiguous")
-        raise SchemaError(f"unknown column {name!r}; have {', '.join(self.names)}")
+        return index
+
+    def try_index_of(self, name: str) -> int | None:
+        """Like :meth:`index_of`, but returns None for unknown/ambiguous names."""
+        index = self._lookup.get(name)
+        return None if index is None or index == _AMBIGUOUS else index
+
+    def indices_of(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Resolve several names to indices at once (memoized per name tuple)."""
+        key = ("indices", tuple(names))
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = tuple(self.index_of(name) for name in key[1])
+            self._remember(key, cached)
+        return cached
 
     # -- derivation ---------------------------------------------------------
+    #
+    # Each derivation is memoized on this instance: operators derive rows in
+    # a loop from the same input schema(s), so the second and later calls hit
+    # the cache and every derived row shares one schema object per shape.
+    # The memo is a bounded cache — an engine-lifetime schema (a base
+    # table's) would otherwise pin every query's derived schemas forever.
+
+    _DERIVED_CACHE_LIMIT = 512
+
+    def _remember(self, key: tuple, value: Any) -> None:
+        if len(self._derived) >= self._DERIVED_CACHE_LIMIT:
+            self._derived.clear()
+        self._derived[key] = value
 
     def qualified(self, qualifier: str) -> "Schema":
         """Return a copy of this schema with every column qualified."""
-        return Schema(tuple(c.with_qualifier(qualifier) for c in self.columns))
+        key = ("qualified", qualifier)
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = Schema(tuple(c.with_qualifier(qualifier) for c in self.columns))
+            self._remember(key, cached)
+        return cached
 
     def project(self, names: Iterable[str]) -> "Schema":
         """Return a schema containing only the named columns, in the given order."""
-        return Schema(tuple(self.column(name) for name in names))
+        key = ("project", tuple(names))
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = Schema(tuple(self.column(name) for name in key[1]))
+            self._remember(key, cached)
+        return cached
 
     def concat(self, other: "Schema") -> "Schema":
-        """Concatenate two schemas (used by join operators)."""
-        return Schema(self.columns + other.columns)
+        """Concatenate two schemas (used by join operators).
+
+        Memoized by the identity of ``other`` — hashing a whole schema per
+        joined row costs more than the concat itself.  The memo entry keeps a
+        strong reference to ``other``, so a live entry's id cannot be
+        recycled by a different schema (eviction drops pin and entry
+        together, so a recycled id can only ever miss).
+        """
+        key = ("concat", id(other))
+        cached = self._derived.get(key)
+        if cached is None or cached[0] is not other:
+            cached = (other, Schema(self.columns + other.columns))
+            self._remember(key, cached)
+        return cached[1]
 
     def extend(self, *new_columns: Column) -> "Schema":
-        """Return a schema with extra columns appended (Query 1 schema widening)."""
-        return Schema(self.columns + tuple(new_columns))
+        """Return a schema with extra columns appended (Query 1 schema widening).
+
+        Memoized by column identity (operators extend with one fixed column
+        tuple per open); the memo entry pins the column objects, so a live
+        entry's ids can never be recycled by different columns.
+        """
+        key = ("extend", tuple(map(id, new_columns)))
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = (new_columns, Schema(self.columns + new_columns))
+            self._remember(key, cached)
+        return cached[1]
+
+    def same_shape_as(self, other: "Schema") -> bool:
+        """True when both schemas have identical column types and nullability.
+
+        Rows validated against one schema of a shape can be rebound to any
+        other schema of the same shape without re-coercing values.
+        """
+        return self._shape == other._shape
 
     def __str__(self) -> str:
         return "(" + ", ".join(str(c) for c in self.columns) + ")"

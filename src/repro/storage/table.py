@@ -10,11 +10,14 @@ versioned reads (``rows_since``).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError, StorageError
 from repro.storage.row import Row
 from repro.storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from repro.storage.batch import RowBatch
 
 __all__ = ["Table"]
 
@@ -57,6 +60,48 @@ class Table:
     def insert_many(self, rows: Iterable[Row | Mapping[str, Any] | Iterable[Any]]) -> list[int]:
         """Insert several rows, returning their row ids."""
         return [self.insert(row) for row in rows]
+
+    def append_rows(self, rows: Iterable[Row]) -> int:
+        """Append already-validated rows in bulk, returning the count.
+
+        The fast path for the results sink: rows whose schema matches this
+        table's column layout are appended without re-validation.  Rows with
+        a different layout fall back to :meth:`insert`.
+        """
+        count = 0
+        names = self.schema.names
+        append_row = self._rows.append
+        append_id = self._ids.append
+        row_ids = self._row_ids
+        indexes = self._indexes
+        for row in rows:
+            if row.schema.names != names:
+                self.insert(row)
+                count += 1
+                continue
+            position = len(self._rows)
+            append_row(row)
+            append_id(next(row_ids))
+            for column, index in indexes.items():
+                index.setdefault(row[column], []).append(position)
+            count += 1
+        return count
+
+    def insert_batch(self, batch: "RowBatch") -> int:
+        """Insert a column-major batch; validated when schemas differ."""
+        if batch.schema.names == self.schema.names:
+            return self.append_rows(batch.to_rows())
+        inserted = 0
+        for row in batch.to_rows():
+            self.insert(row)
+            inserted += 1
+        return inserted
+
+    def to_batch(self) -> "RowBatch":
+        """Snapshot the table as a column-major :class:`RowBatch`."""
+        from repro.storage.batch import RowBatch
+
+        return RowBatch.from_rows(self.schema, self._rows)
 
     def truncate(self) -> None:
         """Remove every row (row ids keep counting up)."""

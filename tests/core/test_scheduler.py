@@ -9,6 +9,7 @@ import pytest
 
 from repro import QueryStatus, QurkEngine
 from repro.core.exec.handle import QueryHandle
+from repro.core.operators.base import Operator
 from repro.core.optimizer.budget import BudgetLedger
 from repro.core.optimizer.statistics import StatisticsManager
 from repro.core.tasks.batching import FixedBatching
@@ -220,16 +221,19 @@ class TestAdmissionControl:
 
 class TestPriorityWeightedStepping:
     def test_higher_priority_queries_get_more_local_steps(self):
+        # Local-only plans drain LOCAL_MAX_ROWS_PER_STEP rows per step, so
+        # the table must span several steps for priorities to differentiate.
+        n_rows = Operator.LOCAL_MAX_ROWS_PER_STEP * 6
         engine = QurkEngine(seed=3)
-        engine.create_table("big", ["n"], rows=[[i] for i in range(2000)])
+        engine.create_table("big", ["n"], rows=[[i] for i in range(n_rows)])
         fast = engine.query("SELECT n FROM big", priority=4.0)
         slow = engine.query("SELECT n FROM big", priority=1.0)
-        for _ in range(4):
+        for _ in range(2):
             engine.scheduler.step()
         assert fast.executor.metrics.passes > slow.executor.metrics.passes
         fast.wait()
         slow.wait()
-        assert len(fast.results()) == len(slow.results()) == 2000
+        assert len(fast.results()) == len(slow.results()) == n_rows
 
     def test_non_positive_priority_is_rejected(self):
         engine = QurkEngine()
