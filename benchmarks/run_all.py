@@ -29,10 +29,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(BENCH_DIR))
 
 #: The ``--quick`` smoke subset: one cheap end-to-end caching experiment, the
-#: adaptive re-planning experiment, and the engine-overhead benchmark, so
-#: plan-layer and data-plane regressions surface in CI without paying for the
-#: full sweep.
-QUICK_SELECTORS = ("e2", "e12", "e13")
+#: adaptive re-planning experiment, the engine-overhead benchmark, and the
+#: worker quality-control experiment, so plan-layer, data-plane and
+#: quality-control regressions surface in CI without paying for the full
+#: sweep.
+QUICK_SELECTORS = ("e2", "e12", "e13", "e14")
 
 
 def discover(selectors: list[str]) -> list[Path]:

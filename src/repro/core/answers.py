@@ -22,12 +22,17 @@ __all__ = [
     "Aggregate",
     "MajorityVote",
     "WeightedVote",
+    "ConfidenceWeightedVote",
+    "WeightedFieldwiseMajority",
+    "WeightedMeanRating",
     "First",
     "ListAll",
     "MeanRating",
     "MedianRating",
     "FieldwiseMajority",
     "majority_confidence",
+    "weighted_confidence",
+    "weighted_counterpart",
     "get_aggregate",
     "register_aggregate",
 ]
@@ -203,6 +208,38 @@ class MedianRating(Aggregate):
         return (values[middle - 1] + values[middle]) / 2.0
 
 
+def _fieldwise_reduce(
+    answers: AnswerList, voter: Callable[[AnswerList], Any], *, name: str
+) -> dict[str, Any]:
+    """Split mapping answers into per-field answer lists and vote each field.
+
+    The one implementation behind :class:`FieldwiseMajority` and
+    :class:`WeightedFieldwiseMajority` — only the per-field ``voter``
+    differs, so field collection / ordering / missing-field policy can never
+    diverge between the weighted and unweighted paths.  Worker attribution
+    is preserved field-by-field (voters that ignore it see no difference).
+    """
+    if not all(isinstance(a, Mapping) for a in answers):
+        raise AggregateError(f"{name} needs mapping-valued answers")
+    worker_ids = answers.worker_ids or tuple("" for _ in answers.answers)
+    fields: set[str] = set()
+    for answer in answers:
+        fields.update(answer.keys())
+    result: dict[str, Any] = {}
+    for field_name in sorted(fields):
+        votes = [
+            (answer[field_name], worker_id)
+            for answer, worker_id in zip(answers.answers, worker_ids)
+            if field_name in answer
+        ]
+        field_answers = AnswerList.of(
+            (value for value, _ in votes),
+            (worker_id for _, worker_id in votes) if answers.worker_ids else (),
+        )
+        result[field_name] = voter(field_answers)
+    return result
+
+
 class FieldwiseMajority(Aggregate):
     """Majority vote applied independently to each field of form answers.
 
@@ -214,16 +251,106 @@ class FieldwiseMajority(Aggregate):
     name = "FieldwiseMajority"
 
     def reduce(self, answers: AnswerList) -> dict[str, Any]:
-        if not all(isinstance(a, Mapping) for a in answers):
-            raise AggregateError("FieldwiseMajority needs mapping-valued answers")
-        fields: set[str] = set()
-        for answer in answers:
-            fields.update(answer.keys())
-        result: dict[str, Any] = {}
-        for field_name in sorted(fields):
-            votes = [a[field_name] for a in answers if field_name in a]
-            result[field_name] = MajorityVote().reduce(AnswerList.of(votes))
-        return result
+        return _fieldwise_reduce(answers, MajorityVote().reduce, name=self.name)
+
+
+def _resolved_weights(
+    answers: AnswerList, weights: Mapping[str, float], default_weight: float
+) -> list[float]:
+    """Per-answer vote weights, parallel to ``answers.answers``."""
+    return [weights.get(worker_id, default_weight) for worker_id in answers.worker_ids]
+
+
+class ConfidenceWeightedVote(WeightedVote):
+    """:class:`WeightedVote` specialised for reputation weights (quality control).
+
+    Each vote counts with its worker's weight (typically the log-odds of the
+    worker's posterior accuracy from
+    :class:`~repro.crowd.quality.WorkerReputation`).  The only behaviour
+    added over the base class is the uniform-weights shortcut: when every
+    resolved weight is equal the plain :class:`MajorityVote` runs directly,
+    so the degradation to majority voting is bit-exact (same winner, same
+    earliest-answer tie-break, no float scaling) — switching quality control
+    on cannot change results until reputations diverge.
+    """
+
+    name = "ConfidenceWeightedVote"
+
+    def reduce(self, answers: AnswerList) -> Any:
+        if answers.worker_ids:
+            resolved = _resolved_weights(answers, self.weights, self.default_weight)
+            if len(set(resolved)) <= 1:
+                return MajorityVote().reduce(answers)
+        return super().reduce(answers)
+
+
+class WeightedFieldwiseMajority(Aggregate):
+    """Fieldwise majority with reputation-weighted votes per field.
+
+    The quality-control counterpart of :class:`FieldwiseMajority`: each form
+    field is decided independently, weighting every worker's field answer by
+    their reputation.  Degrades exactly to :class:`FieldwiseMajority` under
+    uniform weights.
+    """
+
+    name = "WeightedFieldwiseMajority"
+
+    def __init__(self, weights: Mapping[str, float], default_weight: float = 1.0):
+        self.weights = dict(weights)
+        self.default_weight = default_weight
+
+    def reduce(self, answers: AnswerList) -> dict[str, Any]:
+        voter = ConfidenceWeightedVote(self.weights, self.default_weight)
+        return _fieldwise_reduce(answers, voter.reduce, name=self.name)
+
+
+class WeightedMeanRating(Aggregate):
+    """Reputation-weighted mean of numeric answers.
+
+    Degrades exactly to :class:`MeanRating` under uniform weights (the plain
+    mean is computed directly in that case, so no float drift sneaks in).
+    """
+
+    name = "WeightedMeanRating"
+
+    def __init__(self, weights: Mapping[str, float], default_weight: float = 1.0):
+        self.weights = dict(weights)
+        self.default_weight = default_weight
+
+    def reduce(self, answers: AnswerList) -> float:
+        values = [MeanRating._as_number(a) for a in answers]
+        if not answers.worker_ids:
+            return sum(values) / len(values)
+        resolved = _resolved_weights(answers, self.weights, self.default_weight)
+        if len(set(resolved)) <= 1:
+            return sum(values) / len(values)
+        total_weight = sum(resolved)
+        if total_weight <= 0:
+            return sum(values) / len(values)
+        return sum(value * weight for value, weight in zip(values, resolved)) / total_weight
+
+
+#: Plain combiner name -> factory for its reputation-weighted counterpart.
+_WEIGHTED_COUNTERPARTS: dict[str, Callable[[Mapping[str, float], float], Aggregate]] = {
+    "majorityvote": ConfidenceWeightedVote,
+    "fieldwisemajority": WeightedFieldwiseMajority,
+    "meanrating": WeightedMeanRating,
+}
+
+
+def weighted_counterpart(
+    combiner_name: str, weights: Mapping[str, float], default_weight: float = 1.0
+) -> Aggregate | None:
+    """The reputation-weighted counterpart of a plain combiner, if one exists.
+
+    Returns None for combiners with no weighted analogue (``First``,
+    ``ListAll``, ``MedianRating`` — the median is already spammer-robust);
+    callers fall back to the plain combiner in that case.
+    """
+    factory = _WEIGHTED_COUNTERPARTS.get(combiner_name.lower())
+    if factory is None:
+        return None
+    return factory(weights, default_weight)
 
 
 def majority_confidence(answers: AnswerList) -> float:
@@ -233,6 +360,31 @@ def majority_confidence(answers: AnswerList) -> float:
     uncertainty), but useful for adaptive redundancy decisions.
     """
     return answers.agreement()
+
+
+def weighted_confidence(
+    answers: AnswerList, weights: Mapping[str, float], default_weight: float = 1.0
+) -> float:
+    """Reputation-weighted share of the winning answer (1.0 if empty).
+
+    The early-stopping rule of adaptive redundancy: when the weighted vote
+    share of the leading answer clears the confidence threshold, further
+    assignments are unlikely to flip the outcome and the task stops early.
+    Degrades to plain :meth:`AnswerList.agreement` under uniform weights.
+    """
+    if not answers.answers:
+        return 1.0
+    if not answers.worker_ids:
+        return answers.agreement()
+    resolved = _resolved_weights(answers, weights, default_weight)
+    totals: dict[Any, float] = {}
+    for answer, weight in zip(answers.answers, resolved):
+        key = _freeze(answer)
+        totals[key] = totals.get(key, 0.0) + weight
+    total = sum(totals.values())
+    if total <= 0:
+        return answers.agreement()
+    return max(totals.values()) / total
 
 
 _REGISTRY: dict[str, Callable[[], Aggregate]] = {}

@@ -206,6 +206,9 @@ class EngineScheduler:
             return True
         if self.clock.run_next():
             self.metrics.clock_advances += 1
+            # Clock events include HIT expiries, whose requeues may have
+            # burned a task's last attempt — route the stall promptly.
+            self._route_exhausted_errors()
             self._reap()
             return True
 
@@ -222,6 +225,7 @@ class EngineScheduler:
                 continue
             record.handle.status = QueryStatus.STALLED
             record.handle.error = error
+            self.task_manager.cancel_query(record.handle.query_id)
             self._record_event(record.handle.query_id, "stalled")
         self._reap()
         raise error
@@ -262,6 +266,7 @@ class EngineScheduler:
     def _flush(self, *, force: bool) -> int:
         posted = self.task_manager.flush(force=force, raise_on_budget=False)
         self._route_budget_errors()
+        self._route_exhausted_errors()
         return posted
 
     def _route_budget_errors(self) -> None:
@@ -270,6 +275,32 @@ class EngineScheduler:
             if record is None or record.handle.is_terminal:
                 continue
             self._fail_over_budget(record.handle, error)
+
+    def _route_exhausted_errors(self) -> None:
+        """Stall queries whose tasks ran out of fault-tolerance HIT attempts.
+
+        The Task Manager abandons a task once its re-post attempt cap is
+        burned (every posted HIT expired or came back empty); the owning
+        query can then never complete, so it surfaces ``STALLED`` — keeping
+        its partial results — instead of hanging, and without dragging down
+        the other active queries the global stall path would also mark.
+        """
+        for query_id, cause in self.task_manager.take_exhausted_errors().items():
+            record = self._active.get(query_id)
+            if record is None or record.handle.is_terminal:
+                continue
+            handle = record.handle
+            handle.status = QueryStatus.STALLED
+            handle.error = QueryStalledError(
+                f"query {query_id} stalled after emitting "
+                f"{len(handle.results_table)} row(s): {cause}"
+            )
+            cancelled = self.task_manager.cancel_query(query_id)
+            self._record_event(
+                query_id,
+                "stalled",
+                f"task attempts exhausted, {cancelled} pending task(s) cancelled",
+            )
 
     def _fail_over_budget(self, handle: QueryHandle, error: BudgetExceededError) -> None:
         handle.status = QueryStatus.BUDGET_EXCEEDED
@@ -336,6 +367,12 @@ class EngineScheduler:
                 f"query {handle.query_id} stalled after emitting "
                 f"{len(handle.results_table)} row(s): the scheduler ran out of work"
             )
+            self.task_manager.cancel_query(handle.query_id)
             self._record_event(handle.query_id, "stalled")
+            raise handle.error
+        if handle.status is QueryStatus.STALLED and handle.error is not None:
+            # A targeted stall (task attempts exhausted) set the status
+            # without raising; waiting on the handle must still surface it
+            # rather than silently returning an incomplete result set.
             raise handle.error
         return handle.results()

@@ -310,6 +310,11 @@ class AdaptiveReplanner:
         # The per-task assignment rule applies the new redundancy on its own
         # (ExecutionContext.assignments_for); this entry records the shift so
         # the plan history explains the spend trajectory.
+        reputation = self.optimizer.reputation
+        if reputation is not None and not reputation.is_uniform():
+            reason = "observed worker accuracy (gold probes) moved the majority-vote choice"
+        else:
+            reason = "observed worker agreement moved the majority-vote choice"
         return PlanChange(
             time=now,
             query_id=query_id,
@@ -317,7 +322,7 @@ class AdaptiveReplanner:
             operator=spec.name,
             before=str(previous),
             after=str(recommended),
-            reason="observed worker agreement moved the majority-vote choice",
+            reason=reason,
         )
 
 

@@ -40,6 +40,10 @@ class QueryBudget:
         """Commit spend (called when a HIT is posted, not when it completes)."""
         self.committed += amount
 
+    def release(self, amount: float) -> None:
+        """Return committed-but-unspent dollars (an expired HIT's unfilled slots)."""
+        self.committed = max(self.committed - amount, 0.0)
+
 
 class BudgetLedger:
     """Tracks budgets and committed spend for every registered query."""
@@ -69,6 +73,18 @@ class BudgetLedger:
                 budget=budget.limit or 0.0,
             )
         budget.commit(amount)
+
+    def release(self, query_id: str, amount: float) -> None:
+        """Give back committed spend that will never be collected.
+
+        A HIT that expires with unfilled assignment slots only pays for the
+        submissions it actually received; the difference flows back here so
+        fault re-posts do not double-bill the query.  Without this, every
+        expiry would permanently consume budget the platform never charged
+        and an expiry storm could push a well-budgeted query into
+        ``BUDGET_EXCEEDED`` having spent almost nothing.
+        """
+        self.budget(query_id).release(amount)
 
     def would_exceed(self, query_id: str, amount: float) -> bool:
         """Whether committing ``amount`` would exceed the query's budget."""

@@ -10,13 +10,38 @@ let the dashboard show an expected completion time.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
 from repro.core.tasks.spec import TaskSpec
 from repro.crowd.pricing import DEFAULT_PRICING, PricingPolicy
 
-__all__ = ["CostEstimate", "CostModel"]
+__all__ = ["CostEstimate", "CostModel", "majority_accuracy"]
+
+
+@functools.lru_cache(maxsize=4096)
+def majority_accuracy(single_accuracy: float, assignments: int) -> float:
+    """Probability that a majority of ``assignments`` independent workers is right.
+
+    Ties (possible only for even counts) are counted as failures, which makes
+    the estimate conservative; the optimizer only considers odd counts.
+    Memoized: the adaptive redundancy rule evaluates this once per task on
+    the hot path, over a handful of distinct (accuracy, k) pairs.
+
+    Lives in the cost model (rather than the optimizer) because it is the
+    accuracy half of pricing redundancy: dollars per HIT come from
+    :meth:`CostModel.hit_cost`, accuracy per redundancy level from here, and
+    the optimizer trades the two off using *observed* worker accuracy when a
+    :class:`~repro.crowd.quality.WorkerReputation` tracker is attached.
+    """
+    p = min(max(single_accuracy, 0.0), 1.0)
+    total = 0.0
+    for correct in range(assignments + 1):
+        if correct * 2 <= assignments:
+            continue
+        total += math.comb(assignments, correct) * p**correct * (1 - p) ** (assignments - correct)
+    return total
 
 
 @dataclass(frozen=True)

@@ -27,16 +27,15 @@ once per pass.  Physical plans are costed through the structural bridge in
 
 from __future__ import annotations
 
-import functools
-import math
 from dataclasses import dataclass
 
 from repro.core.operators.base import Operator
 from repro.core.operators.crowd_join import JoinStrategy
 from repro.core.operators.crowd_sort import SortStrategy
-from repro.core.optimizer.cost_model import CostEstimate, CostModel
+from repro.core.optimizer.cost_model import CostEstimate, CostModel, majority_accuracy
 from repro.core.optimizer.statistics import SpecStats, StatisticsManager, blend_selectivity
 from repro.core.tasks.spec import JoinColumnsResponse, RatingResponse, TaskSpec
+from repro.crowd.quality import WorkerReputation
 from repro.errors import OptimizerError
 
 __all__ = [
@@ -46,24 +45,6 @@ __all__ = [
     "QueryOptimizer",
     "majority_accuracy",
 ]
-
-
-@functools.lru_cache(maxsize=4096)
-def majority_accuracy(single_accuracy: float, assignments: int) -> float:
-    """Probability that a majority of ``assignments`` independent workers is right.
-
-    Ties (possible only for even counts) are counted as failures, which makes
-    the estimate conservative; the optimizer only considers odd counts.
-    Memoized: the adaptive redundancy rule evaluates this once per task on
-    the hot path, over a handful of distinct (accuracy, k) pairs.
-    """
-    p = min(max(single_accuracy, 0.0), 1.0)
-    total = 0.0
-    for correct in range(assignments + 1):
-        if correct * 2 <= assignments:
-            continue
-        total += math.comb(assignments, correct) * p**correct * (1 - p) ** (assignments - correct)
-    return total
 
 
 #: How the initial physical plan chooses a crowd sort's interface.
@@ -141,11 +122,16 @@ class CostingPass:
     """
 
     def __init__(
-        self, statistics: StatisticsManager, cost_model: CostModel, config: OptimizerConfig
+        self,
+        statistics: StatisticsManager,
+        cost_model: CostModel,
+        config: OptimizerConfig,
+        reputation: WorkerReputation | None = None,
     ) -> None:
         self.statistics = statistics
         self.cost_model = cost_model
         self.config = config
+        self.reputation = reputation
         self._spec_stats: dict[str, SpecStats] = {}
 
     def spec_stats(self, name: str) -> SpecStats:
@@ -156,7 +142,7 @@ class CostingPass:
 
     def worker_accuracy(self, spec: TaskSpec) -> float:
         """Single-worker accuracy proxy from the cached snapshot."""
-        return _worker_accuracy(self.spec_stats(spec.name), self.config)
+        return _worker_accuracy(self.spec_stats(spec.name), self.config, self.reputation)
 
     def assignments_for(self, spec: TaskSpec) -> int:
         """Redundancy the adaptive rule would pick for ``spec`` right now."""
@@ -171,17 +157,39 @@ class CostingPass:
         return blend_selectivity(self.spec_stats(name), prior)
 
 
-def _worker_accuracy(stats: SpecStats, config: OptimizerConfig) -> float:
-    """Single-worker accuracy proxy: observed agreement with the majority.
+def _worker_accuracy(
+    stats: SpecStats, config: OptimizerConfig, reputation: WorkerReputation | None = None
+) -> float:
+    """Single-worker accuracy proxy for the redundancy rule.
 
     The one heuristic shared by plan-time costing (CostingPass) and the
     runtime redundancy rule, so candidate costs and per-task assignment
-    choices can never diverge on the accuracy model.  Agreement with the
-    majority is an optimistic proxy; damp it a little.
+    choices can never diverge on the accuracy model.  Signals, best first:
+
+    * the *observed* marketplace accuracy from an attached
+      :class:`~repro.crowd.quality.WorkerReputation` tracker (gold probes
+      are ground truth) — this is what re-costs redundancy mid-query under
+      quality control;
+    * the spec's observed agreement with the majority (an optimistic proxy,
+      but *per spec* — an easy filter and a hard join have genuinely
+      different judgement accuracy);
+    * the configured default.
+
+    When both observations exist they are averaged: the reputation estimate
+    anchors the optimistic agreement proxy to probed ground truth without
+    flattening every spec to one engine-global number.
     """
-    if stats.crowd_tasks >= 3:
-        return min(max(stats.mean_agreement, 0.55), 0.99)
-    return config.default_worker_accuracy
+    spec_signal = stats.mean_agreement if stats.crowd_tasks >= 3 else None
+    reputation_signal = reputation.population_accuracy() if reputation is not None else None
+    if spec_signal is not None and reputation_signal is not None:
+        observed = (spec_signal + reputation_signal) / 2.0
+    elif reputation_signal is not None:
+        observed = reputation_signal
+    elif spec_signal is not None:
+        observed = spec_signal
+    else:
+        return config.default_worker_accuracy
+    return min(max(observed, 0.55), 0.99)
 
 
 def _pick_assignments(accuracy: float, config: OptimizerConfig, target: float) -> int:
@@ -207,16 +215,23 @@ class QueryOptimizer:
         statistics: StatisticsManager,
         cost_model: CostModel | None = None,
         config: OptimizerConfig | None = None,
+        *,
+        reputation: WorkerReputation | None = None,
     ) -> None:
         self.statistics = statistics
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.config = config if config is not None else OptimizerConfig()
+        # With a tracker attached, estimate_worker_accuracy — and so
+        # choose_assignments and every plan-costing pass — uses the accuracy
+        # observed from gold probes and vote agreement, which re-costs
+        # redundancy mid-query as the marketplace reveals its quality.
+        self.reputation = reputation
 
     # -- redundancy -------------------------------------------------------------------------
 
     def estimate_worker_accuracy(self, spec: TaskSpec) -> float:
-        """Single-worker accuracy proxy: observed agreement with the majority."""
-        return _worker_accuracy(self.statistics.spec(spec.name), self.config)
+        """Single-worker accuracy proxy (observed reputation, then agreement)."""
+        return _worker_accuracy(self.statistics.spec(spec.name), self.config, self.reputation)
 
     def choose_assignments(self, spec: TaskSpec, *, target_confidence: float | None = None) -> int:
         """Smallest candidate redundancy whose majority vote meets the target."""
@@ -301,7 +316,7 @@ class QueryOptimizer:
 
     def costing_pass(self) -> CostingPass:
         """A fresh costing context (statistics snapshotted once per spec)."""
-        return CostingPass(self.statistics, self.cost_model, self.config)
+        return CostingPass(self.statistics, self.cost_model, self.config, self.reputation)
 
     def estimate_logical_cost(self, root) -> CostEstimate:
         """Cost a logical plan; annotates every node's rows/cost en route.

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import html as html_module
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
+from repro.crowd.quality import GoldQuestion
 from repro.core.tasks.spec import (
     ComparisonResponse,
     FormResponse,
@@ -45,6 +46,11 @@ class CompiledHIT:
     item_to_task: dict[str, str] = field(default_factory=dict)
     #: JOIN_BLOCK only: item id -> ("left"|"right", index into the block lists).
     block_positions: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: Gold-standard probe items riding along: item id -> expected answer.
+    #: Probes are invisible to answer extraction (no task maps to them); the
+    #: Task Manager scores them against each assignment to update worker
+    #: reputations.
+    gold_items: dict[str, GoldQuestion] = field(default_factory=dict)
 
     def query_ids(self) -> tuple[str, ...]:
         """Distinct query ids contributing tasks, in first-contribution order.
@@ -97,8 +103,24 @@ _KIND_TO_INTERFACE = {
 class HITCompiler:
     """Compiles batches of tasks into HITs."""
 
-    def compile(self, tasks: list[Task]) -> CompiledHIT:
-        """Compile a batch of same-spec, same-kind tasks into one HIT."""
+    def compile(
+        self,
+        tasks: list[Task],
+        *,
+        gold: Sequence[GoldQuestion] = (),
+        gold_position: int | None = None,
+    ) -> CompiledHIT:
+        """Compile a batch of same-spec, same-kind tasks into one HIT.
+
+        ``gold`` — optional gold-standard probe questions mixed into the
+        HIT's items (itemised interfaces only; JOIN_BLOCK HITs carry none).
+        Workers cannot distinguish probes from real items; the Task Manager
+        scores their probe answers against the known truth.
+        ``gold_position`` — index among the real items where the probes are
+        inserted (None appends).  Callers should vary it (seeded): a probe
+        always parked at the end would grade fatigue-prone workers at their
+        worst position and bias reputations downward.
+        """
         if not tasks:
             raise TaskCompilationError("cannot compile an empty task batch")
         spec = tasks[0].spec
@@ -111,12 +133,19 @@ class HITCompiler:
         if kind is TaskKind.JOIN_BLOCK:
             compiled = self._compile_join_block(tasks[0], spec)
         else:
-            compiled = self._compile_itemised(tasks, spec, kind)
+            compiled = self._compile_itemised(tasks, spec, kind, gold, gold_position)
         return compiled
 
     # -- per-kind compilation ---------------------------------------------------
 
-    def _compile_itemised(self, tasks: list[Task], spec: TaskSpec, kind: TaskKind) -> CompiledHIT:
+    def _compile_itemised(
+        self,
+        tasks: list[Task],
+        spec: TaskSpec,
+        kind: TaskKind,
+        gold: Sequence[GoldQuestion] = (),
+        gold_position: int | None = None,
+    ) -> CompiledHIT:
         items: list[HITItem] = []
         item_to_task: dict[str, str] = {}
         for position, task in enumerate(tasks):
@@ -124,6 +153,14 @@ class HITCompiler:
             prompt = spec.render_text(*task.payload.get("args", ()))
             items.append(HITItem(item_id, prompt, payload=self._item_payload(task)))
             item_to_task[item_id] = task.task_id
+        gold_items: dict[str, GoldQuestion] = {}
+        insert_at = len(items) if gold_position is None else min(gold_position, len(items))
+        for position, question in enumerate(gold):
+            item_id = f"gold{position}"
+            payload = dict(question.payload)
+            payload.setdefault("_task", spec.name)
+            items.insert(insert_at + position, HITItem(item_id, question.prompt, payload=payload))
+            gold_items[item_id] = question
 
         fields: tuple[FormField, ...] = ()
         choices: tuple[str, ...] = ("yes", "no")
@@ -155,6 +192,7 @@ class HITCompiler:
             html=self.render_html(content),
             tasks=tuple(tasks),
             item_to_task=item_to_task,
+            gold_items=gold_items,
         )
 
     def _compile_join_block(self, task: Task, spec: TaskSpec) -> CompiledHIT:

@@ -29,10 +29,16 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
+import random
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.core.answers import AnswerList, get_aggregate
+from repro.core.answers import (
+    AnswerList,
+    get_aggregate,
+    weighted_confidence,
+    weighted_counterpart,
+)
 from repro.core.optimizer.budget import BudgetLedger
 from repro.core.optimizer.statistics import StatisticsManager
 from repro.core.tasks.batching import BatchingPolicy, FixedBatching, NoBatching
@@ -43,6 +49,14 @@ from repro.core.tasks.task_cache import TaskCache
 from repro.core.tasks.task_model import LearnedTaskModel, TaskModelRegistry
 from repro.crowd.hit import HIT, Assignment
 from repro.crowd.mturk import MTurkSimulator
+from repro.crowd.quality import (
+    DEFAULT_AGREEMENT_WEIGHT,
+    GoldQuestion,
+    GoldStandardPool,
+    QualityConfig,
+    WorkerReputation,
+    agreement_signal,
+)
 from repro.errors import BudgetExceededError, TaskError
 
 __all__ = ["TaskManagerStats", "TaskManager"]
@@ -62,7 +76,24 @@ class TaskManagerStats:
     #: HITs whose task batch mixed two or more queries (cross-query batching).
     cross_query_hits: int = 0
     hit_dollars_committed: float = 0.0
+    #: Committed dollars released back when HITs expired with unfilled
+    #: (never-paid) assignment slots.
+    hit_dollars_refunded: float = 0.0
     tasks_dropped_over_budget: int = 0
+    # Fault tolerance: tasks re-posted after their HIT expired, and tasks
+    # abandoned after exhausting their attempt cap (owning query -> STALLED).
+    tasks_requeued: int = 0
+    tasks_exhausted: int = 0
+    # Quality control: additional redundancy waves posted, tasks finalized
+    # below their full redundancy target, and gold-probe activity.
+    wave_continuations: int = 0
+    early_stopped_tasks: int = 0
+    #: Tasks delivered below their redundancy target because the attempt cap
+    #: was spent — the salvaged (already paid-for) answers are used rather
+    #: than discarded.
+    tasks_degraded: int = 0
+    gold_probes_posted: int = 0
+    gold_answers_scored: int = 0
 
 
 @dataclass
@@ -73,6 +104,29 @@ class _InflightHIT:
     posted_at: float
     cost_committed: float
     processed: bool = False
+    #: Assignments actually requested per task in this HIT (None -> each
+    #: task's full redundancy, the legacy single-shot behaviour).
+    needs: dict[str, int] | None = None
+    #: Per-query budget shares authorised for this HIT (for refunds when the
+    #: HIT expires with unfilled — and therefore unpaid — assignment slots).
+    shares: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class _TaskProgress:
+    """Answers accumulated for one task across waves and re-posted HITs."""
+
+    task: Task
+    target: int
+    answers: list = field(default_factory=list)
+    workers: list[str] = field(default_factory=list)
+    cost: float = 0.0
+    #: Fault re-posts consumed (wave continuations do not count).
+    attempts: int = 0
+
+    @property
+    def received(self) -> int:
+        return len(self.answers)
 
 
 class TaskManager:
@@ -88,6 +142,10 @@ class TaskManager:
         models: TaskModelRegistry | None = None,
         compiler: HITCompiler | None = None,
         default_batching: BatchingPolicy | None = None,
+        quality: QualityConfig | None = None,
+        reputation: WorkerReputation | None = None,
+        gold: GoldStandardPool | None = None,
+        max_attempts: int | None = None,
     ) -> None:
         self.platform = platform
         self.statistics = statistics
@@ -96,13 +154,30 @@ class TaskManager:
         self.models = models if models is not None else TaskModelRegistry()
         self.compiler = compiler if compiler is not None else HITCompiler()
         self.default_batching = default_batching if default_batching is not None else NoBatching()
+        self.quality = quality
+        self.reputation = reputation
+        self.gold = gold
+        # An explicit constructor argument wins; otherwise the quality
+        # config's cap, then the default.
+        if max_attempts is not None:
+            self.max_attempts = max_attempts
+        elif quality is not None:
+            self.max_attempts = quality.max_attempts
+        else:
+            self.max_attempts = 3
         self.stats = TaskManagerStats()
         self._pending: dict[GroupKey, deque[Task]] = {}
         self._policies: dict[tuple[str, str], BatchingPolicy] = {}
         self._inflight: dict[str, _InflightHIT] = {}
+        self._progress: dict[str, _TaskProgress] = {}
         self._submitted_at: dict[str, float] = {}
         self._budget_errors: dict[str, BudgetExceededError] = {}
+        self._exhausted_errors: dict[str, TaskError] = {}
+        self._cancelled_queries: set[str] = set()
+        self._delivery_listeners: list = []
+        self._quality_rng = random.Random(quality.seed) if quality is not None else None
         platform.on_assignment_submitted(self._on_assignment_submitted)
+        platform.on_hit_expired(self._on_hit_expired)
 
     # -- configuration -------------------------------------------------------------
 
@@ -208,11 +283,65 @@ class TaskManager:
         if batch[0].kind is TaskKind.JOIN_BLOCK:
             posted = 0
             for task in batch:
-                posted += self._post_tasks([task], raise_on_budget=raise_on_budget)
+                posted += self._post_tasks(
+                    [task], raise_on_budget=raise_on_budget, needs=self._batch_needs([task])
+                )
             return posted
-        return self._post_tasks(batch, raise_on_budget=raise_on_budget)
+        needs = self._batch_needs(batch)
+        if needs is None:
+            # Single-shot posting (the default): the whole batch shares one
+            # HIT whose redundancy is the batch maximum, exactly as before
+            # quality control existed.
+            return self._post_tasks(batch, raise_on_budget=raise_on_budget, needs=None)
+        # Wave mode (or a fault re-post of partially answered tasks): tasks
+        # requesting different assignment counts must not share a HIT — every
+        # assignment answers the whole HIT, so a mixed batch would overshoot
+        # the smaller requests.  Group by requested count instead.
+        posted = 0
+        groups: dict[int, list[Task]] = {}
+        for task in batch:
+            groups.setdefault(needs[task.task_id], []).append(task)
+        for _need, group in sorted(groups.items()):
+            posted += self._post_tasks(
+                group,
+                raise_on_budget=raise_on_budget,
+                needs={task.task_id: needs[task.task_id] for task in group},
+            )
+        return posted
 
-    def _cost_shares(self, tasks: list[Task]) -> tuple[float, float, float, dict[str, float]]:
+    def _batch_needs(self, batch: list[Task]) -> dict[str, int] | None:
+        """Per-task assignment requests for a batch, or None for single-shot.
+
+        None means every task wants its full redundancy in one HIT — the
+        legacy path, where cost attribution also runs on full redundancy.
+        Computed once per batch and passed down to :meth:`_post_tasks`, so
+        the grouping decision and the posted HIT can never disagree.
+        """
+        needs = {task.task_id: self._needed_assignments(task) for task in batch}
+        if all(needs[task.task_id] == task.assignments for task in batch):
+            return None
+        return needs
+
+    # -- adaptive redundancy (waves) --------------------------------------------------
+
+    def _needed_assignments(self, task: Task) -> int:
+        """How many assignments the next HIT should request for ``task``.
+
+        Missing answers only (a re-posted task does not re-buy the answers it
+        already holds); capped at one wave when adaptive redundancy is on.
+        With no accumulated progress and no quality control this is exactly
+        the task's full redundancy — the legacy behaviour.
+        """
+        progress = self._progress.get(task.task_id)
+        received = progress.received if progress is not None else 0
+        remaining = max(task.assignments - received, 1)
+        if self.quality is not None and self.quality.adaptive_redundancy:
+            return min(self.quality.wave_size, remaining)
+        return remaining
+
+    def _cost_shares(
+        self, tasks: list[Task], needs: dict[str, int] | None = None
+    ) -> tuple[float, float, float, dict[str, float]]:
         """Reward, assignments, total cost and each query's share for a batch.
 
         Every assignment answers the whole HIT, so the reward and redundancy
@@ -220,26 +349,57 @@ class TaskManager:
         split across queries in proportion to each task's *own* intrinsic
         cost (price x redundancy), not the batch maxima — a query batching
         cheap low-redundancy tasks next to an expensive neighbour must not be
-        billed at the neighbour's rate.
+        billed at the neighbour's rate.  ``needs`` substitutes the wave /
+        re-post assignment counts for the tasks' full redundancy.
         """
         reward = max(task.price for task in tasks)
-        assignments = max(task.assignments for task in tasks)
+        assignments = max(self._task_need(task, needs) for task in tasks)
         cost = self.platform.pricing.assignment_cost(reward) * assignments
         weights: Counter = Counter()
         for task in tasks:
-            weights[task.query_id] += task.price * task.assignments
+            weights[task.query_id] += task.price * self._task_need(task, needs)
         total_weight = sum(weights.values())
         shares = {qid: cost * weight / total_weight for qid, weight in weights.items()}
         return reward, assignments, cost, shares
 
-    def _post_tasks(self, tasks: list[Task], *, raise_on_budget: bool) -> int:
-        """Authorise, compile and post one batch.  Returns HITs posted (0/1)."""
+    @staticmethod
+    def _task_need(task: Task, needs: dict[str, int] | None) -> int:
+        if needs is None:
+            return task.assignments
+        return needs.get(task.task_id, task.assignments)
+
+    def _pick_gold(self, tasks: list[Task]) -> tuple[GoldQuestion, ...]:
+        """Choose the gold probes riding on the next HIT (usually none)."""
+        if (
+            self._quality_rng is None
+            or self.gold is None
+            or self.quality is None
+            or self.quality.gold_frequency <= 0.0
+            or tasks[0].kind is TaskKind.JOIN_BLOCK
+        ):
+            return ()
+        if self._quality_rng.random() >= self.quality.gold_frequency:
+            return ()
+        question = self.gold.pick(tasks[0].spec.name, self._quality_rng)
+        if question is None:
+            return ()
+        self.stats.gold_probes_posted += 1
+        return (question,)
+
+    def _post_tasks(
+        self, tasks: list[Task], *, raise_on_budget: bool, needs: dict[str, int] | None
+    ) -> int:
+        """Authorise, compile and post one batch.  Returns HITs posted (0/1).
+
+        ``needs`` comes from :meth:`_batch_needs` (None = legacy single-shot
+        HIT with attribution by full redundancy).
+        """
         single_query_batch = len({task.query_id for task in tasks}) == 1
         # Dropping an unaffordable query shifts its slice of the (fixed) HIT
         # cost onto the survivors, so re-check affordability to a fixed point
         # before authorising anything — authorize below must never raise.
         while True:
-            reward, assignments, cost, shares = self._cost_shares(tasks)
+            reward, assignments, cost, shares = self._cost_shares(tasks, needs)
             unaffordable: set[str] = set()
             for query_id in shares:
                 if not self.budget.would_exceed(query_id, shares[query_id]):
@@ -259,21 +419,44 @@ class TaskManager:
                 self._budget_errors[query_id] = error
             if not unaffordable:
                 break
-            self.stats.tasks_dropped_over_budget += sum(
-                1 for task in tasks if task.query_id in unaffordable
-            )
+            dropped = [task for task in tasks if task.query_id in unaffordable]
+            self.stats.tasks_dropped_over_budget += len(dropped)
+            for task in dropped:
+                # A dropped task leaves the pipeline for good (its query is
+                # headed for BUDGET_EXCEEDED); reap any accumulated wave
+                # progress so a long-lived engine does not leak it.
+                self._progress.pop(task.task_id, None)
             tasks = [task for task in tasks if task.query_id not in unaffordable]
             if not tasks:
                 return 0
         spec_name = tasks[0].spec.name
         for query_id in shares:
             self.budget.authorize(query_id, shares[query_id], description=f"HIT for {spec_name}")
-        compiled = self.compiler.compile(tasks)
+        # A re-posted (wave / fault) batch bars the workers who already
+        # answered any of its tasks — redundancy assumes independent
+        # judgements, so one worker must not vote twice on one task.
+        excluded: frozenset[str] = frozenset()
+        if needs is not None:
+            prior_workers: set[str] = set()
+            for task in tasks:
+                progress = self._progress.get(task.task_id)
+                if progress is not None:
+                    prior_workers.update(progress.workers)
+            excluded = frozenset(prior_workers)
+        gold = self._pick_gold(tasks)
+        gold_position = None
+        if gold and self._quality_rng is not None:
+            # Mix the probe in at a seeded-random position — parked at the
+            # end it would grade fatigue-prone workers at their worst and
+            # bias reputations downward.
+            gold_position = self._quality_rng.randrange(len(tasks) + 1)
+        compiled = self.compiler.compile(tasks, gold=gold, gold_position=gold_position)
         hit = self.platform.create_hit(
             compiled.content,
             reward=reward,
             max_assignments=assignments,
             requester_annotation=spec_name,
+            excluded_workers=excluded,
         )
         self.stats.hits_posted += 1
         if len(shares) > 1:
@@ -284,6 +467,8 @@ class TaskManager:
             compiled=compiled,
             posted_at=self.platform.clock.now,
             cost_committed=cost,
+            needs=needs,
+            shares=dict(shares),
         )
         return 1
 
@@ -300,8 +485,59 @@ class TaskManager:
             del self._inflight[hit.hit_id]
 
     def _process_completed_hit(self, hit: HIT, inflight: _InflightHIT) -> None:
-        compiled = inflight.compiled
+        self._settle_hit(hit, inflight, expired=False)
+
+    def _settle_hit(self, hit: HIT, inflight: _InflightHIT, *, expired: bool) -> None:
+        """Fold one finished-or-expired HIT into task progress and act on it.
+
+        The single orchestration shared by the completion and expiry paths:
+        score gold probes, merge submissions (and actual spend) into each
+        task's progress, then finalize / requeue per task.  The only policy
+        difference is what a shortfall means: on an expired HIT (or a task
+        every worker skipped) the re-post burns a fault attempt; on a
+        completed HIT it is a planned wave continuation.
+        """
         submissions = hit.submitted_assignments
+        if expired:
+            self._refund_unfilled_slots(hit, inflight, submissions)
+        self._score_gold(inflight.compiled, submissions)
+        self._merge_answers(hit, inflight, submissions)
+        now = self.platform.clock.now
+        for task in inflight.compiled.tasks:
+            progress = self._progress.get(task.task_id)
+            if progress is None:
+                continue
+            if progress.received > 0 and self._should_finalize(progress):
+                self._finalize(task, progress, hit.hit_id, inflight.posted_at, now)
+            elif expired or progress.received == 0:
+                # A fault: the HIT expired short, or every worker skipped
+                # this item.  Re-post (burning an attempt) instead of
+                # silently stranding the query — unless the attempt cap is
+                # spent and salvaged answers exist, in which case the
+                # paid-for answers become a degraded (below-target) result
+                # rather than being thrown away with the query stalled.
+                if progress.attempts >= self.max_attempts and progress.received > 0:
+                    self.stats.tasks_degraded += 1
+                    self._finalize(
+                        task, progress, hit.hit_id, inflight.posted_at, now, degraded=True
+                    )
+                else:
+                    self._requeue(task, count_attempt=True)
+            else:
+                # Confidence not yet reached: buy another redundancy wave.
+                self.stats.wave_continuations += 1
+                self._requeue(task, count_attempt=False)
+
+    def _merge_answers(
+        self, hit: HIT, inflight: _InflightHIT, submissions: list[Assignment]
+    ) -> None:
+        """Fold one HIT's submissions and actual spend into task progress.
+
+        Spend is attributed the same way commitments were authorised: in
+        proportion to each task's intrinsic cost (price x the assignments
+        this HIT requested for it).
+        """
+        compiled = inflight.compiled
         per_task_answers: dict[str, list] = {task.task_id: [] for task in compiled.tasks}
         per_task_workers: dict[str, list[str]] = {task.task_id: [] for task in compiled.tasks}
         for assignment in submissions:
@@ -311,63 +547,236 @@ class TaskManager:
                 per_task_workers[task_id].append(assignment.worker_id)
 
         actual_cost = self.platform.pricing.assignment_cost(hit.reward) * len(submissions)
-        # Attribute actual spend the same way commitments were authorised:
-        # in proportion to each task's intrinsic cost (price x redundancy).
-        total_weight = sum(task.price * task.assignments for task in compiled.tasks) or 1.0
-        now = self.platform.clock.now
-
+        total_weight = (
+            sum(task.price * self._task_need(task, inflight.needs) for task in compiled.tasks)
+            or 1.0
+        )
         for task in compiled.tasks:
-            cost_per_task = actual_cost * task.price * task.assignments / total_weight
-            answers = AnswerList.of(per_task_answers[task.task_id], per_task_workers[task.task_id])
-            if len(answers) == 0:
-                # Every worker skipped this item; treat as an unanswered task.
-                continue
-            reduced = self._reduce(task, answers)
-            self._record_votes(answers, reduced)
-            latency = now - self._submitted_at.get(task.task_id, inflight.posted_at)
-            result = TaskResult(
-                task=task,
-                answers=answers,
-                reduced=reduced,
-                source=ResultSource.CROWD,
-                cost=cost_per_task,
-                latency=latency,
-                hit_id=hit.hit_id,
+            progress = self._progress.get(task.task_id)
+            if progress is None:
+                progress = _TaskProgress(task=task, target=task.assignments)
+                self._progress[task.task_id] = progress
+            progress.answers.extend(per_task_answers[task.task_id])
+            progress.workers.extend(per_task_workers[task.task_id])
+            progress.cost += (
+                actual_cost * task.price * self._task_need(task, inflight.needs) / total_weight
             )
-            self.cache.store(
-                task.spec.name, task.cache_key, reduced, cost=cost_per_task, now=now
-            )
-            model = self.models.model_for(task.spec.name)
-            if model is not None and task.kind in (TaskKind.FILTER, TaskKind.JOIN_PAIR):
-                model.observe(task, reduced)
-            self._deliver(result)
+
+    def _should_finalize(self, progress: _TaskProgress) -> bool:
+        """Whether a task's accumulated answers are enough to deliver."""
+        if progress.received >= progress.target:
+            return True
+        if self.quality is None or not self.quality.adaptive_redundancy:
+            return False
+        if progress.received < min(self.quality.wave_size, progress.target):
+            return False
+        answers = AnswerList.of(progress.answers, progress.workers)
+        weights = self._vote_weights(answers) or {}
+        return weighted_confidence(answers, weights) >= self.quality.confidence_threshold
+
+    def _finalize(
+        self,
+        task: Task,
+        progress: _TaskProgress,
+        hit_id: str,
+        posted_at: float,
+        now: float,
+        *,
+        degraded: bool = False,
+    ) -> None:
+        """Reduce a task's accumulated answers and deliver its result."""
+        answers = AnswerList.of(progress.answers, progress.workers)
+        reduced = self._reduce(task, answers)
+        self._record_votes(answers, reduced)
+        if progress.received < progress.target and not degraded:
+            self.stats.early_stopped_tasks += 1
+        latency = now - self._submitted_at.get(task.task_id, posted_at)
+        result = TaskResult(
+            task=task,
+            answers=answers,
+            reduced=reduced,
+            source=ResultSource.CROWD,
+            cost=progress.cost,
+            latency=latency,
+            hit_id=hit_id,
+        )
+        self.cache.store(task.spec.name, task.cache_key, reduced, cost=progress.cost, now=now)
+        model = self.models.model_for(task.spec.name)
+        if model is not None and task.kind in (TaskKind.FILTER, TaskKind.JOIN_PAIR):
+            model.observe(task, reduced)
+        del self._progress[task.task_id]
+        self._deliver(result)
+
+    def _requeue(self, task: Task, *, count_attempt: bool) -> None:
+        """Put a task back on the pending queue for another HIT.
+
+        ``count_attempt`` marks fault re-posts (expired / unanswered HITs);
+        once a task burns through :attr:`max_attempts` of those it is
+        abandoned and the owning query surfaces ``STALLED`` via
+        :meth:`take_exhausted_errors` instead of hanging forever.
+        """
+        if task.query_id in self._cancelled_queries:
+            # The owning query is already over (completed, stalled or out of
+            # budget); posting fresh HITs for it would spend money nobody is
+            # waiting on — and deliver into closed operators.
+            self._progress.pop(task.task_id, None)
+            return
+        progress = self._progress.get(task.task_id)
+        if progress is None:
+            progress = _TaskProgress(task=task, target=task.assignments)
+            self._progress[task.task_id] = progress
+        if count_attempt:
+            progress.attempts += 1
+            if progress.attempts > self.max_attempts:
+                self.stats.tasks_exhausted += 1
+                del self._progress[task.task_id]
+                error = TaskError(
+                    f"task {task.task_id} ({task.spec.name}) abandoned after "
+                    f"{progress.attempts} failed HIT attempts "
+                    f"({progress.received} answer(s) collected)"
+                )
+                if task.query_id:
+                    self._exhausted_errors.setdefault(task.query_id, error)
+                return
+            self.stats.tasks_requeued += 1
+        key: GroupKey = (task.spec.name, task.kind.value)
+        self._pending.setdefault(key, deque()).append(task)
+
+    # -- quality control --------------------------------------------------------------
+
+    def _score_gold(self, compiled: CompiledHIT, submissions: list[Assignment]) -> None:
+        """Grade each worker's gold-probe answers against the known truth."""
+        if self.reputation is None or not compiled.gold_items:
+            return
+        for assignment in submissions:
+            for item_id, question in compiled.gold_items.items():
+                if item_id not in assignment.answers:
+                    continue
+                correct = question.matches(assignment.answers[item_id])
+                self.reputation.record_gold(assignment.worker_id, correct)
+                self.stats.gold_answers_scored += 1
+
+    def _vote_weights(self, answers: AnswerList) -> dict[str, float] | None:
+        """Reputation vote weights for an answer list (None -> plain voting)."""
+        if (
+            self.reputation is None
+            or self.quality is None
+            or not self.quality.weighted_voting
+            or not answers.worker_ids
+            or self.reputation.is_uniform(answers.worker_ids)
+        ):
+            return None
+        return self.reputation.vote_weights(answers.worker_ids)
 
     def _reduce(self, task: Task, answers: AnswerList):
+        weights = self._vote_weights(answers)
         if task.kind is TaskKind.JOIN_BLOCK:
-            return self._majority_pairs(answers)
+            return self._majority_pairs(answers, weights)
+        if weights is not None:
+            weighted = weighted_counterpart(task.spec.combiner, weights)
+            if weighted is not None:
+                return weighted(answers)
         combiner = get_aggregate(task.spec.combiner)
         return combiner(answers)
 
     @staticmethod
-    def _majority_pairs(answers: AnswerList) -> list[tuple[int, int]]:
-        """Keep the (left, right) pairs reported by a majority of workers."""
+    def _majority_pairs(
+        answers: AnswerList, weights: dict[str, float] | None = None
+    ) -> list[tuple[int, int]]:
+        """Keep the (left, right) pairs reported by a (weighted) majority."""
+        if weights is not None and answers.worker_ids:
+            per_answer = [weights.get(worker_id, 1.0) for worker_id in answers.worker_ids]
+        else:
+            per_answer = [1.0] * len(answers)
         counts: Counter = Counter()
-        for answer in answers:
+        for answer, weight in zip(answers.answers, per_answer):
             for pair in answer:
-                counts[tuple(pair)] += 1
-        threshold = len(answers) / 2.0
+                counts[tuple(pair)] += weight
+        threshold = sum(per_answer) / 2.0
         return sorted(pair for pair, votes in counts.items() if votes > threshold)
 
     def _record_votes(self, answers: AnswerList, reduced) -> None:
         if not answers.worker_ids:
             return
+        agreement_weight = (
+            self.quality.agreement_weight
+            if self.quality is not None
+            else DEFAULT_AGREEMENT_WEIGHT
+        )
         for answer, worker_id in zip(answers.answers, answers.worker_ids):
             self.statistics.record_vote(worker_id, answer == reduced)
+            if self.reputation is None:
+                continue
+            agreed = agreement_signal(answer, reduced)
+            if agreed is not None:
+                self.reputation.record_agreement(worker_id, agreed, weight=agreement_weight)
+
+    def on_result_delivered(self, callback) -> None:
+        """Register a callback fired after every task result delivery.
+
+        The supported observation point for tooling (the chaos harness uses
+        it to assert each task is delivered exactly once); fired for cache,
+        model and crowd results alike, after the task's own callback ran.
+        """
+        self._delivery_listeners.append(callback)
 
     def _deliver(self, result: TaskResult) -> None:
         self.stats.tasks_completed += 1
         self.statistics.record_result(result)
         result.task.callback(result)
+        for listener in self._delivery_listeners:
+            listener(result)
+
+    # -- fault tolerance --------------------------------------------------------------
+
+    def _on_hit_expired(self, hit: HIT) -> None:
+        """An in-flight HIT hit its deadline: salvage answers, requeue the rest.
+
+        Whatever the expired HIT did collect is merged into each task's
+        progress (and paid for — those assignments were approved), gold
+        answers still score reputations, and every task that cannot finalize
+        from the salvaged answers is re-posted, burning one attempt.  Without
+        this hook an expired HIT stranded its tasks and the owning query
+        waited forever.
+        """
+        inflight = self._inflight.pop(hit.hit_id, None)
+        if inflight is None or inflight.processed:
+            return
+        inflight.processed = True
+        self._settle_hit(hit, inflight, expired=True)
+
+    def _refund_unfilled_slots(
+        self, hit: HIT, inflight: _InflightHIT, submissions: list[Assignment]
+    ) -> None:
+        """Release the committed budget an expired HIT will never collect.
+
+        The platform only pays for submitted assignments; the committed cost
+        covered every requested slot.  Returning the difference (split across
+        queries in proportion to their original shares) keeps fault re-posts
+        from double-billing — without it, an expiry storm could push a
+        well-budgeted query into BUDGET_EXCEEDED while spending nothing.
+        """
+        if inflight.cost_committed <= 0:
+            return
+        actual = self.platform.pricing.assignment_cost(hit.reward) * len(submissions)
+        unspent = inflight.cost_committed - actual
+        if unspent <= 0:
+            return
+        refund_fraction = unspent / inflight.cost_committed
+        for query_id, share in inflight.shares.items():
+            self.budget.release(query_id, share * refund_fraction)
+        self.stats.hit_dollars_refunded += unspent
+
+    def take_exhausted_errors(self) -> dict[str, TaskError]:
+        """Drain attempt-cap failures recorded since the last call, by query.
+
+        The engine scheduler polls this (like :meth:`take_budget_errors`) so
+        a query whose task ran out of HIT attempts transitions to ``STALLED``
+        promptly — with its partial results intact — instead of hanging until
+        the whole marketplace runs dry.
+        """
+        errors, self._exhausted_errors = self._exhausted_errors, {}
+        return errors
 
     # -- scheduler / executor integration -----------------------------------------------
 
@@ -403,12 +812,18 @@ class TaskManager:
 
         Returns the number of tasks removed.  HITs already in flight are left
         alone — their cost is committed and their answers still feed the Task
-        Cache and statistics, plus any co-batched queries.
+        Cache and statistics, plus any co-batched queries.  The query is also
+        remembered as cancelled, so a later fault (an in-flight HIT expiring)
+        can never requeue — and re-bill — work on its behalf.
         """
+        self._cancelled_queries.add(query_id)
         removed = 0
         for key in list(self._pending):
             queue = self._pending[key]
             kept = deque(task for task in queue if task.query_id != query_id)
+            for task in queue:
+                if task.query_id == query_id:
+                    self._progress.pop(task.task_id, None)
             removed += len(queue) - len(kept)
             if kept:
                 self._pending[key] = kept

@@ -15,6 +15,13 @@ discrete-event simulation (see DESIGN.md, "Substitutions"):
 """
 
 from repro.crowd.clock import ScheduledEvent, SimulationClock
+from repro.crowd.faults import FaultProfile
+from repro.crowd.quality import (
+    GoldQuestion,
+    GoldStandardPool,
+    QualityConfig,
+    WorkerReputation,
+)
 from repro.crowd.hit import (
     Assignment,
     AssignmentStatus,
@@ -50,6 +57,11 @@ __all__ = [
     "AssignmentStatus",
     "MTurkSimulator",
     "PlatformStats",
+    "FaultProfile",
+    "QualityConfig",
+    "WorkerReputation",
+    "GoldQuestion",
+    "GoldStandardPool",
     "AnswerOracle",
     "CallbackOracle",
     "PricingPolicy",

@@ -1,0 +1,98 @@
+"""Fault profiles: deterministic marketplace misbehaviour for the simulator.
+
+The seed reproduction models a cooperative marketplace: every scheduled
+assignment is eventually submitted and every HIT completes.  Real MTurk is
+not like that — workers return assignments, HITs expire before anyone picks
+them up, submissions arrive after the deadline, and flaky clients re-post the
+same form twice.  A :class:`FaultProfile` switches those behaviours on in the
+:class:`~repro.crowd.mturk.MTurkSimulator`, driven by a dedicated seeded
+random stream so every chaos run is bit-for-bit reproducible.
+
+The default profile is inert: with faults disabled the simulator never draws
+from the fault stream, so pre-existing runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CrowdError
+
+__all__ = ["FaultProfile"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Knobs for marketplace fault injection (all off by default).
+
+    Parameters
+    ----------
+    seed:
+        Seed of the fault stream.  Fault draws are interleaved with the
+        simulation in a fixed order, so equal seeds give equal runs.
+    abandonment_rate:
+        Probability that a worker who accepted an assignment returns it
+        without submitting.  The simulator recruits one replacement worker
+        per abandonment (as the real marketplace does) when the HIT is still
+        open.
+    duplicate_rate:
+        Probability that a submitted assignment is re-submitted shortly
+        after (double click / client retry).  The platform must ignore the
+        duplicate: no second payment, no second delivery.
+    late_rate:
+        Probability that a submission is delayed until after the HIT's
+        deadline.  Late work is not paid and not delivered.
+    pickup_slowdown:
+        Multiplier on marketplace pick-up delays.  Combined with a short
+        ``hit_lifetime`` this starves HITs so they expire before (or while)
+        being worked on.
+    hit_lifetime:
+        Override for the lifetime of every posted HIT, in simulated seconds
+        (None keeps the platform default of 24 h).  Expired HITs fire the
+        simulator's expiry listeners so the engine can requeue their tasks.
+    """
+
+    seed: int = 0
+    abandonment_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    late_rate: float = 0.0
+    pickup_slowdown: float = 1.0
+    hit_lifetime: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("abandonment_rate", "duplicate_rate", "late_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise CrowdError(f"{name} must be in [0, 1], got {value}")
+        if self.pickup_slowdown <= 0:
+            raise CrowdError(f"pickup_slowdown must be positive, got {self.pickup_slowdown}")
+        if self.hit_lifetime is not None and self.hit_lifetime <= 0:
+            raise CrowdError(f"hit_lifetime must be positive, got {self.hit_lifetime}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault behaviour differs from the cooperative default."""
+        return (
+            self.abandonment_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.late_rate > 0.0
+            or self.pickup_slowdown != 1.0
+            or self.hit_lifetime is not None
+        )
+
+    def describe(self) -> str:
+        """Compact rendering for dashboards and scenario logs."""
+        if not self.enabled:
+            return "faults off"
+        parts = []
+        if self.abandonment_rate:
+            parts.append(f"abandon {self.abandonment_rate:.0%}")
+        if self.duplicate_rate:
+            parts.append(f"duplicate {self.duplicate_rate:.0%}")
+        if self.late_rate:
+            parts.append(f"late {self.late_rate:.0%}")
+        if self.pickup_slowdown != 1.0:
+            parts.append(f"pickup x{self.pickup_slowdown:g}")
+        if self.hit_lifetime is not None:
+            parts.append(f"lifetime {self.hit_lifetime:,.0f}s")
+        return ", ".join(parts)

@@ -127,6 +127,8 @@ class AssignmentStatus(enum.Enum):
     SUBMITTED = "submitted"
     APPROVED = "approved"
     REJECTED = "rejected"
+    #: The worker returned the assignment without submitting (fault injection).
+    ABANDONED = "abandoned"
 
 
 @dataclass
@@ -183,6 +185,14 @@ class Assignment:
             )
         self.status = AssignmentStatus.REJECTED
 
+    def abandon(self) -> None:
+        """The worker returned the assignment without submitting (no payment)."""
+        if self.status is not AssignmentStatus.ACCEPTED:
+            raise AssignmentError(
+                f"assignment {self.assignment_id} cannot be abandoned from {self.status}"
+            )
+        self.status = AssignmentStatus.ABANDONED
+
 
 @dataclass
 class HIT:
@@ -197,6 +207,10 @@ class HIT:
     status: HITStatus = HITStatus.OPEN
     assignments: list[Assignment] = field(default_factory=list)
     requester_annotation: str = ""
+    #: Workers barred from this HIT (the qualification mechanism requesters
+    #: use so a re-posted task is not answered twice by the same worker —
+    #: redundancy assumes independent judgements).
+    excluded_workers: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
         if self.max_assignments < 1:

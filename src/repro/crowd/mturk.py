@@ -12,10 +12,12 @@ shared :class:`~repro.crowd.clock.SimulationClock`, so latency behaviour
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.crowd.clock import SimulationClock
+from repro.crowd.clock import ScheduledEvent, SimulationClock
+from repro.crowd.faults import FaultProfile
 from repro.crowd.hit import (
     Assignment,
     AssignmentStatus,
@@ -26,6 +28,7 @@ from repro.crowd.hit import (
 from repro.crowd.oracle import AnswerOracle
 from repro.crowd.pricing import DEFAULT_PRICING, PricingPolicy
 from repro.crowd.worker_pool import WorkerPool
+from repro.crowd.workers import WorkerModel
 from repro.errors import CrowdError, HITError
 
 __all__ = ["MTurkSimulator", "PlatformStats"]
@@ -42,6 +45,15 @@ class PlatformStats:
     total_rewards_paid: float = 0.0
     total_fees_paid: float = 0.0
     per_worker_assignments: dict[str, int] = field(default_factory=dict)
+    # Fault-injection outcomes (all zero when faults are disabled).
+    hits_expired: int = 0
+    assignments_abandoned: int = 0
+    duplicate_submissions_ignored: int = 0
+    #: Submissions that arrived after their HIT left the OPEN state, for any
+    #: reason — a deadline miss (the late_rate fault), a deadline expiry of
+    #: a slow HIT, or a forced expire_hit.  "Late" means late relative to
+    #: the HIT's end, not specifically the late_rate fault path.
+    late_submissions_dropped: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -65,6 +77,12 @@ class MTurkSimulator:
     auto_approve:
         When True (the default, matching common requester practice for small
         HITs), submitted assignments are approved and paid immediately.
+    faults:
+        Optional :class:`~repro.crowd.faults.FaultProfile` enabling
+        marketplace misbehaviour (abandonment, duplicates, late submissions,
+        slow pickup, forced expiry).  With the default inert profile the
+        simulator never draws from the fault stream, so existing runs stay
+        byte-identical.
     """
 
     def __init__(
@@ -75,22 +93,36 @@ class MTurkSimulator:
         *,
         pricing: PricingPolicy = DEFAULT_PRICING,
         auto_approve: bool = True,
+        faults: FaultProfile | None = None,
     ) -> None:
         self.clock = clock
         self.worker_pool = worker_pool
         self.oracle = oracle
         self.pricing = pricing
         self.auto_approve = auto_approve
+        self.faults = faults if faults is not None else FaultProfile()
         self.stats = PlatformStats()
         self._hits: dict[str, HIT] = {}
         self._hit_counter = itertools.count(1)
         self._completion_listeners: list[Callable[[HIT, Assignment], None]] = []
+        self._expiry_listeners: list[Callable[[HIT], None]] = []
+        self._fault_rng = random.Random(self.faults.seed) if self.faults.enabled else None
+        self._expiry_events: dict[str, ScheduledEvent] = {}
 
     # -- listeners -------------------------------------------------------------
 
     def on_assignment_submitted(self, callback: Callable[[HIT, Assignment], None]) -> None:
         """Register a callback fired whenever any assignment is submitted."""
         self._completion_listeners.append(callback)
+
+    def on_hit_expired(self, callback: Callable[[HIT], None]) -> None:
+        """Register a callback fired whenever a HIT expires.
+
+        Fires for forced expiry (:meth:`expire_hit`) and, when faults are
+        enabled, for automatic deadline expiry.  The engine's Task Manager
+        uses this to requeue the stranded tasks.
+        """
+        self._expiry_listeners.append(callback)
 
     # -- HIT lifecycle ----------------------------------------------------------
 
@@ -100,8 +132,9 @@ class MTurkSimulator:
         *,
         reward: float,
         max_assignments: int = 1,
-        lifetime: float = 24 * 3600.0,
+        lifetime: float | None = None,
         requester_annotation: str = "",
+        excluded_workers: frozenset[str] = frozenset(),
     ) -> HIT:
         """Post a HIT and schedule its simulated completion.
 
@@ -109,8 +142,14 @@ class MTurkSimulator:
         duration up front; the corresponding submission events are placed on
         the clock.  Callers observe results by polling
         :meth:`submitted_assignments` or via :meth:`on_assignment_submitted`.
+        ``lifetime`` defaults to the fault profile's override, then 24 h.
         """
         self.pricing.validate_reward(reward)
+        if lifetime is None:
+            if self.faults.enabled and self.faults.hit_lifetime is not None:
+                lifetime = self.faults.hit_lifetime
+            else:
+                lifetime = 24 * 3600.0
         hit = HIT(
             hit_id=f"HIT{next(self._hit_counter):06d}",
             content=content,
@@ -119,46 +158,114 @@ class MTurkSimulator:
             created_at=self.clock.now,
             lifetime=lifetime,
             requester_annotation=requester_annotation,
+            excluded_workers=excluded_workers,
         )
         self._hits[hit.hit_id] = hit
         self.stats.hits_created += 1
         self._schedule_assignments(hit)
+        if self.faults.enabled:
+            # Under fault injection HITs actually hit their deadline: an
+            # expiry event fires expiry listeners so stranded tasks can be
+            # requeued.  Without faults, deadlines are only enforced lazily
+            # (a late pick-up is skipped at scheduling time), preserving the
+            # seed behaviour and its event counts exactly.
+            self._expiry_events[hit.hit_id] = self.clock.schedule_at(
+                hit.expires_at,
+                lambda hit=hit: self._expire_if_incomplete(hit),
+                label=f"expire:{hit.hit_id}",
+            )
         return hit
 
     def _schedule_assignments(self, hit: HIT) -> None:
         workers = self.worker_pool.select_workers(hit, hit.max_assignments)
         for worker in workers:
-            pickup = self.worker_pool.pickup_delay(hit)
-            accepted_at = self.clock.now + pickup
-            if accepted_at > hit.expires_at:
-                # The HIT expires before this worker would have picked it up.
-                continue
-            assignment = Assignment(
-                assignment_id=self.worker_pool.next_assignment_id(),
-                hit_id=hit.hit_id,
-                worker_id=worker.worker_id,
-                accepted_at=accepted_at,
-            )
-            hit.assignments.append(assignment)
-            rng = self.worker_pool.assignment_rng(assignment.assignment_id)
-            duration = worker.work_duration(hit.content, rng)
-            submit_at = accepted_at + duration
+            self._schedule_one(hit, worker)
 
-            def _complete(hit=hit, assignment=assignment, worker=worker, rng=rng) -> None:
-                answers = worker.answer(hit.content, self.oracle, rng)
-                assignment.submit(answers, at=self.clock.now)
-                self.stats.assignments_submitted += 1
-                self.stats.per_worker_assignments[worker.worker_id] = (
-                    self.stats.per_worker_assignments.get(worker.worker_id, 0) + 1
+    def _schedule_one(self, hit: HIT, worker: WorkerModel) -> None:
+        """Schedule one worker's pick-up and submission of ``hit``."""
+        pickup = self.worker_pool.pickup_delay(hit)
+        if self._fault_rng is not None:
+            pickup *= self.faults.pickup_slowdown
+        accepted_at = self.clock.now + pickup
+        if accepted_at > hit.expires_at:
+            # The HIT expires before this worker would have picked it up.
+            return
+        assignment = Assignment(
+            assignment_id=self.worker_pool.next_assignment_id(),
+            hit_id=hit.hit_id,
+            worker_id=worker.worker_id,
+            accepted_at=accepted_at,
+        )
+        hit.assignments.append(assignment)
+        rng = self.worker_pool.assignment_rng(assignment.assignment_id)
+        duration = worker.work_duration(hit.content, rng)
+        submit_at = accepted_at + duration
+        if self._fault_rng is not None:
+            if self._fault_rng.random() < self.faults.abandonment_rate:
+                self.clock.schedule_at(
+                    submit_at,
+                    lambda: self._abandon(hit, assignment),
+                    label=f"abandon:{assignment.assignment_id}",
                 )
-                if self.auto_approve:
-                    self._approve(hit, assignment)
-                if hit.is_fully_submitted and hit.status is HITStatus.OPEN:
-                    hit.status = HITStatus.COMPLETED
-                for listener in self._completion_listeners:
-                    listener(hit, assignment)
+                return
+            if self._fault_rng.random() < self.faults.late_rate:
+                # The submission slips past the deadline (kept if the HIT is
+                # somehow still open — e.g. a generous lifetime).
+                submit_at = max(submit_at, hit.expires_at + duration)
 
-            self.clock.schedule_at(submit_at, _complete, label=f"submit:{assignment.assignment_id}")
+        def _complete(hit=hit, assignment=assignment, worker=worker, rng=rng) -> None:
+            if assignment.status is not AssignmentStatus.ACCEPTED:
+                # A duplicate client retry of an already-submitted form (a
+                # duplicate stays a duplicate even once the HIT completed).
+                self.stats.duplicate_submissions_ignored += 1
+                return
+            if hit.status is not HITStatus.OPEN:
+                # The HIT expired (or was disposed) before this submission
+                # arrived; the work is dropped unpaid, like real MTurk.
+                self.stats.late_submissions_dropped += 1
+                return
+            answers = worker.answer(hit.content, self.oracle, rng)
+            assignment.submit(answers, at=self.clock.now)
+            self.stats.assignments_submitted += 1
+            self.stats.per_worker_assignments[worker.worker_id] = (
+                self.stats.per_worker_assignments.get(worker.worker_id, 0) + 1
+            )
+            if self.auto_approve:
+                self._approve(hit, assignment)
+            if hit.is_fully_submitted and hit.status is HITStatus.OPEN:
+                hit.status = HITStatus.COMPLETED
+                self._cancel_expiry(hit)
+            if self._fault_rng is not None and self._fault_rng.random() < self.faults.duplicate_rate:
+                # The worker's client re-posts the same form moments later;
+                # the guard above swallows it without paying twice.
+                self.clock.schedule_in(
+                    1.0, _complete, label=f"duplicate:{assignment.assignment_id}"
+                )
+            for listener in self._completion_listeners:
+                listener(hit, assignment)
+
+        self.clock.schedule_at(submit_at, _complete, label=f"submit:{assignment.assignment_id}")
+
+    def _abandon(self, hit: HIT, assignment: Assignment) -> None:
+        """A worker returns an accepted assignment; recruit a replacement."""
+        assignment.abandon()
+        self.stats.assignments_abandoned += 1
+        if hit.status is not HITStatus.OPEN or self.clock.now >= hit.expires_at:
+            return
+        replacement = self.worker_pool.select_replacement(hit)
+        if replacement is not None:
+            self._schedule_one(hit, replacement)
+
+    def _expire_if_incomplete(self, hit: HIT) -> None:
+        """Deadline event: expire the HIT if it is still waiting on workers."""
+        self._expiry_events.pop(hit.hit_id, None)
+        if hit.status is HITStatus.OPEN:
+            self.expire_hit(hit.hit_id)
+
+    def _cancel_expiry(self, hit: HIT) -> None:
+        event = self._expiry_events.pop(hit.hit_id, None)
+        if event is not None:
+            event.cancel()
 
     def _approve(self, hit: HIT, assignment: Assignment) -> None:
         assignment.approve()
@@ -205,16 +312,27 @@ class MTurkSimulator:
         raise CrowdError(f"unknown assignment {assignment_id!r}")
 
     def expire_hit(self, hit_id: str) -> None:
-        """Force-expire a HIT: pending (unsubmitted) assignments never arrive."""
+        """Expire a HIT: pending (unsubmitted) assignments never arrive.
+
+        Fires the expiry listeners so the owner of the HIT's tasks can react
+        (the engine's Task Manager requeues them).  Submissions already in
+        flight arrive late and are dropped unpaid.
+        """
         hit = self.get_hit(hit_id)
-        if hit.status is HITStatus.OPEN:
-            hit.status = HITStatus.EXPIRED
+        if hit.status is not HITStatus.OPEN:
+            return
+        hit.status = HITStatus.EXPIRED
+        self.stats.hits_expired += 1
+        self._cancel_expiry(hit)
+        for listener in self._expiry_listeners:
+            listener(hit)
 
     def dispose_hit(self, hit_id: str) -> None:
         """Dispose of a completed or expired HIT."""
         hit = self.get_hit(hit_id)
         if hit.status is HITStatus.OPEN:
             raise HITError(f"cannot dispose open HIT {hit_id}")
+        self._cancel_expiry(hit)
         hit.status = HITStatus.DISPOSED
 
     # -- aggregate accounting ------------------------------------------------------

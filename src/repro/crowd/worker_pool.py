@@ -136,10 +136,47 @@ class WorkerPool:
         MTurk prevents the same worker from completing more than one
         assignment of a HIT, so selection is without replacement (falling
         back to replacement only if the pool is smaller than ``count``).
+        A HIT's ``excluded_workers`` qualification is honoured while enough
+        other workers exist, so re-posted tasks get fresh judges.
         """
+        if hit.excluded_workers:
+            candidates = [
+                worker for worker in self._workers if worker.worker_id not in hit.excluded_workers
+            ]
+            if count <= len(candidates):
+                return self._rng.sample(candidates, count)
+            # Not enough fresh workers: take every fresh one and fill the
+            # remainder from the excluded set — the independence guarantee
+            # degrades as little as the pool allows (callers can detect the
+            # repeat via duplicate worker ids on the answer list).
+            excluded_pool = [
+                worker for worker in self._workers if worker.worker_id in hit.excluded_workers
+            ]
+            fill = min(count - len(candidates), len(excluded_pool))
+            return candidates + self._rng.sample(excluded_pool, fill)
         if count <= len(self._workers):
             return self._rng.sample(self._workers, count)
         return [self._rng.choice(self._workers) for _ in range(count)]
+
+    def select_replacement(self, hit: HIT) -> WorkerModel | None:
+        """Choose one worker to pick up an assignment returned to the pool.
+
+        Used by the simulator's abandonment fault: the replacement must not
+        already hold an assignment of the HIT (the marketplace rule), and
+        preferably not be barred by the HIT's exclusion list; ``None`` when
+        every worker has already touched the HIT.
+        """
+        taken = {assignment.worker_id for assignment in hit.assignments}
+        candidates = [
+            worker
+            for worker in self._workers
+            if worker.worker_id not in taken and worker.worker_id not in hit.excluded_workers
+        ]
+        if not candidates:
+            candidates = [worker for worker in self._workers if worker.worker_id not in taken]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
 
     def pickup_delay(self, hit: HIT) -> float:
         """Sample the time until some worker accepts an assignment of ``hit``.

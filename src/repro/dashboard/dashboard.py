@@ -57,6 +57,18 @@ class QueryDashboard:
                 event.describe() for event in scheduler.events_for(handle.query_id)
             )
         plan_changes = tuple(change.describe() for change in handle.plan_history())
+        platform_stats = self.engine.platform.stats
+        manager_stats = self.engine.task_manager.stats
+        reputation = getattr(self.engine, "reputation", None)
+        workers_tracked = 0
+        mean_worker_accuracy = None
+        flagged_workers = 0
+        if reputation is not None:
+            quality_summary = reputation.summary()
+            workers_tracked = quality_summary["workers_tracked"]
+            mean_worker_accuracy = quality_summary["mean_accuracy"]
+            flagged_workers = quality_summary["flagged"]
+        fault_profile = getattr(self.engine.platform, "faults", None)
         return QueryDashboardSnapshot(
             query_id=handle.query_id,
             sql=handle.sql,
@@ -82,6 +94,22 @@ class QueryDashboard:
             scheduler_state=scheduler_state,
             lifecycle=lifecycle,
             plan_changes=plan_changes,
+            workers_tracked=workers_tracked,
+            mean_worker_accuracy=mean_worker_accuracy,
+            flagged_workers=flagged_workers,
+            gold_probes_posted=manager_stats.gold_probes_posted,
+            early_stopped_tasks=manager_stats.early_stopped_tasks,
+            fault_profile=(
+                fault_profile.describe()
+                if fault_profile is not None and fault_profile.enabled
+                else ""
+            ),
+            hits_expired=platform_stats.hits_expired,
+            assignments_abandoned=platform_stats.assignments_abandoned,
+            late_submissions_dropped=platform_stats.late_submissions_dropped,
+            duplicate_submissions_ignored=platform_stats.duplicate_submissions_ignored,
+            tasks_requeued=manager_stats.tasks_requeued,
+            tasks_exhausted=manager_stats.tasks_exhausted,
         )
 
     def _operator_snapshots(self, handle: QueryHandle) -> list[OperatorSnapshot]:
@@ -144,6 +172,29 @@ class QueryDashboard:
             f"savings — cache: ${snapshot.cache_savings:,.2f} ({snapshot.cache_hits} hits)"
             f" | classifier: ${snapshot.model_savings:,.2f} ({snapshot.model_answers} answers)"
         )
+        if snapshot.workers_tracked:
+            accuracy = (
+                f"{snapshot.mean_worker_accuracy:.0%}"
+                if snapshot.mean_worker_accuracy is not None
+                else "n/a"
+            )
+            lines.append(
+                f"worker quality (engine-wide): {snapshot.workers_tracked} tracked"
+                f" | mean accuracy {accuracy}"
+                f" | flagged {snapshot.flagged_workers}"
+                f" | gold probes {snapshot.gold_probes_posted}"
+                f" | early-stopped tasks {snapshot.early_stopped_tasks}"
+            )
+        if snapshot.fault_profile:
+            lines.append(
+                f"faults, engine-wide ({snapshot.fault_profile}):"
+                f" expired HITs {snapshot.hits_expired}"
+                f" | abandoned {snapshot.assignments_abandoned}"
+                f" | late dropped {snapshot.late_submissions_dropped}"
+                f" | duplicates ignored {snapshot.duplicate_submissions_ignored}"
+                f" | requeued tasks {snapshot.tasks_requeued}"
+                f" | exhausted {snapshot.tasks_exhausted}"
+            )
         if snapshot.scheduler_state:
             lifecycle = " -> ".join(snapshot.lifecycle) or "<no events>"
             lines.append(f"scheduler: {snapshot.scheduler_state} | {lifecycle}")

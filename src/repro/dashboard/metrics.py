@@ -65,6 +65,23 @@ class QueryDashboardSnapshot:
     # Adaptive re-optimization: the initial plan choice plus every mid-query
     # strategy swap the replanner applied, oldest first.
     plan_changes: tuple[str, ...] = field(default_factory=tuple)
+    # Worker quality control.  Reputations and probe/wave counters describe
+    # the whole marketplace (engine-wide), not this query alone — workers and
+    # HITs are shared across concurrent queries.  Zero / None while quality
+    # control is off.
+    workers_tracked: int = 0
+    mean_worker_accuracy: float | None = None
+    flagged_workers: int = 0
+    gold_probes_posted: int = 0
+    early_stopped_tasks: int = 0
+    # Fault tolerance (engine-wide counters; zero without fault injection).
+    fault_profile: str = ""
+    hits_expired: int = 0
+    assignments_abandoned: int = 0
+    late_submissions_dropped: int = 0
+    duplicate_submissions_ignored: int = 0
+    tasks_requeued: int = 0
+    tasks_exhausted: int = 0
 
     @property
     def budget_utilisation(self) -> float | None:

@@ -53,9 +53,16 @@ from repro.core.tasks.task_cache import TaskCache
 from repro.core.tasks.task_manager import TaskManager
 from repro.core.tasks.task_model import TaskModelRegistry
 from repro.crowd.clock import SimulationClock
+from repro.crowd.faults import FaultProfile
 from repro.crowd.mturk import MTurkSimulator
 from repro.crowd.oracle import AnswerOracle
 from repro.crowd.pricing import DEFAULT_PRICING, PricingPolicy
+from repro.crowd.quality import (
+    GoldQuestion,
+    GoldStandardPool,
+    QualityConfig,
+    WorkerReputation,
+)
 from repro.crowd.worker_pool import PopulationMix, WorkerPool
 from repro.errors import QurkError
 from repro.storage.database import Database
@@ -85,6 +92,18 @@ class QurkEngine:
         Admission-control limit for the engine scheduler: at most this many
         queries run concurrently; later queries wait in a FIFO admission
         queue.  ``None`` (the default) means unlimited.
+    fault_profile:
+        Optional :class:`~repro.crowd.faults.FaultProfile` enabling seeded
+        marketplace misbehaviour (HIT expiry, worker abandonment, duplicate
+        and late submissions).  The engine's Task Manager requeues tasks
+        stranded by expired HITs; a task that burns through its attempt cap
+        surfaces the owning query as ``STALLED``.
+    quality:
+        Optional :class:`~repro.crowd.quality.QualityConfig` switching on
+        worker quality control: gold-standard probe questions, a per-worker
+        reputation tracker feeding confidence-weighted voting, and adaptive
+        (wave-based, early-stopping) redundancy.  ``None`` (the default)
+        keeps the fixed-redundancy unweighted pipeline byte-identical.
     """
 
     def __init__(
@@ -99,6 +118,8 @@ class QurkEngine:
         optimizer_config: OptimizerConfig | None = None,
         default_query_config: QueryConfig | None = None,
         max_concurrent_queries: int | None = None,
+        fault_profile: FaultProfile | None = None,
+        quality: QualityConfig | None = None,
     ) -> None:
         self.database = Database()
         self.clock = SimulationClock()
@@ -106,7 +127,13 @@ class QurkEngine:
         self.worker_pool = WorkerPool(
             size=worker_pool_size, mix=population_mix or PopulationMix(), seed=seed
         )
-        self.platform = MTurkSimulator(self.clock, self.worker_pool, self.oracle, pricing=pricing)
+        self.fault_profile = fault_profile
+        self.quality = quality
+        self.reputation = WorkerReputation() if quality is not None else None
+        self.gold_pool = GoldStandardPool()
+        self.platform = MTurkSimulator(
+            self.clock, self.worker_pool, self.oracle, pricing=pricing, faults=fault_profile
+        )
         self.statistics = StatisticsManager()
         self.budget_ledger = BudgetLedger()
         self.task_cache = TaskCache(enabled=enable_cache)
@@ -119,9 +146,14 @@ class QurkEngine:
             cache=self.task_cache,
             models=self.task_models,
             compiler=self.hit_compiler,
+            quality=quality,
+            reputation=self.reputation,
+            gold=self.gold_pool,
         )
         self.cost_model = CostModel(pricing)
-        self.optimizer = QueryOptimizer(self.statistics, self.cost_model, optimizer_config)
+        self.optimizer = QueryOptimizer(
+            self.statistics, self.cost_model, optimizer_config, reputation=self.reputation
+        )
         self.replanner = AdaptiveReplanner(self.optimizer, self.statistics)
         self.scheduler = EngineScheduler(
             self.clock,
@@ -179,6 +211,18 @@ class QurkEngine:
     def register_oracle(self, task_name: str, oracle: AnswerOracle) -> None:
         """Attach the ground-truth oracle simulated workers use for one task."""
         self.oracle.register(task_name, oracle)
+
+    def register_gold(self, task_name: str, questions: list[GoldQuestion]) -> None:
+        """Attach gold-standard probe questions for one crowd UDF.
+
+        With a :class:`~repro.crowd.quality.QualityConfig` active, the Task
+        Manager injects one of these probes into a fraction of posted HITs
+        (``gold_frequency``); workers' probe answers update their reputation
+        posteriors.  Probe payloads must be answerable by the task's
+        registered oracle — draw them from items whose ground truth the
+        workload knows.
+        """
+        self.gold_pool.register(task_name, questions)
 
     def set_batching_policy(self, task_name: str, kind: TaskKind, policy: BatchingPolicy) -> None:
         """Override how tasks of one (task, kind) group are batched into HITs."""

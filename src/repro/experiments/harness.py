@@ -12,6 +12,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.exec.context import QueryConfig
+from repro.crowd.faults import FaultProfile
+from repro.crowd.quality import QualityConfig
 from repro.crowd.worker_pool import PopulationMix
 from repro.engine import QurkEngine
 from repro.workloads.celebrities import CelebrityWorkload
@@ -58,6 +60,8 @@ def build_companies_engine(
     seed: int = 7,
     population_mix: PopulationMix | None = None,
     adaptive: bool = False,
+    fault_profile: FaultProfile | None = None,
+    quality: QualityConfig | None = None,
 ) -> ExperimentRun:
     """Engine prepared for Query 1 (findCEO schema extension)."""
     workload = CompaniesWorkload(n_companies=n_companies, seed=seed)
@@ -67,6 +71,8 @@ def build_companies_engine(
         enable_task_model=False,
         population_mix=population_mix,
         default_query_config=QueryConfig(adaptive=adaptive),
+        fault_profile=fault_profile,
+        quality=quality,
     )
     workload.install(engine.database)
     engine.register_oracle("findCEO", workload.oracle())
@@ -89,6 +95,8 @@ def build_celebrity_engine(
     seed: int = 11,
     population_mix: PopulationMix | None = None,
     adaptive: bool = False,
+    fault_profile: FaultProfile | None = None,
+    quality: QualityConfig | None = None,
 ) -> ExperimentRun:
     """Engine prepared for Query 2 (celebrity join) with a chosen interface."""
     workload = CelebrityWorkload(n_celebrities=n_celebrities, n_spotted=n_spotted, seed=seed)
@@ -98,6 +106,8 @@ def build_celebrity_engine(
         enable_task_model=enable_task_model,
         population_mix=population_mix,
         default_query_config=QueryConfig(adaptive=adaptive),
+        fault_profile=fault_profile,
+        quality=quality,
     )
     workload.install(engine.database)
     engine.register_oracle("samePerson", workload.oracle())
@@ -137,6 +147,8 @@ def build_products_engine(
     seed: int = 13,
     population_mix: PopulationMix | None = None,
     adaptive: bool = False,
+    fault_profile: FaultProfile | None = None,
+    quality: QualityConfig | None = None,
 ) -> ExperimentRun:
     """Engine prepared for filter / sort / batching experiments on products."""
     workload = ProductsWorkload(n_products=n_products, seed=seed)
@@ -146,8 +158,12 @@ def build_products_engine(
         enable_task_model=enable_task_model,
         population_mix=population_mix,
         default_query_config=QueryConfig(adaptive=adaptive),
+        fault_profile=fault_profile,
+        quality=quality,
     )
     workload.install(engine.database)
+    if quality is not None and quality.gold_frequency > 0:
+        engine.register_gold("isTargetColor", workload.gold_questions())
     oracle = workload.oracle()
     for task_name in ("isTargetColor", "biggerItem", "rateSize"):
         engine.register_oracle(task_name, oracle)

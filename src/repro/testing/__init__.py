@@ -1,0 +1,43 @@
+"""Deterministic chaos testing for the engine's fault-tolerant HIT lifecycle.
+
+This package turns "does the engine survive a hostile marketplace?" into
+reproducible tests:
+
+* :mod:`repro.testing.invariants` — system-wide properties that must hold
+  after any run, faults or not (budget conservation, no lost or duplicated
+  task deliveries, HIT lifecycle accounting);
+* :mod:`repro.testing.chaos` — :class:`ChaosScenario` /
+  :func:`run_scenario`: build a fresh engine, run whole workload queries
+  under a seeded :class:`~repro.crowd.faults.FaultProfile`, and check every
+  invariant plus bit-identical same-seed reruns;
+* :mod:`repro.testing.scenarios` — the canned scenario library (expiry
+  storms, worker abandonment, duplicate/late submissions, spammer-heavy
+  mixes under quality control, attempt exhaustion).
+
+See the "Testing" section of the README for how to add a scenario.
+"""
+
+from repro.testing.chaos import ChaosScenario, ScenarioResult, assert_deterministic, run_scenario
+from repro.testing.invariants import check_invariants
+from repro.testing.scenarios import (
+    abandonment_scenario,
+    all_scenarios,
+    duplicate_and_late_scenario,
+    exhaustion_scenario,
+    expiry_requeue_scenario,
+    spammer_quality_scenario,
+)
+
+__all__ = [
+    "ChaosScenario",
+    "ScenarioResult",
+    "run_scenario",
+    "assert_deterministic",
+    "check_invariants",
+    "expiry_requeue_scenario",
+    "abandonment_scenario",
+    "duplicate_and_late_scenario",
+    "spammer_quality_scenario",
+    "exhaustion_scenario",
+    "all_scenarios",
+]

@@ -22,6 +22,7 @@ from repro.core.tasks.spec import (
     YesNoResponse,
 )
 from repro.crowd.hit import HITItem
+from repro.crowd.quality import GoldQuestion
 from repro.crowd.oracle import AnswerOracle
 from repro.errors import WorkloadError
 from repro.storage.database import Database
@@ -200,6 +201,33 @@ class ProductsWorkload:
             assignments=assignments,
             batch_size=batch_size,
         )
+
+    def gold_questions(self, count: int = 6) -> list[GoldQuestion]:
+        """Gold-standard probes for ``isTargetColor`` quality control.
+
+        Drawn from the workload's own records (so the oracle can answer
+        them), alternating between target-colour and other-colour products to
+        catch both yes-spammers and no-spammers.
+        """
+        targets = [r for r in self.records if r.color == self.target_color]
+        others = [r for r in self.records if r.color != self.target_color]
+        questions: list[GoldQuestion] = []
+        for index in range(count):
+            source = targets if index % 2 == 0 and targets else others
+            if not source:
+                source = targets or others
+            record = source[(index // 2) % len(source)]
+            questions.append(
+                GoldQuestion(
+                    prompt=(
+                        f"Look at the product called {record.name}. "
+                        f"Is it {self.target_color}?"
+                    ),
+                    payload={"name": record.name, "_task": "isTargetColor"},
+                    expected=record.color == self.target_color,
+                )
+            )
+        return questions
 
     # -- evaluation -------------------------------------------------------------------------------
 

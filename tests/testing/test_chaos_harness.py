@@ -1,0 +1,73 @@
+"""The chaos harness run against its canned scenario library.
+
+Every scenario runs a whole workload query under seeded fault injection and
+must end invariant-clean (budget conservation, HIT accounting, no lost or
+duplicated deliveries) with the statuses it declares.  The cross-scenario
+determinism sweep is marked ``slow`` (it runs everything twice); the
+individual scenario tests stay in the fast tier.
+"""
+
+import pytest
+
+from repro.testing import (
+    abandonment_scenario,
+    all_scenarios,
+    assert_deterministic,
+    duplicate_and_late_scenario,
+    exhaustion_scenario,
+    expiry_requeue_scenario,
+    run_scenario,
+    spammer_quality_scenario,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        exhaustion_scenario,
+        expiry_requeue_scenario,
+        abandonment_scenario,
+        duplicate_and_late_scenario,
+        spammer_quality_scenario,
+    ],
+    ids=lambda factory: factory.__name__,
+)
+def test_scenario_holds_every_invariant(factory):
+    result = run_scenario(factory())
+    assert result.ok, "\n".join([result.summary()] + result.violations)
+
+
+def test_exhaustion_scenario_reports_stall_with_no_rows():
+    result = run_scenario(exhaustion_scenario())
+    assert result.statuses == ["stalled"]
+    assert result.rows == [[]]
+    stats = result.run.engine.platform.stats
+    assert stats.hits_expired == stats.hits_created  # nobody ever picked up
+
+
+def test_expiry_scenario_actually_expired_and_requeued():
+    result = run_scenario(expiry_requeue_scenario())
+    assert result.run.engine.platform.stats.hits_expired >= 1
+    assert result.run.engine.task_manager.stats.tasks_requeued >= 1
+    assert result.statuses == ["completed"]
+
+
+def test_duplicate_scenario_ignored_duplicates_without_double_delivery():
+    result = run_scenario(duplicate_and_late_scenario())
+    assert result.run.engine.platform.stats.duplicate_submissions_ignored >= 1
+    assert result.ok, "\n".join(result.violations)
+
+
+def test_spammer_scenario_engages_quality_control():
+    result = run_scenario(spammer_quality_scenario())
+    manager_stats = result.run.engine.task_manager.stats
+    assert manager_stats.gold_probes_posted >= 1
+    assert manager_stats.early_stopped_tasks >= 1
+    assert result.run.engine.reputation.tracked_workers()
+
+
+@pytest.mark.slow
+def test_every_scenario_is_bit_identical_across_same_seed_runs():
+    for scenario in all_scenarios():
+        result = assert_deterministic(scenario, runs=2)
+        assert result.ok, "\n".join([scenario.name] + result.violations)
