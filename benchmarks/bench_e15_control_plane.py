@@ -1,0 +1,119 @@
+"""E15 — control-plane scaling: hundreds of queries, tens of thousands of HITs.
+
+E13 measured the *data* plane; this one measures the *crowd control plane* —
+the engine scheduler, the Task Manager and the marketplace simulator — under
+growing concurrency.  Every query is a small crowd filter (one task per
+product, one task per HIT), so simulated crowd work per query is constant and
+wall time is pure control-plane overhead: scheduler passes, flush scans,
+clock advances and HIT/assignment bookkeeping.
+
+Before this PR every scheduler pass iterated all active queries, every flush
+scanned every pending group and every marketplace lookup scanned every HIT
+ever posted, so cost per unit of work grew with system size and the curve
+bent superlinearly.  With the indexed, event-driven control plane
+(ready-queue scheduling, dirty-key flushes, status-indexed HITs) cost tracks
+work done and queries/sec stays roughly flat as concurrency grows.
+
+Reported per concurrency level: queries/sec, clock-advances/sec and
+scheduler-pass cost (µs/pass).  ``baseline`` fields carry the pre-PR numbers
+measured on this benchmark immediately before the indexed control plane
+landed, so ``BENCH_SUMMARY.json`` records the before/after comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import build_products_engine, print_table
+
+FILTER_SQL = "SELECT name FROM products WHERE isTargetColor(name)"
+
+#: The scaling curve: concurrent crowd queries sharing one marketplace.
+CONCURRENCIES = (8, 64, 256)
+
+#: Crowd tasks (= HITs, with one-task-per-HIT batching) per query.  At the
+#: top of the curve this makes 256 x 40 = 10,240 HITs (30k+ assignments) on
+#: one simulated marketplace.
+TASKS_PER_QUERY = 40
+
+#: Pre-PR numbers for the same curve, measured on the scan-everything control
+#: plane immediately before the indexed one replaced it (commit 96d8098, same
+#: machine as the recorded "after" run in BENCH_SUMMARY.json).
+PRE_PR_BASELINE = {
+    8: {"queries_per_sec": 57.8, "wall_seconds": 0.138, "us_per_pass": 125.9},
+    64: {"queries_per_sec": 15.95, "wall_seconds": 4.012, "us_per_pass": 457.3},
+    256: {"queries_per_sec": 4.19, "wall_seconds": 61.064, "us_per_pass": 1740.3},
+}
+
+
+def _run_level(n_queries: int, tasks_per_query: int, *, seed: int = 1501) -> dict:
+    run = build_products_engine(n_products=tasks_per_query, filter_batch=1, seed=seed)
+    engine = run.engine
+    started = time.perf_counter()
+    handles = [engine.query(FILTER_SQL) for _ in range(n_queries)]
+    for handle in handles:
+        handle.wait()
+    wall = time.perf_counter() - started
+    if not all(handle.is_complete for handle in handles):
+        raise AssertionError("not every concurrent query completed")
+    metrics = engine.scheduler.metrics
+    stats = engine.task_manager.stats
+    baseline = PRE_PR_BASELINE.get(n_queries)
+    row = {
+        "queries": n_queries,
+        "tasks_per_query": tasks_per_query,
+        "hits": stats.hits_posted,
+        "wall_seconds": round(wall, 3),
+        "queries_per_sec": round(n_queries / wall, 3),
+        "clock_advances": metrics.clock_advances,
+        "clock_advances_per_sec": round(metrics.clock_advances / wall),
+        "noop_clock_advances": getattr(metrics, "noop_clock_advances", 0),
+        "passes": metrics.passes,
+        "us_per_pass": round(wall / metrics.passes * 1e6, 1) if metrics.passes else None,
+        "cost_usd": round(engine.total_crowd_cost, 2),
+        "makespan_min": round(engine.clock.now / 60, 1),
+    }
+    if baseline is not None:
+        row["baseline_queries_per_sec"] = baseline["queries_per_sec"]
+        row["speedup_vs_baseline"] = round(row["queries_per_sec"] / baseline["queries_per_sec"], 2)
+    return row
+
+
+def run_control_plane_scaling(
+    concurrencies: tuple[int, ...] = CONCURRENCIES, tasks_per_query: int = TASKS_PER_QUERY
+) -> list[dict]:
+    """The scaling curve: same per-query crowd work at growing concurrency."""
+    return [_run_level(n, tasks_per_query) for n in concurrencies]
+
+
+# -- pytest entry points (quick sizes, with the CI wall-clock regression gate) --
+
+#: Generous wall-clock budget for the quick curve (8 + 32 queries, 10 tasks
+#: each).  On the indexed control plane it runs in well under a second;
+#: tripping the gate means an O(system-size) scan crept back into a per-pass
+#: hot loop.
+QUICK_GATE_SECONDS = 30.0
+
+
+def test_e15_control_plane_quick(once):
+    rows = once(run_control_plane_scaling, concurrencies=(8, 32), tasks_per_query=10)
+    print_table(
+        "E15: control-plane scaling (quick: 8/32 concurrent crowd queries, 10 tasks each)",
+        [
+            "queries",
+            "hits",
+            "wall_seconds",
+            "queries_per_sec",
+            "clock_advances",
+            "passes",
+            "us_per_pass",
+        ],
+        rows,
+    )
+    assert all(row["hits"] == row["queries"] * row["tasks_per_query"] for row in rows)
+    assert sum(row["wall_seconds"] for row in rows) < QUICK_GATE_SECONDS
+    # The control plane must scale: 4x the queries may not cost more than
+    # ~12x the wall time (the pre-PR scan-everything plane was ~25x here).
+    eight, thirtytwo = rows
+    if eight["wall_seconds"] > 0.05:  # ignore timer noise on tiny runs
+        assert thirtytwo["wall_seconds"] < 12 * eight["wall_seconds"]

@@ -29,11 +29,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(BENCH_DIR))
 
 #: The ``--quick`` smoke subset: one cheap end-to-end caching experiment, the
-#: adaptive re-planning experiment, the engine-overhead benchmark, and the
-#: worker quality-control experiment, so plan-layer, data-plane and
-#: quality-control regressions surface in CI without paying for the full
-#: sweep.
-QUICK_SELECTORS = ("e2", "e12", "e13", "e14")
+#: adaptive re-planning experiment, the engine-overhead benchmark, the
+#: worker quality-control experiment and the control-plane scaling
+#: benchmark, so plan-layer, data-plane, quality-control and control-plane
+#: regressions surface in CI without paying for the full sweep.
+QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15")
 
 
 def discover(selectors: list[str]) -> list[Path]:

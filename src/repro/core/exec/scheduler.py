@@ -8,25 +8,36 @@ active query on one simulated marketplace:
 * **Admission control** — at most ``max_concurrent_queries`` queries run at a
   time; later submissions wait in a FIFO pending-admission queue and are
   admitted as running queries reach a terminal state.
-* **Priority-weighted round-robin stepping** — each global pass gives every
-  admitted query local steps in proportion to its priority (a deficit
-  counter accrues ``priority`` credits per pass and spends one per step;
-  the default priority of 1.0 degenerates to plain round-robin).
+* **Ready-queue stepping** — the scheduler only touches *runnable* queries.
+  A query that reports no local progress is parked and costs nothing per
+  pass; it re-enters the ready queue when one of its task results is
+  delivered (the Task Manager's delivery hook), so per-pass cost tracks the
+  number of queries with work to do, not the number admitted.
+* **Priority-weighted round-robin** — each pass gives every runnable query
+  local steps in proportion to its priority (a deficit counter accrues
+  ``priority`` credits per pass and spends one per step; the default
+  priority of 1.0 degenerates to plain round-robin).  Runnable queries are
+  stepped in admission order, so parking neighbours never reorders work.
 * **Cross-query HIT batching** — queries deposit tasks during their local
   steps *without* flushing; the scheduler then runs one shared Task Manager
-  flush per pass, so tasks from several queries land in the same HIT.
-* **A single clock-advance decision** — simulated time moves only when no
-  admitted query can make local progress and no partial batch can be
-  force-flushed.  Individual executors never touch the clock.
-* **Per-query lifecycle** — submission, admission, start, completion, budget
-  exhaustion and failure are recorded as :class:`SchedulerEvent`\\ s, which
-  the dashboard surfaces, and budget failures raised inside shared flushes
-  are routed back to the owning query instead of whichever handle happened
-  to be stepping.
+  flush per pass (which itself visits only dirty task groups), so tasks
+  from several queries land in the same HIT.
+* **A single, batched clock-advance decision** — simulated time moves only
+  when no runnable query exists and no partial batch can be force-flushed,
+  and then it keeps firing marketplace events until one actually matters (a
+  result delivery, a requeue, a routed error): pure bookkeeping events (an
+  assignment submitted to a still-unfilled HIT, say) no longer cost a full
+  scheduling pass each.  Individual executors never touch the clock.
+* **Event-pushed failure routing** — the Task Manager pushes a signal when
+  it records a budget or attempt-exhaustion error, and only then does the
+  scheduler drain the error queues and retire the owning queries; nothing
+  polls for errors that were never recorded.  Terminal queries are reaped
+  from an event-fed list, not by scanning the active set every pass.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass
 
@@ -64,6 +75,10 @@ class SchedulerMetrics:
 
     passes: int = 0
     clock_advances: int = 0
+    #: Clock advances that woke no query and queued no work — marketplace
+    #: bookkeeping only (e.g. one of several assignments submitted).  With
+    #: event-driven wakeups these cost a heap pop, not a scheduling pass.
+    noop_clock_advances: int = 0
     queries_admitted: int = 0
     queries_finished: int = 0
 
@@ -76,6 +91,9 @@ class _ScheduledQuery:
     priority: float = 1.0
     credit: float = 0.0
     started: bool = False
+    #: Admission sequence number: runnable queries are stepped in this
+    #: order, so the ready queue preserves the admission-order round-robin.
+    seq: int = 0
 
 
 class EngineScheduler:
@@ -100,6 +118,20 @@ class EngineScheduler:
         self._events_by_query: dict[str, list[SchedulerEvent]] = {}
         self._active: dict[str, _ScheduledQuery] = {}
         self._waiting: deque[_ScheduledQuery] = deque()
+        #: Ids currently in the pending-admission queue — the O(1) duplicate /
+        #: membership check behind :meth:`state_of`.
+        self._waiting_ids: set[str] = set()
+        #: The ready queue: admitted queries that may make local progress.
+        #: Values are the same records as ``_active``; iteration sorts by
+        #: admission ``seq`` so parking a neighbour never reorders stepping.
+        self._runnable: dict[str, _ScheduledQuery] = {}
+        self._admit_seq = itertools.count()
+        #: Queries that reached a terminal state since the last reap —
+        #: event-fed, so reaping never scans the active set.
+        self._to_reap: list[str] = []
+        self._errors_pending = False
+        task_manager.on_result_delivered(self._on_result_delivered)
+        task_manager.on_error_recorded(self._on_error_recorded)
 
     # -- submission and admission ---------------------------------------------------------
 
@@ -116,6 +148,7 @@ class EngineScheduler:
         handle.scheduler = self
         self._record_event(handle.query_id, "submitted", f"priority {priority:g}")
         self._waiting.append(record)
+        self._waiting_ids.add(handle.query_id)
         self._admit()
         return handle
 
@@ -125,11 +158,32 @@ class EngineScheduler:
             or len(self._active) < self.max_concurrent_queries
         ):
             record = self._waiting.popleft()
+            self._waiting_ids.discard(record.handle.query_id)
             if record.handle.is_terminal:
                 continue
+            record.seq = next(self._admit_seq)
             self._active[record.handle.query_id] = record
+            self._runnable[record.handle.query_id] = record
             self.metrics.queries_admitted += 1
             self._record_event(record.handle.query_id, "admitted")
+
+    # -- event-driven wakeups -------------------------------------------------------------
+
+    def _on_result_delivered(self, result) -> None:
+        """Task Manager delivery hook: the owning query can make progress."""
+        record = self._active.get(result.task.query_id)
+        if record is not None and not record.handle.is_terminal:
+            self._runnable[result.task.query_id] = record
+
+    def _on_error_recorded(self) -> None:
+        """Task Manager error hook: drain the error queues at the next seam."""
+        self._errors_pending = True
+
+    def _retire(self, record: _ScheduledQuery) -> None:
+        """A query turned terminal: leave the ready queue, await the reap."""
+        query_id = record.handle.query_id
+        self._runnable.pop(query_id, None)
+        self._to_reap.append(query_id)
 
     # -- introspection --------------------------------------------------------------------
 
@@ -141,11 +195,15 @@ class EngineScheduler:
         """Ids of queries waiting for an admission slot, in arrival order."""
         return [record.handle.query_id for record in self._waiting]
 
+    def runnable_queries(self) -> list[str]:
+        """Ids of queries currently in the ready queue, in admission order."""
+        return sorted(self._runnable, key=lambda query_id: self._runnable[query_id].seq)
+
     def state_of(self, query_id: str) -> str:
         """One of ``active``, ``queued`` or ``finished`` (by this scheduler)."""
         if query_id in self._active:
             return "active"
-        if any(record.handle.query_id == query_id for record in self._waiting):
+        if query_id in self._waiting_ids:
             return "queued"
         return "finished"
 
@@ -160,15 +218,17 @@ class EngineScheduler:
 
     # -- the shared run loop --------------------------------------------------------------
 
-    def step(self) -> bool:
+    def step(self, *, until: float | None = None) -> bool:
         """One global scheduling pass.  Returns True when anything progressed.
 
-        Order of business: give every admitted query its priority-weighted
+        Order of business: give every *runnable* query its priority-weighted
         share of local steps (operators only — no flush, no clock), run one
         shared non-forced flush so full cross-query batches post, route any
-        budget failures to their owning queries, and only if *nothing* moved
-        anywhere force-flush partial batches and finally advance the shared
-        clock to the next crowd event.
+        pushed budget/exhaustion failures to their owning queries, and only
+        if *nothing* moved anywhere force-flush partial batches and finally
+        advance the shared clock — firing marketplace events until one of
+        them wakes a query, queues work or routes an error (``until`` bounds
+        that batch for deadline-driven callers).
         """
         self._admit()
         if not self._active:
@@ -176,18 +236,31 @@ class EngineScheduler:
         self.metrics.passes += 1
         progress = False
 
-        # Let every starved query accrue enough credit to step at least once.
-        while self._active and max(r.credit for r in self._active.values()) < 1.0:
-            for record in self._active.values():
-                record.credit += record.priority
-
-        for record in list(self._active.values()):
+        runnable = sorted(self._runnable.values(), key=lambda record: record.seq)
+        if runnable:
+            # Let every starved runnable query accrue enough credit to step
+            # at least once.  Parked queries neither accrue nor spend.
+            while max(record.credit for record in runnable) < 1.0:
+                for record in runnable:
+                    record.credit += record.priority
+        for record in runnable:
+            if record.handle.is_terminal:
+                self._runnable.pop(record.handle.query_id, None)
+                continue
             steps = int(record.credit)
             record.credit -= steps
+            moved = False
             for _ in range(steps):
                 if not self._step_query(record):
                     break
+                moved = True
                 progress = True
+            if steps > 0 and not moved and not record.handle.is_terminal:
+                # Blocked on crowd work: park until a delivery wakes it.  A
+                # query that took zero steps (a sub-1.0 priority still
+                # accruing credit) was never *attempted* and must stay
+                # runnable, or it would starve with nothing to wake it.
+                self._runnable.pop(record.handle.query_id, None)
 
         if self._flush(force=False) > 0:
             progress = True
@@ -204,11 +277,7 @@ class EngineScheduler:
         posted = self._flush(force=True)
         if posted > 0 or self._reap() > 0:
             return True
-        if self.clock.run_next():
-            self.metrics.clock_advances += 1
-            # Clock events include HIT expiries, whose requeues may have
-            # burned a task's last attempt — route the stall promptly.
-            self._route_exhausted_errors()
+        if self._advance_clock(until):
             self._reap()
             return True
 
@@ -227,8 +296,32 @@ class EngineScheduler:
             record.handle.error = error
             self.task_manager.cancel_query(record.handle.query_id)
             self._record_event(record.handle.query_id, "stalled")
+            self._retire(record)
         self._reap()
         raise error
+
+    def _advance_clock(self, until: float | None) -> bool:
+        """Fire marketplace events until one matters.  True if time moved.
+
+        "Matters" means: a delivery put a query back on the ready queue, an
+        expiry requeued tasks into the pending queues, or an error was
+        pushed.  Anything else — partial submissions, abandonment
+        replacements, duplicate-submission noise — is counted as a no-op
+        advance and absorbed here instead of costing a full pass.  ``until``
+        stops the batch once the clock reaches a caller's deadline.
+        """
+        advanced = False
+        while self.clock.run_next():
+            self.metrics.clock_advances += 1
+            advanced = True
+            if self._errors_pending:
+                self._route_errors()
+            if self._runnable or self._to_reap or self.task_manager.pending_tasks() > 0:
+                break
+            self.metrics.noop_clock_advances += 1
+            if until is not None and self.clock.now >= until:
+                break
+        return advanced
 
     def _step_query(self, record: _ScheduledQuery) -> bool:
         handle = record.handle
@@ -248,7 +341,7 @@ class EngineScheduler:
                 for change in self.replanner.maybe_replan(handle):
                     self._record_event(handle.query_id, "replanned", change.describe())
         except BudgetExceededError as error:
-            self._fail_over_budget(handle, error)
+            self._fail_over_budget(record, error)
             return False
         except Exception as error:
             handle.status = QueryStatus.FAILED
@@ -257,24 +350,31 @@ class EngineScheduler:
             # flushes don't post (and bill) HITs nobody will consume.
             self.task_manager.cancel_query(handle.query_id)
             self._record_event(handle.query_id, "failed", type(error).__name__)
+            self._retire(record)
             raise
         if handle.executor.is_complete():
-            self._complete(handle)
+            self._complete(record)
             return True
         return moved
 
     def _flush(self, *, force: bool) -> int:
         posted = self.task_manager.flush(force=force, raise_on_budget=False)
+        if self._errors_pending:
+            self._route_errors()
+        return posted
+
+    def _route_errors(self) -> None:
+        """Drain the pushed error queues (only called when one was recorded)."""
+        self._errors_pending = False
         self._route_budget_errors()
         self._route_exhausted_errors()
-        return posted
 
     def _route_budget_errors(self) -> None:
         for query_id, error in self.task_manager.take_budget_errors().items():
             record = self._active.get(query_id)
             if record is None or record.handle.is_terminal:
                 continue
-            self._fail_over_budget(record.handle, error)
+            self._fail_over_budget(record, error)
 
     def _route_exhausted_errors(self) -> None:
         """Stall queries whose tasks ran out of fault-tolerance HIT attempts.
@@ -301,16 +401,20 @@ class EngineScheduler:
                 "stalled",
                 f"task attempts exhausted, {cancelled} pending task(s) cancelled",
             )
+            self._retire(record)
 
-    def _fail_over_budget(self, handle: QueryHandle, error: BudgetExceededError) -> None:
+    def _fail_over_budget(self, record: _ScheduledQuery, error: BudgetExceededError) -> None:
+        handle = record.handle
         handle.status = QueryStatus.BUDGET_EXCEEDED
         handle.error = error
         cancelled = self.task_manager.cancel_query(handle.query_id)
         self._record_event(
             handle.query_id, "budget_exceeded", f"{cancelled} pending task(s) cancelled"
         )
+        self._retire(record)
 
-    def _complete(self, handle: QueryHandle) -> None:
+    def _complete(self, record: _ScheduledQuery) -> None:
+        handle = record.handle
         handle.executor.close()
         handle.status = QueryStatus.COMPLETED
         # A plan can finish with speculative tasks still queued (e.g. a LIMIT
@@ -320,18 +424,30 @@ class EngineScheduler:
         if cancelled:
             detail += f", {cancelled} speculative task(s) cancelled"
         self._record_event(handle.query_id, "completed", detail)
+        self._retire(record)
 
     def _reap(self) -> int:
-        """Remove terminal queries from the active set and admit successors."""
-        finished = [query_id for query_id, r in self._active.items() if r.handle.is_terminal]
-        for query_id in finished:
-            del self._active[query_id]
+        """Remove terminal queries from the active set and admit successors.
+
+        Fed by :meth:`_retire` at every terminal transition, so it only ever
+        touches queries that actually finished — no per-pass scan.
+        """
+        if not self._to_reap:
+            return 0
+        finished = 0
+        for query_id in self._to_reap:
+            record = self._active.pop(query_id, None)
+            if record is None:
+                continue
+            self._runnable.pop(query_id, None)
+            finished += 1
             self.metrics.queries_finished += 1
             if self.replanner is not None:
                 self.replanner.release(query_id)
+        self._to_reap.clear()
         if finished:
             self._admit()
-        return len(finished)
+        return finished
 
     # -- driving to a target --------------------------------------------------------------
 
@@ -345,7 +461,7 @@ class EngineScheduler:
         while self.clock.now < simulated_time:
             if watch is not None and watch.is_terminal:
                 return
-            if not self.step():
+            if not self.step(until=simulated_time):
                 return
 
     def wait(self, handle: QueryHandle) -> list[Row]:
@@ -369,6 +485,10 @@ class EngineScheduler:
             )
             self.task_manager.cancel_query(handle.query_id)
             self._record_event(handle.query_id, "stalled")
+            record = self._active.get(handle.query_id)
+            if record is not None:
+                self._retire(record)
+                self._reap()
             raise handle.error
         if handle.status is QueryStatus.STALLED and handle.error is not None:
             # A targeted stall (task attempts exhausted) set the status

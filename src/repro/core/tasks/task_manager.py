@@ -29,6 +29,7 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections import Counter, deque
 from dataclasses import dataclass, field
@@ -167,14 +168,34 @@ class TaskManager:
             self.max_attempts = 3
         self.stats = TaskManagerStats()
         self._pending: dict[GroupKey, deque[Task]] = {}
+        # Incremental pending-queue bookkeeping, so the per-pass flush and
+        # the scheduler's introspection calls touch only what changed:
+        # ``_dirty`` holds the groups that gained tasks since their last
+        # flush visit (a visited group's residue cannot become flushable
+        # until another task arrives); ``_group_order`` stamps each live
+        # group with its creation sequence so a dirty subset still flushes
+        # in the exact order a full ``_pending`` iteration would have.
+        self._dirty: set[GroupKey] = set()
+        self._group_order: dict[GroupKey, int] = {}
+        self._group_seq = itertools.count()
+        self._pending_total = 0
+        self._pending_by_query: Counter = Counter()
+        # Groups that (may) hold a query's tasks — lazily pruned, so
+        # cancellation scans only the queues the query actually used.
+        self._pending_groups_by_query: dict[str, set[GroupKey]] = {}
         self._policies: dict[tuple[str, str], BatchingPolicy] = {}
         self._inflight: dict[str, _InflightHIT] = {}
+        # In-flight HITs indexed by (spec, kind) group and by participating
+        # query, for salvage / cancellation / introspection paths.
+        self._inflight_by_group: dict[GroupKey, set[str]] = {}
+        self._inflight_by_query: dict[str, set[str]] = {}
         self._progress: dict[str, _TaskProgress] = {}
         self._submitted_at: dict[str, float] = {}
         self._budget_errors: dict[str, BudgetExceededError] = {}
         self._exhausted_errors: dict[str, TaskError] = {}
         self._cancelled_queries: set[str] = set()
         self._delivery_listeners: list = []
+        self._error_listeners: list = []
         self._quality_rng = random.Random(quality.seed) if quality is not None else None
         platform.on_assignment_submitted(self._on_assignment_submitted)
         platform.on_hit_expired(self._on_hit_expired)
@@ -240,8 +261,34 @@ class TaskManager:
                 )
                 return
 
+        self._push_pending(task)
+
+    # -- pending-queue bookkeeping ------------------------------------------------------
+
+    def _push_pending(self, task: Task) -> None:
+        """Queue a task for the next HIT batch, keeping every index current."""
         key: GroupKey = (task.spec.name, task.kind.value)
-        self._pending.setdefault(key, deque()).append(task)
+        queue = self._pending.get(key)
+        if queue is None:
+            queue = self._pending[key] = deque()
+            self._group_order[key] = next(self._group_seq)
+        queue.append(task)
+        self._dirty.add(key)
+        self._pending_total += 1
+        self._pending_by_query[task.query_id] += 1
+        self._pending_groups_by_query.setdefault(task.query_id, set()).add(key)
+
+    def _pop_pending(self, key: GroupKey) -> Task:
+        task = self._pending[key].popleft()
+        self._pending_total -= 1
+        self._pending_by_query[task.query_id] -= 1
+        return task
+
+    def _drop_group(self, key: GroupKey) -> None:
+        """Forget an emptied pending group (its order stamp included)."""
+        del self._pending[key]
+        del self._group_order[key]
+        self._dirty.discard(key)
 
     # -- flushing pending tasks into HITs ----------------------------------------------
 
@@ -262,19 +309,31 @@ class TaskManager:
         posted for the remaining queries.
         """
         posted = 0
-        for key in list(self._pending):
-            queue = self._pending[key]
+        if force:
+            # A forced flush drains every group, so iterating them all is
+            # O(work posted), not wasted scanning.
+            keys = list(self._pending)
+        elif self._dirty:
+            # Only groups that gained tasks since their last visit can have
+            # become flushable; order by creation stamp so the subset posts
+            # in exactly the order a full `_pending` iteration would.
+            keys = sorted(self._dirty, key=self._group_order.__getitem__)
+        else:
+            return 0
+        for key in keys:
+            self._dirty.discard(key)
+            queue = self._pending.get(key)
             if not queue:
                 continue
             spec = queue[0].spec
             kind = queue[0].kind
             policy = self.policy_for(spec, kind)
             while queue and policy.should_flush(len(queue), force=force):
-                size = policy.batch_size(len(queue))
-                batch = [queue.popleft() for _ in range(min(size, len(queue)))]
+                size = min(policy.batch_size(len(queue)), len(queue))
+                batch = [self._pop_pending(key) for _ in range(size)]
                 posted += self._post_batch(batch, raise_on_budget=raise_on_budget)
             if not queue:
-                del self._pending[key]
+                self._drop_group(key)
         return posted
 
     def _post_batch(self, batch: list[Task], *, raise_on_budget: bool = True) -> int:
@@ -417,6 +476,7 @@ class TaskManager:
                     raise error
                 unaffordable.add(query_id)
                 self._budget_errors[query_id] = error
+                self._notify_error_recorded()
             if not unaffordable:
                 break
             dropped = [task for task in tasks if task.query_id in unaffordable]
@@ -470,7 +530,29 @@ class TaskManager:
             needs=needs,
             shares=dict(shares),
         )
+        group: GroupKey = (spec_name, tasks[0].kind.value)
+        self._inflight_by_group.setdefault(group, set()).add(hit.hit_id)
+        for query_id in shares:
+            self._inflight_by_query.setdefault(query_id, set()).add(hit.hit_id)
         return 1
+
+    def _forget_inflight(self, hit_id: str, inflight: _InflightHIT) -> None:
+        """Drop a settled HIT from the in-flight dict and both its indexes."""
+        self._inflight.pop(hit_id, None)
+        tasks = inflight.compiled.tasks
+        if tasks:
+            group: GroupKey = (tasks[0].spec.name, tasks[0].kind.value)
+            hits = self._inflight_by_group.get(group)
+            if hits is not None:
+                hits.discard(hit_id)
+                if not hits:
+                    del self._inflight_by_group[group]
+        for query_id in inflight.shares:
+            hits = self._inflight_by_query.get(query_id)
+            if hits is not None:
+                hits.discard(hit_id)
+                if not hits:
+                    del self._inflight_by_query[query_id]
 
     # -- completion handling ---------------------------------------------------------
 
@@ -482,7 +564,7 @@ class TaskManager:
         if hit.is_fully_submitted:
             inflight.processed = True
             self._process_completed_hit(hit, inflight)
-            del self._inflight[hit.hit_id]
+            self._forget_inflight(hit.hit_id, inflight)
 
     def _process_completed_hit(self, hit: HIT, inflight: _InflightHIT) -> None:
         self._settle_hit(hit, inflight, expired=False)
@@ -637,10 +719,10 @@ class TaskManager:
                 )
                 if task.query_id:
                     self._exhausted_errors.setdefault(task.query_id, error)
+                    self._notify_error_recorded()
                 return
             self.stats.tasks_requeued += 1
-        key: GroupKey = (task.spec.name, task.kind.value)
-        self._pending.setdefault(key, deque()).append(task)
+        self._push_pending(task)
 
     # -- quality control --------------------------------------------------------------
 
@@ -715,10 +797,27 @@ class TaskManager:
         """Register a callback fired after every task result delivery.
 
         The supported observation point for tooling (the chaos harness uses
-        it to assert each task is delivered exactly once); fired for cache,
-        model and crowd results alike, after the task's own callback ran.
+        it to assert each task is delivered exactly once, the engine
+        scheduler to wake the owning query); fired for cache, model and
+        crowd results alike, after the task's own callback ran.
         """
         self._delivery_listeners.append(callback)
+
+    def on_error_recorded(self, callback) -> None:
+        """Register a callback fired when a budget/exhaustion error lands.
+
+        This is the event-push half of the error plumbing: instead of
+        sweeping :meth:`take_budget_errors` / :meth:`take_exhausted_errors`
+        after every flush and clock advance, the engine scheduler registers
+        here and only drains the queues when something was actually
+        recorded.  The callback takes no arguments and must not mutate the
+        Task Manager — errors may be recorded mid-flush.
+        """
+        self._error_listeners.append(callback)
+
+    def _notify_error_recorded(self) -> None:
+        for listener in self._error_listeners:
+            listener()
 
     def _deliver(self, result: TaskResult) -> None:
         self.stats.tasks_completed += 1
@@ -739,10 +838,11 @@ class TaskManager:
         this hook an expired HIT stranded its tasks and the owning query
         waited forever.
         """
-        inflight = self._inflight.pop(hit.hit_id, None)
+        inflight = self._inflight.get(hit.hit_id)
         if inflight is None or inflight.processed:
             return
         inflight.processed = True
+        self._forget_inflight(hit.hit_id, inflight)
         self._settle_hit(hit, inflight, expired=True)
 
     def _refund_unfilled_slots(
@@ -781,20 +881,28 @@ class TaskManager:
     # -- scheduler / executor integration -----------------------------------------------
 
     def pending_tasks(self, query_id: str | None = None) -> int:
-        """Tasks queued but not yet posted in a HIT (optionally one query's)."""
-        if query_id is None:
-            return sum(len(queue) for queue in self._pending.values())
-        return sum(
-            1 for queue in self._pending.values() for task in queue if task.query_id == query_id
-        )
+        """Tasks queued but not yet posted in a HIT (optionally one query's).
 
-    def inflight_hits(self) -> int:
-        """HITs posted and awaiting full submission."""
-        return len(self._inflight)
+        O(1) either way: both counts are maintained incrementally as tasks
+        enter and leave the pending queues.
+        """
+        if query_id is None:
+            return self._pending_total
+        return self._pending_by_query.get(query_id, 0)
+
+    def inflight_hits(self, query_id: str | None = None) -> int:
+        """HITs posted and awaiting full submission (optionally one query's)."""
+        if query_id is None:
+            return len(self._inflight)
+        return len(self._inflight_by_query.get(query_id, ()))
+
+    def inflight_hits_for_group(self, spec_name: str, kind: TaskKind) -> list[str]:
+        """Ids of in-flight HITs carrying one (spec, kind) group's tasks."""
+        return sorted(self._inflight_by_group.get((spec_name, kind.value), ()))
 
     def has_outstanding_work(self) -> bool:
         """Whether any task is still queued or any HIT is still in flight."""
-        return self.pending_tasks() > 0 or self.inflight_hits() > 0
+        return self._pending_total > 0 or bool(self._inflight)
 
     def take_budget_errors(self) -> dict[str, BudgetExceededError]:
         """Drain budget failures recorded since the last call, keyed by query.
@@ -818,15 +926,24 @@ class TaskManager:
         """
         self._cancelled_queries.add(query_id)
         removed = 0
-        for key in list(self._pending):
-            queue = self._pending[key]
-            kept = deque(task for task in queue if task.query_id != query_id)
-            for task in queue:
-                if task.query_id == query_id:
-                    self._progress.pop(task.task_id, None)
-            removed += len(queue) - len(kept)
-            if kept:
-                self._pending[key] = kept
-            else:
-                del self._pending[key]
+        if self._pending_by_query.get(query_id, 0):
+            # Only the groups this query actually queued into are touched
+            # (the per-query group index), not every pending queue.
+            for key in self._pending_groups_by_query.get(query_id, ()):
+                queue = self._pending.get(key)
+                if queue is None:
+                    continue
+                kept = deque(task for task in queue if task.query_id != query_id)
+                for task in queue:
+                    if task.query_id == query_id:
+                        self._progress.pop(task.task_id, None)
+                dropped = len(queue) - len(kept)
+                removed += dropped
+                self._pending_total -= dropped
+                if kept:
+                    self._pending[key] = kept
+                else:
+                    self._drop_group(key)
+            self._pending_by_query[query_id] = 0
+        self._pending_groups_by_query.pop(query_id, None)
         return removed

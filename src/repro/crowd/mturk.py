@@ -11,6 +11,7 @@ shared :class:`~repro.crowd.clock.SimulationClock`, so latency behaviour
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
@@ -103,6 +104,23 @@ class MTurkSimulator:
         self.faults = faults if faults is not None else FaultProfile()
         self.stats = PlatformStats()
         self._hits: dict[str, HIT] = {}
+        # Status index: the control plane's hot paths (open_hits, expiry
+        # processing, the drain check) only ever want HITs in one state, so
+        # each state keeps its own id->HIT dict and completed/expired HITs
+        # leave the OPEN (hot) dict the moment they settle.  ``_hits`` stays
+        # the master archive for id lookups and unfiltered listings.
+        self._hits_by_status: dict[HITStatus, dict[str, HIT]] = {
+            status: {} for status in HITStatus
+        }
+        # Assignment id -> owning HIT id, so reviewing an assignment does not
+        # scan every HIT ever posted.
+        self._assignment_hits: dict[str, str] = {}
+        #: Live count of assignments in the ACCEPTED state (scheduled, not
+        #: yet submitted/abandoned) — the O(1) ``outstanding_assignments``.
+        self._outstanding = 0
+        # Expiry-deadline heap of (expires_at, hit_id): earliest open-HIT
+        # deadline without scanning, lazily pruned as HITs settle.
+        self._expiry_heap: list[tuple[float, str]] = []
         self._hit_counter = itertools.count(1)
         self._completion_listeners: list[Callable[[HIT, Assignment], None]] = []
         self._expiry_listeners: list[Callable[[HIT], None]] = []
@@ -161,6 +179,8 @@ class MTurkSimulator:
             excluded_workers=excluded_workers,
         )
         self._hits[hit.hit_id] = hit
+        self._hits_by_status[HITStatus.OPEN][hit.hit_id] = hit
+        heapq.heappush(self._expiry_heap, (hit.expires_at, hit.hit_id))
         self.stats.hits_created += 1
         self._schedule_assignments(hit)
         if self.faults.enabled:
@@ -197,6 +217,8 @@ class MTurkSimulator:
             accepted_at=accepted_at,
         )
         hit.assignments.append(assignment)
+        self._assignment_hits[assignment.assignment_id] = hit.hit_id
+        self._outstanding += 1
         rng = self.worker_pool.assignment_rng(assignment.assignment_id)
         duration = worker.work_duration(hit.content, rng)
         submit_at = accepted_at + duration
@@ -226,6 +248,7 @@ class MTurkSimulator:
                 return
             answers = worker.answer(hit.content, self.oracle, rng)
             assignment.submit(answers, at=self.clock.now)
+            self._outstanding -= 1
             self.stats.assignments_submitted += 1
             self.stats.per_worker_assignments[worker.worker_id] = (
                 self.stats.per_worker_assignments.get(worker.worker_id, 0) + 1
@@ -233,7 +256,7 @@ class MTurkSimulator:
             if self.auto_approve:
                 self._approve(hit, assignment)
             if hit.is_fully_submitted and hit.status is HITStatus.OPEN:
-                hit.status = HITStatus.COMPLETED
+                self._set_status(hit, HITStatus.COMPLETED)
                 self._cancel_expiry(hit)
             if self._fault_rng is not None and self._fault_rng.random() < self.faults.duplicate_rate:
                 # The worker's client re-posts the same form moments later;
@@ -249,6 +272,7 @@ class MTurkSimulator:
     def _abandon(self, hit: HIT, assignment: Assignment) -> None:
         """A worker returns an accepted assignment; recruit a replacement."""
         assignment.abandon()
+        self._outstanding -= 1
         self.stats.assignments_abandoned += 1
         if hit.status is not HITStatus.OPEN or self.clock.now >= hit.expires_at:
             return
@@ -267,6 +291,12 @@ class MTurkSimulator:
         if event is not None:
             event.cancel()
 
+    def _set_status(self, hit: HIT, status: HITStatus) -> None:
+        """Move a HIT between the per-status index dicts."""
+        self._hits_by_status[hit.status].pop(hit.hit_id, None)
+        hit.status = status
+        self._hits_by_status[status][hit.hit_id] = hit
+
     def _approve(self, hit: HIT, assignment: Assignment) -> None:
         assignment.approve()
         self.stats.assignments_approved += 1
@@ -283,11 +313,10 @@ class MTurkSimulator:
             raise HITError(f"unknown HIT {hit_id!r}") from None
 
     def list_hits(self, status: HITStatus | None = None) -> list[HIT]:
-        """List HITs, optionally filtered by status."""
-        hits = list(self._hits.values())
+        """List HITs, optionally filtered by status (via the status index)."""
         if status is not None:
-            hits = [h for h in hits if h.status is status]
-        return hits
+            return list(self._hits_by_status[status].values())
+        return list(self._hits.values())
 
     def submitted_assignments(self, hit_id: str) -> list[Assignment]:
         """Assignments of a HIT that have been submitted (or reviewed)."""
@@ -305,11 +334,14 @@ class MTurkSimulator:
         self.stats.assignments_rejected += 1
 
     def _find_assignment(self, assignment_id: str) -> tuple[HIT, Assignment]:
-        for hit in self._hits.values():
-            for assignment in hit.assignments:
-                if assignment.assignment_id == assignment_id:
-                    return hit, assignment
-        raise CrowdError(f"unknown assignment {assignment_id!r}")
+        hit_id = self._assignment_hits.get(assignment_id)
+        if hit_id is None:
+            raise CrowdError(f"unknown assignment {assignment_id!r}")
+        hit = self._hits[hit_id]
+        for assignment in hit.assignments:
+            if assignment.assignment_id == assignment_id:
+                return hit, assignment
+        raise CrowdError(f"unknown assignment {assignment_id!r}")  # pragma: no cover
 
     def expire_hit(self, hit_id: str) -> None:
         """Expire a HIT: pending (unsubmitted) assignments never arrive.
@@ -321,7 +353,7 @@ class MTurkSimulator:
         hit = self.get_hit(hit_id)
         if hit.status is not HITStatus.OPEN:
             return
-        hit.status = HITStatus.EXPIRED
+        self._set_status(hit, HITStatus.EXPIRED)
         self.stats.hits_expired += 1
         self._cancel_expiry(hit)
         for listener in self._expiry_listeners:
@@ -333,7 +365,7 @@ class MTurkSimulator:
         if hit.status is HITStatus.OPEN:
             raise HITError(f"cannot dispose open HIT {hit_id}")
         self._cancel_expiry(hit)
-        hit.status = HITStatus.DISPOSED
+        self._set_status(hit, HITStatus.DISPOSED)
 
     # -- aggregate accounting ------------------------------------------------------
 
@@ -343,17 +375,28 @@ class MTurkSimulator:
         return self.stats.total_cost
 
     def open_hits(self) -> list[HIT]:
-        """HITs still waiting for assignments."""
+        """HITs still waiting for assignments (O(open), not O(ever posted))."""
         return self.list_hits(HITStatus.OPEN)
 
+    def open_hit_count(self) -> int:
+        """Number of HITs still waiting for assignments, without a copy."""
+        return len(self._hits_by_status[HITStatus.OPEN])
+
+    def next_expiry_at(self) -> float | None:
+        """Earliest deadline among open HITs, or None when none are open.
+
+        Served from the expiry-deadline heap (entries for HITs that settled
+        before their deadline are pruned lazily), so peeking never scans the
+        HIT archive.
+        """
+        open_hits = self._hits_by_status[HITStatus.OPEN]
+        while self._expiry_heap and self._expiry_heap[0][1] not in open_hits:
+            heapq.heappop(self._expiry_heap)
+        return self._expiry_heap[0][0] if self._expiry_heap else None
+
     def outstanding_assignments(self) -> int:
-        """Number of scheduled assignments not yet submitted."""
-        count = 0
-        for hit in self._hits.values():
-            for assignment in hit.assignments:
-                if assignment.status is AssignmentStatus.ACCEPTED:
-                    count += 1
-        return count
+        """Number of scheduled assignments not yet submitted (live counter)."""
+        return self._outstanding
 
     def estimate_cost(self, reward: float, hit_count: int, assignments: int) -> float:
         """Requester-side estimate used by the optimizer's cost model."""

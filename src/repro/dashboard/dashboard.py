@@ -51,11 +51,15 @@ class QueryDashboard:
         scheduler = getattr(self.engine, "scheduler", None)
         scheduler_state = ""
         lifecycle: tuple[str, ...] = ()
+        scheduler_passes = clock_advances = noop_clock_advances = 0
         if scheduler is not None:
             scheduler_state = scheduler.state_of(handle.query_id)
             lifecycle = tuple(
                 event.describe() for event in scheduler.events_for(handle.query_id)
             )
+            scheduler_passes = scheduler.metrics.passes
+            clock_advances = scheduler.metrics.clock_advances
+            noop_clock_advances = scheduler.metrics.noop_clock_advances
         plan_changes = tuple(change.describe() for change in handle.plan_history())
         platform_stats = self.engine.platform.stats
         manager_stats = self.engine.task_manager.stats
@@ -83,7 +87,7 @@ class QueryDashboard:
             hits_posted=stats.hits_posted,
             tasks_submitted=stats.tasks_submitted,
             tasks_completed=stats.tasks_completed,
-            open_hits=len(self.engine.platform.open_hits()),
+            open_hits=self.engine.platform.open_hit_count(),
             cache_hits=stats.cache_hits,
             cache_savings=stats.dollars_saved_cache,
             model_answers=stats.model_answers,
@@ -93,6 +97,9 @@ class QueryDashboard:
             operators=operators,
             scheduler_state=scheduler_state,
             lifecycle=lifecycle,
+            scheduler_passes=scheduler_passes,
+            clock_advances=clock_advances,
+            noop_clock_advances=noop_clock_advances,
             plan_changes=plan_changes,
             workers_tracked=workers_tracked,
             mean_worker_accuracy=mean_worker_accuracy,
@@ -198,6 +205,11 @@ class QueryDashboard:
         if snapshot.scheduler_state:
             lifecycle = " -> ".join(snapshot.lifecycle) or "<no events>"
             lines.append(f"scheduler: {snapshot.scheduler_state} | {lifecycle}")
+            lines.append(
+                f"run loop (engine-wide): {snapshot.scheduler_passes} passes"
+                f" | {snapshot.clock_advances} clock advances"
+                f" ({snapshot.noop_clock_advances} absorbed as no-ops)"
+            )
         for change in snapshot.plan_changes:
             lines.append(f"plan change: {change}")
         lines.append("plan:")

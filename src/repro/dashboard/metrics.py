@@ -62,6 +62,13 @@ class QueryDashboardSnapshot:
     # "finished") and the query's lifecycle events ("submitted@0s", ...).
     scheduler_state: str = ""
     lifecycle: tuple[str, ...] = field(default_factory=tuple)
+    # Engine-wide run-loop counters: scheduling passes, clock advances, and
+    # how many of those advances were no-ops (marketplace bookkeeping events
+    # that woke no query) — the event-driven control plane absorbs those
+    # without a full pass, so a high no-op share is healthy, not wasteful.
+    scheduler_passes: int = 0
+    clock_advances: int = 0
+    noop_clock_advances: int = 0
     # Adaptive re-optimization: the initial plan choice plus every mid-query
     # strategy swap the replanner applied, oldest first.
     plan_changes: tuple[str, ...] = field(default_factory=tuple)

@@ -1,0 +1,97 @@
+"""Profile a benchmark module: ``python -m repro.profile <bench> [runner]``.
+
+Performance PRs need before/after evidence, not vibes.  This helper runs one
+benchmark module's ``run_*`` workload functions under :mod:`cProfile` and
+prints the top cumulative-time entries, so a hot loop can be cited in a PR
+description (or hunted down) with one command::
+
+    python -m repro.profile e15                 # every run_* in bench_e15_*
+    python -m repro.profile e13 run_engine_overhead_experiment
+    python -m repro.profile e15 --top 40        # deeper dump
+
+Benchmarks are discovered exactly like ``benchmarks/run_all.py`` discovers
+them: by the ``e<N>`` tag or the full module stem, from the repository's
+``benchmarks/`` directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import importlib
+import pstats
+import sys
+import time
+from pathlib import Path
+
+#: src/repro/profile.py -> repository root (the layout this repo ships).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+DEFAULT_TOP = 20
+
+
+def discover_module(selector: str) -> Path:
+    """Resolve ``e15`` / ``bench_e15_control_plane`` to a benchmark file."""
+    candidates = sorted(BENCH_DIR.glob("bench_*.py"))
+    for module in candidates:
+        tag = module.stem.split("_")[1]  # bench_e15_control_plane -> e15
+        if selector in (tag, module.stem):
+            return module
+    known = ", ".join(path.stem.split("_")[1] for path in candidates)
+    raise SystemExit(f"no benchmark matches {selector!r} (known: {known})")
+
+
+def runners_of(module, wanted: str | None) -> dict:
+    runners = {
+        name: fn
+        for name, fn in vars(module).items()
+        if name.startswith("run_") and callable(fn)
+    }
+    if not runners:
+        raise SystemExit(f"{module.__name__} defines no run_* functions")
+    if wanted is None:
+        return runners
+    if wanted not in runners:
+        raise SystemExit(
+            f"{module.__name__} has no runner {wanted!r} (known: {', '.join(sorted(runners))})"
+        )
+    return {wanted: runners[wanted]}
+
+
+def profile_runner(name: str, fn, *, top: int, sort: str) -> None:
+    print(f"\n=== {name} ===", flush=True)
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    wall = time.perf_counter() - started
+    print(f"wall: {wall:.3f}s — top {top} by {sort} time:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile",
+        description="cProfile a benchmark's run_* workload functions.",
+    )
+    parser.add_argument("bench", help="benchmark selector, e.g. e15 or bench_e15_control_plane")
+    parser.add_argument("runner", nargs="?", default=None, help="one run_* function (default: all)")
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP, help="entries to print (default 20)")
+    parser.add_argument(
+        "--sort", default="cumulative", help="pstats sort key (default: cumulative)"
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(BENCH_DIR))
+    path = discover_module(args.bench)
+    module = importlib.import_module(path.stem)
+    for name, fn in sorted(runners_of(module, args.runner).items()):
+        profile_runner(name, fn, top=args.top, sort=args.sort)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""Tests for the control plane's incremental indexes.
+
+The scheduler, Task Manager and marketplace simulator replaced their
+whole-world scans with counters and per-key indexes; these tests pin the
+index bookkeeping: every count must agree with a from-scratch recomputation
+at each lifecycle edge (submit, flush, settle, expire, cancel).
+"""
+
+from repro.core.optimizer.budget import BudgetLedger
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.tasks.batching import FixedBatching
+from repro.core.tasks.spec import Parameter, TaskSpec, TaskType, YesNoResponse
+from repro.core.tasks.task import Task, TaskKind
+from repro.core.tasks.task_manager import TaskManager
+from repro.crowd import (
+    CallbackOracle,
+    HITStatus,
+    MTurkSimulator,
+    PopulationMix,
+    SimulationClock,
+    WorkerPool,
+)
+
+FILTER_SPEC = TaskSpec(
+    name="isRed",
+    task_type=TaskType.FILTER,
+    text="Is %s red?",
+    response=YesNoResponse(),
+    parameters=(Parameter("name"),),
+    price=0.01,
+    assignments=3,
+)
+
+ORACLE = CallbackOracle(predicate=lambda item: item.payload.get("is_red", False))
+
+
+def build_manager():
+    clock = SimulationClock()
+    pool = WorkerPool(size=50, seed=1, mix=PopulationMix(diligent=1, noisy=0, lazy=0, spammer=0))
+    platform = MTurkSimulator(clock, pool, ORACLE)
+    manager = TaskManager(platform, StatisticsManager(), BudgetLedger())
+    return clock, platform, manager
+
+
+def filter_task(sink, *, name, query_id):
+    return Task(
+        kind=TaskKind.FILTER,
+        spec=FILTER_SPEC,
+        payload={"args": (name,), "name": name, "is_red": True},
+        callback=sink.append,
+        query_id=query_id,
+    )
+
+
+class TestPendingCounters:
+    def test_per_query_pending_counts_track_submit_flush_and_cancel(self):
+        clock, _platform, manager = build_manager()
+        manager.set_batching_policy("isRed", TaskKind.FILTER, FixedBatching(4))
+        results = []
+        for index in range(3):
+            manager.submit(filter_task(results, name=f"a{index}", query_id="q1"))
+        manager.submit(filter_task(results, name="b0", query_id="q2"))
+        assert manager.pending_tasks() == 4
+        assert manager.pending_tasks("q1") == 3
+        assert manager.pending_tasks("q2") == 1
+        assert manager.pending_tasks("q-unknown") == 0
+        # The full batch flushes; every counter returns to zero.
+        assert manager.flush() == 1
+        assert manager.pending_tasks() == 0
+        assert manager.pending_tasks("q1") == 0
+        clock.run_until_idle()
+        assert len(results) == 4
+
+    def test_cancel_query_clears_only_its_own_tasks(self):
+        _clock, _platform, manager = build_manager()
+        manager.set_batching_policy("isRed", TaskKind.FILTER, FixedBatching(10))
+        results = []
+        for index in range(3):
+            manager.submit(filter_task(results, name=f"a{index}", query_id="q1"))
+        for index in range(2):
+            manager.submit(filter_task(results, name=f"b{index}", query_id="q2"))
+        assert manager.cancel_query("q1") == 3
+        assert manager.pending_tasks() == 2
+        assert manager.pending_tasks("q1") == 0
+        assert manager.pending_tasks("q2") == 2
+        # Cancelling again is a cheap no-op (the per-query count is zero).
+        assert manager.cancel_query("q1") == 0
+
+    def test_has_outstanding_work_is_counter_backed(self):
+        clock, _platform, manager = build_manager()
+        results = []
+        assert not manager.has_outstanding_work()
+        manager.submit(filter_task(results, name="a", query_id="q1"))
+        assert manager.has_outstanding_work()
+        manager.flush(force=True)
+        assert manager.has_outstanding_work()  # in flight now
+        clock.run_until_idle()
+        assert not manager.has_outstanding_work()
+
+
+class TestInflightIndexes:
+    def test_inflight_hits_indexed_by_query_and_group(self):
+        clock, _platform, manager = build_manager()
+        manager.set_batching_policy("isRed", TaskKind.FILTER, FixedBatching(2))
+        results = []
+        manager.submit(filter_task(results, name="a", query_id="q1"))
+        manager.submit(filter_task(results, name="b", query_id="q2"))
+        manager.submit(filter_task(results, name="c", query_id="q1"))
+        assert manager.flush(force=True) == 2
+        assert manager.inflight_hits() == 2
+        assert manager.inflight_hits("q1") == 2  # the shared HIT and the solo one
+        assert manager.inflight_hits("q2") == 1
+        assert manager.inflight_hits("q-unknown") == 0
+        group_hits = manager.inflight_hits_for_group("isRed", TaskKind.FILTER)
+        assert len(group_hits) == 2
+        assert manager.inflight_hits_for_group("isBlue", TaskKind.FILTER) == []
+        clock.run_until_idle()
+        assert manager.inflight_hits() == 0
+        assert manager.inflight_hits("q1") == 0
+        assert manager.inflight_hits_for_group("isRed", TaskKind.FILTER) == []
+        assert len(results) == 3
+
+
+class TestPlatformIndexes:
+    def test_status_index_and_expiry_heap(self):
+        clock, platform, manager = build_manager()
+        results = []
+        manager.submit(filter_task(results, name="a", query_id="q1"))
+        manager.flush(force=True)
+        (hit,) = platform.open_hits()
+        assert platform.open_hit_count() == 1
+        assert platform.next_expiry_at() == hit.expires_at
+        clock.run_until_idle()
+        # Completed HITs leave the hot (open) index but stay in the archive.
+        assert platform.open_hit_count() == 0
+        assert platform.next_expiry_at() is None
+        assert platform.list_hits(HITStatus.COMPLETED) == [hit]
+        assert platform.list_hits() == [hit]
+        assert platform.get_hit(hit.hit_id) is hit
+
+    def test_expired_hits_move_to_the_expired_index(self):
+        _clock, platform, manager = build_manager()
+        results = []
+        manager.submit(filter_task(results, name="a", query_id="q1"))
+        manager.flush(force=True)
+        (hit,) = platform.open_hits()
+        platform.expire_hit(hit.hit_id)
+        assert platform.open_hit_count() == 0
+        assert platform.next_expiry_at() is None
+        assert platform.list_hits(HITStatus.EXPIRED) == [hit]
+        platform.dispose_hit(hit.hit_id)
+        assert platform.list_hits(HITStatus.EXPIRED) == []
+        assert platform.list_hits(HITStatus.DISPOSED) == [hit]
+
+    def test_outstanding_assignment_counter_matches_scan(self):
+        from repro.crowd.hit import AssignmentStatus
+
+        clock, platform, manager = build_manager()
+        results = []
+        for index in range(3):
+            manager.submit(filter_task(results, name=f"a{index}", query_id="q1"))
+        manager.flush(force=True)
+
+        def scan():
+            return sum(
+                1
+                for hit in platform.list_hits()
+                for assignment in hit.assignments
+                if assignment.status is AssignmentStatus.ACCEPTED
+            )
+
+        assert platform.outstanding_assignments() == scan() > 0
+        while clock.run_next():
+            assert platform.outstanding_assignments() == scan()
+        assert platform.outstanding_assignments() == 0

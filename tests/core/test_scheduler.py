@@ -235,11 +235,77 @@ class TestPriorityWeightedStepping:
         slow.wait()
         assert len(fast.results()) == len(slow.results()) == n_rows
 
+    def test_sub_unit_priorities_are_not_starved(self):
+        """A priority < 1 accrues credit over passes; it must never be parked
+        while waiting for its first step (parked queries are only woken by
+        their own task deliveries, which a never-stepped query has none of)."""
+        run = build_products_engine(n_products=4, filter_batch=1, seed=19)
+        heavy = run.engine.query(FILTER_SQL, priority=1.0)
+        light = run.engine.query(FILTER_SQL, priority=0.25)
+        assert heavy.wait() is not None
+        assert light.wait() is not None
+        assert heavy.status is QueryStatus.COMPLETED
+        assert light.status is QueryStatus.COMPLETED
+        assert light.stats.tasks_completed > 0
+
     def test_non_positive_priority_is_rejected(self):
         engine = QurkEngine()
         engine.create_table("t", ["x"], rows=[[1]])
         with pytest.raises(ExecutionError):
             engine.query("SELECT x FROM t", priority=0.0)
+
+
+class TestFairnessAtScale:
+    """The ready-queue must stay fair: skewed priorities starve nobody."""
+
+    N_QUERIES = 256
+
+    def test_256_skewed_queries_all_progress_and_admission_order_holds(self):
+        run = build_products_engine(n_products=2, filter_batch=1, seed=77)
+        scheduler = run.engine.scheduler
+        scheduler.max_concurrent_queries = 16
+        # Priorities skewed 1..8, interleaved so heavy and light queries
+        # share every admission cohort.
+        handles = [
+            run.engine.query(FILTER_SQL, priority=1.0 + (i % 8))
+            for i in range(self.N_QUERIES)
+        ]
+        assert len(scheduler.active_queries()) == 16
+        assert scheduler.queued_queries() == [h.query_id for h in handles[16:]]
+        for handle in handles:
+            handle.wait()
+        # Starvation-freedom: every query — lowest priority included — ran
+        # to completion and did real work.
+        assert all(handle.status is QueryStatus.COMPLETED for handle in handles)
+        assert all(handle.executor.metrics.passes > 0 for handle in handles)
+        assert all(handle.stats.tasks_completed > 0 for handle in handles)
+        # Priority weights stepping, never admission: the FIFO waiting order
+        # is preserved exactly even though priorities are skewed.
+        admitted = [e.query_id for e in scheduler.events if e.event == "admitted"]
+        assert admitted == [handle.query_id for handle in handles]
+
+    def test_blocked_queries_are_parked_and_woken_by_deliveries(self):
+        run = build_products_engine(n_products=4, filter_batch=1, seed=31)
+        scheduler = run.engine.scheduler
+        first = run.engine.query(FILTER_SQL)
+        second = run.engine.query(FILTER_SQL)
+        assert set(scheduler.runnable_queries()) == {first.query_id, second.query_id}
+        observed_parked = False
+        while not (first.is_terminal and second.is_terminal):
+            scheduler.step()
+            if len(scheduler.runnable_queries()) < len(scheduler.active_queries()):
+                # At least one admitted query is parked awaiting crowd work —
+                # the ready queue really is a subset, not a relabeling.
+                observed_parked = True
+        assert observed_parked
+        assert first.status is QueryStatus.COMPLETED
+        assert second.status is QueryStatus.COMPLETED
+        # The event-driven run loop absorbs marketplace bookkeeping events
+        # (partial HIT submissions) without paying a scheduling pass each:
+        # strictly fewer passes than clock advances, and the absorbed share
+        # is surfaced on the no-op counter.
+        assert scheduler.metrics.passes < scheduler.metrics.clock_advances
+        assert scheduler.metrics.noop_clock_advances > 0
 
 
 class TestLifecycleAndDashboard:
