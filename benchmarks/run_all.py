@@ -21,6 +21,11 @@ import sys
 import time
 from pathlib import Path
 
+try:  # POSIX-only stdlib module; absent on Windows
+    import resource
+except ImportError:  # pragma: no cover - POSIX CI/dev images always have it
+    resource = None  # type: ignore[assignment]
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
 SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
@@ -48,6 +53,22 @@ def discover(selectors: list[str]) -> list[Path]:
     return wanted
 
 
+def peak_rss_kb() -> int | None:
+    """Process peak RSS in KiB (``ru_maxrss``), or None off-POSIX.
+
+    The kernel reports a high-water mark for the whole process, so
+    per-benchmark values are monotone across a sweep: a benchmark's own
+    footprint shows up as the *increase* over the previous entry.  Recording
+    the mark after each module makes columnar-memory wins and regressions
+    visible in the summary trajectory.
+    """
+    if resource is None:
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return usage // 1024 if sys.platform == "darwin" else usage
+
+
 def run_module(path: Path) -> dict:
     module = importlib.import_module(path.stem)
     runners = {
@@ -70,11 +91,13 @@ def run_module(path: Path) -> dict:
             continue
         entry["experiments"][name] = {
             "wall_seconds": round(time.perf_counter() - started, 3),
+            "peak_rss_kb": peak_rss_kb(),
             "results": result,
         }
     if not runners:
         entry["status"] = "skipped"
         entry["reason"] = "no run_* functions found"
+    entry["peak_rss_kb"] = peak_rss_kb()
     return entry
 
 

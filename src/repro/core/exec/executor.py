@@ -25,6 +25,7 @@ from repro.core.exec.context import ExecutionContext
 from repro.core.operators.base import Operator
 from repro.core.operators.sink import ResultSinkOperator
 from repro.errors import ExecutionError
+from repro.storage.batch import RowBatch
 
 __all__ = ["ExecutorMetrics", "QueryExecutor"]
 
@@ -199,7 +200,7 @@ class QueryExecutor:
         new._in_queues = old._in_queues
         new._inputs_done = old._inputs_done
         for row, slot in reversed(old.consumed_input()):
-            new._in_queues[slot].appendleft(row)
+            new._in_queues[slot].appendleft(RowBatch.single(row))
 
         new.parent = old.parent
         new.child_slot = old.child_slot

@@ -9,19 +9,21 @@ of a SELECT statement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import Any, Callable
 
 from repro.core.operators.base import Operator
 from repro.errors import OperatorError
-from repro.storage.expressions import Expression, compile_expression
+from repro.storage import accel
+from repro.storage.batch import RowBatch
+from repro.storage.expressions import Expression, compile_batch_expression
 from repro.storage.row import Row
 from repro.storage.schema import Column, Schema
 from repro.storage.types import DataType
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
-    from repro.core.exec.context import ExecutionContext
-
 __all__ = ["AggregateSpec", "GroupByOperator", "LimitOperator", "AGGREGATE_FUNCTIONS"]
+
+#: Below this many rows the Python bucketing loop wins over ndarray setup.
+_ACCEL_MIN_ROWS = 256
 
 
 def _count(values: list[Any]) -> int:
@@ -82,6 +84,12 @@ class GroupByOperator(Operator):
     With no group-by columns it produces a single row aggregating all input
     (or no row at all when the input is empty, matching SQL semantics for
     grouped aggregates and keeping the implementation predictable).
+
+    Grouping is columnar: input batches are buffered as-is, and on finish the
+    group keys come straight off the key columns while each aggregate's
+    argument expression runs once as a column kernel over all input — the
+    groups then gather from that value column by row index.  Output groups
+    appear in first-arrival order, exactly like the old row-bucketing loop.
     """
 
     def __init__(
@@ -97,62 +105,143 @@ class GroupByOperator(Operator):
         columns = [input_schema.column(name) for name in self.group_columns]
         columns += [Column(agg.alias, DataType.ANY) for agg in self.aggregates]
         self._schema = Schema(tuple(columns))
-        self._groups: dict[tuple, list[Row]] = {}
-        self._order: list[tuple] = []
-        self._group_indices: tuple[int, ...] | None = None
-        self._compiled_aggregates: list[Callable[[Row], Any] | None] | None = None
+        self._batches: list[RowBatch] = []
 
     @property
     def output_schema(self) -> Schema:
         return self._schema
 
-    def open(self, context: "ExecutionContext") -> None:
-        super().open(context)
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        self._batches.append(batch)
+
+    def _process(self, row: Row, slot: int) -> None:
+        self._batches.append(RowBatch.single(row))
+
+    def _on_inputs_finished(self) -> None:
         input_schema = (
             self.children[0].output_schema if self.children else self._input_schema
         )
-        self._group_indices = input_schema.indices_of(self.group_columns)
-        self._compiled_aggregates = [
-            None if agg.expression is None else compile_expression(agg.expression, input_schema)
-            for agg in self.aggregates
-        ]
+        combined = RowBatch.vstack(input_schema, self._batches)
+        self._batches.clear()
+        length = len(combined)
+        if not length:
+            return
+        if self._accel_finish(combined, input_schema):
+            return
 
-    def _process_batch(self, rows: list[Row], slot: int) -> None:
-        indices = self._group_indices
-        if indices is None:
-            indices = self._input_schema.indices_of(self.group_columns)
-        groups = self._groups
-        order = self._order
-        for row in rows:
-            row_values = row.values
-            key = tuple(row_values[i] for i in indices)
+        # Bucket row positions by group key, preserving first-arrival order.
+        groups: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        indices = input_schema.indices_of(self.group_columns)
+        if indices:
+            key_columns = [combined.column_at(i) for i in indices]
+            keys = zip(*key_columns) if len(key_columns) > 1 else (
+                (value,) for value in key_columns[0]
+            )
+        else:
+            keys = ((),) * length
+        for position, key in enumerate(keys):
             bucket = groups.get(key)
             if bucket is None:
                 groups[key] = bucket = []
                 order.append(key)
-            bucket.append(row)
+            bucket.append(position)
 
-    def _process(self, row: Row, slot: int) -> None:
-        self._process_batch([row], slot)
+        # One kernel pass per aggregate argument over the whole input.
+        value_columns: list[Any] = []
+        for aggregate in self.aggregates:
+            if aggregate.expression is None:
+                value_columns.append(None)  # COUNT(*): every row counts 1
+            else:
+                value_columns.append(
+                    compile_batch_expression(aggregate.expression, input_schema)(combined)
+                )
 
-    def _on_inputs_finished(self) -> None:
-        compiled = self._compiled_aggregates or [
-            None if agg.expression is None else agg.expression.evaluate
-            for agg in self.aggregates
-        ]
         out: list[Row] = []
-        for key in self._order:
-            rows = self._groups[key]
+        for key in order:
+            positions = groups[key]
             values: list[Any] = list(key)
-            for aggregate, evaluate in zip(self.aggregates, compiled):
-                if evaluate is None:
-                    group_values: list[Any] = [1] * len(rows)
+            for aggregate, column in zip(self.aggregates, value_columns):
+                if column is None:
+                    group_values: list[Any] = [1] * len(positions)
                 else:
-                    group_values = [evaluate(row) for row in rows]
+                    group_values = [column[i] for i in positions]
                 function = AGGREGATE_FUNCTIONS[aggregate.function.lower()]
                 values.append(function(group_values))
             out.append(Row(self._schema, values))
         self.emit_batch(out)
+
+    def _accel_finish(self, combined: RowBatch, input_schema: Schema) -> bool:
+        """Dictionary-code grouping for count/sum/avg; True when it emitted.
+
+        Eligible when there is exactly one group column and it carries
+        dictionary codes (string columns scanned out of a table), and every
+        aggregate is COUNT(*), or count/sum/avg over a NULL-free numeric
+        argument column (sum/avg additionally require float64, since a
+        Python sum over ints stays int).  ``np.bincount`` accumulates each
+        bin sequentially in input order — the same left-to-right additions
+        from 0.0 the Python per-group ``sum`` performs — so sums are
+        bit-identical; group order is first arrival, recovered from
+        ``np.unique``'s first-occurrence indices.  Anything else returns
+        False and the reference bucketing loop runs.
+        """
+        if not (accel.HAVE_NUMPY and len(combined) >= _ACCEL_MIN_ROWS):
+            return False
+        if len(self.group_columns) != 1:
+            return False
+        key_index = input_schema.try_index_of(self.group_columns[0])
+        if key_index is None:
+            return False
+        codes = combined._codes(key_index)
+        if codes is None:
+            return False
+        codes_array, encoding = codes
+        np = accel.np
+        counts = np.bincount(codes_array, minlength=len(encoding))
+
+        # (kind, per-code sums or None), one per aggregate output column.
+        plans: list[tuple[str, Any]] = []
+        for aggregate in self.aggregates:
+            function = aggregate.function.lower()
+            if aggregate.expression is None:
+                if function != "count":
+                    return False
+                plans.append(("count", None))
+                continue
+            if function not in ("count", "sum", "avg"):
+                return False
+            array = accel.array_kernel(aggregate.expression, combined)
+            if array is None:
+                column = compile_batch_expression(aggregate.expression, input_schema)(
+                    combined
+                )
+                array = accel.numeric_array(column)
+            if array is None:
+                return False
+            if function == "count":
+                plans.append(("count", None))
+                continue
+            if array.dtype.kind != "f":
+                return False
+            sums = np.bincount(codes_array, weights=array, minlength=len(encoding))
+            plans.append((function, sums))
+
+        uniq, first_seen = np.unique(codes_array, return_index=True)
+        ordered = uniq[np.argsort(first_seen, kind="stable")]
+        out: list[Row] = []
+        for code in ordered.tolist():
+            values: list[Any] = [encoding.values[code]]
+            n = int(counts[code])
+            for kind, sums in plans:
+                if kind == "count":
+                    values.append(n)
+                elif kind == "sum":
+                    values.append(float(sums[code]))
+                else:  # avg
+                    values.append(float(sums[code]) / n)
+            out.append(Row(self._schema, values))
+        self.emit_batch(out)
+        return True
 
 
 class LimitOperator(Operator):
@@ -169,6 +258,15 @@ class LimitOperator(Operator):
     @property
     def output_schema(self) -> Schema:
         return self._schema
+
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        remaining = self.limit - self._emitted
+        if remaining <= 0:
+            return
+        if len(batch) > remaining:
+            batch = batch.slice(0, remaining)
+        self._emitted += len(batch)
+        self.emit_rowbatch(batch)
 
     def _process(self, row: Row, slot: int) -> None:
         if self._emitted < self.limit:

@@ -11,6 +11,23 @@ submits crowd tasks, and pushes produced rows into its parent's queue.  Crowd
 operators keep a count of outstanding tasks; an operator is *done* only when
 its inputs are finished, its queues are drained, it has no outstanding tasks,
 and it has flushed any internal buffers.
+
+Queues carry **column-major batches** (:class:`~repro.storage.batch.RowBatch`),
+not rows: the local data plane is columnar end-to-end, and rows materialize
+only at sinks, crowd-operator task-emission boundaries, and HIT compilation.
+Operators choose the abstraction level they need by overriding exactly one of
+three hooks, from most to least columnar:
+
+- :meth:`_process_batches` — batch in, batch out (local filter/project/
+  sort/join/aggregate); the default materializes rows and delegates down.
+- :meth:`_process_batch` — one slice of rows per call (sinks, crowd
+  operators that submit one task per row).
+- :meth:`_process` — one row per call (the simplest fallback).
+
+The drain budget is counted in *rows* regardless of batch shape, and a batch
+larger than the remaining budget is split at the boundary, so per-step row
+counts — and therefore HIT batching and the determinism fingerprints — are
+independent of how emitters grouped their output.
 """
 
 from __future__ import annotations
@@ -20,6 +37,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import OperatorError
+from repro.storage.batch import RowBatch
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 
@@ -67,7 +85,7 @@ class Operator:
         #: it against observed cardinalities to detect misestimation.
         self.planned_input_rows: float | None = None
         self._max_rows_per_step = self.MAX_ROWS_PER_STEP
-        self._in_queues: list[deque[Row]] = []
+        self._in_queues: list[deque[RowBatch]] = []
         self._inputs_done: list[bool] = []
         self._outstanding_tasks = 0
         self._finalized = False
@@ -115,12 +133,31 @@ class Operator:
     # -- data flow --------------------------------------------------------------------------
 
     def push(self, row: Row, slot: int = 0) -> None:
-        """Enqueue an input row from child ``slot``."""
-        self._in_queues[slot].append(row)
+        """Enqueue one input row from child ``slot`` (wrapped as a 1-row batch)."""
+        self._in_queues[slot].append(RowBatch.single(row))
 
     def push_batch(self, rows: list[Row], slot: int = 0) -> None:
-        """Enqueue several input rows from child ``slot`` in one call."""
-        self._in_queues[slot].extend(rows)
+        """Enqueue several input rows from child ``slot`` in one call.
+
+        Consecutive rows sharing a schema object become one column-major
+        batch; schema derivations are memoized, so a homogeneous list (the
+        overwhelmingly common case) transposes into a single batch.
+        """
+        if not rows:
+            return
+        queue = self._in_queues[slot]
+        start = 0
+        schema = rows[0].schema
+        for i in range(1, len(rows)):
+            if rows[i].schema is not schema:
+                queue.append(RowBatch.from_rows(schema, rows[start:i]))
+                start, schema = i, rows[i].schema
+        queue.append(RowBatch.from_rows(schema, rows[start:]))
+
+    def push_rowbatch(self, batch: RowBatch, slot: int = 0) -> None:
+        """Enqueue an already-columnar batch from child ``slot`` as-is."""
+        if len(batch):
+            self._in_queues[slot].append(batch)
 
     def finish_input(self, slot: int = 0) -> None:
         """Signal that child ``slot`` will push no more rows."""
@@ -132,7 +169,7 @@ class Operator:
 
     def queued_rows(self) -> int:
         """Total rows waiting in this operator's input queues."""
-        return sum(len(queue) for queue in self._in_queues)
+        return sum(len(batch) for queue in self._in_queues for batch in queue)
 
     def emit(self, row: Row) -> None:
         """Push a produced row into the parent's input queue."""
@@ -147,6 +184,15 @@ class Operator:
         self.metrics.rows_out += len(rows)
         if self.parent is not None:
             self.parent.push_batch(rows, self.child_slot)
+
+    def emit_rowbatch(self, batch: RowBatch) -> None:
+        """Push a produced column-major batch into the parent's queue as-is."""
+        length = len(batch)
+        if not length:
+            return
+        self.metrics.rows_out += length
+        if self.parent is not None:
+            self.parent.push_rowbatch(batch, self.child_slot)
 
     def consumed_input(self) -> list[tuple[Row, int]]:
         """Input rows this operator has drained but not irrevocably acted on.
@@ -181,23 +227,26 @@ class Operator:
     def step(self) -> bool:
         """Perform a bounded amount of work.  Returns True when progress was made.
 
-        Input queues are drained in slices handed to :meth:`_process_batch`,
-        so an operator pays one call per slice instead of one virtual call
-        per row.  The drain budget is shared across slots, exactly like the
-        old one-``popleft``-per-row loop.
+        Input queues hold column-major batches, drained one batch per
+        :meth:`_process_batches` call.  The drain budget counts *rows* and is
+        shared across slots; a batch straddling the budget boundary is split
+        there (the remainder goes back to the front of its queue), so the
+        rows drained per step match the old one-``popleft``-per-row loop
+        exactly, whatever the batch shapes.
         """
         progress = False
         budget = self._max_rows_per_step
         for slot, queue in enumerate(self._in_queues):
             while queue and budget > 0:
-                if len(queue) <= budget:
-                    rows = list(queue)
-                    queue.clear()
-                else:
-                    rows = [queue.popleft() for _ in range(budget)]
-                self.metrics.rows_in += len(rows)
-                budget -= len(rows)
-                self._process_batch(rows, slot)
+                batch = queue.popleft()
+                size = len(batch)
+                if size > budget:
+                    queue.appendleft(batch.slice(budget, size))
+                    batch = batch.slice(0, budget)
+                    size = budget
+                self.metrics.rows_in += size
+                budget -= size
+                self._process_batches(batch, slot)
                 progress = True
             if budget <= 0:
                 break
@@ -206,6 +255,17 @@ class Operator:
             self._on_inputs_finished()
             progress = True
         return progress
+
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        """Handle one column-major input batch.
+
+        Local operators with true batch-in/batch-out forms (column kernels,
+        selection vectors, gathers) override this.  The default materializes
+        the batch into rows and delegates to :meth:`_process_batch`, so
+        per-row operators — crowd operators above all — are untouched by the
+        columnar exchange format.
+        """
+        self._process_batch(batch.to_rows(), slot)
 
     def _process_batch(self, rows: list[Row], slot: int) -> None:
         """Handle one slice of input rows.

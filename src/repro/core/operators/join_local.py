@@ -4,8 +4,11 @@ The paper's joins are crowd-powered (``samePerson``), but the engine also
 needs a conventional join for the purely-local parts of a workload — e.g.
 joining crowd results back to a dimension table, or the crowd-free
 engine-overhead benchmark (E13).  This is a classic blocking hash join:
-both inputs are buffered, the smaller convention (left) side is hashed on
-its key, and the right side probes it once all inputs have arrived.
+both inputs are buffered as column-major batches, the build (left) side is
+hashed on its key — or, when the build child is a base-table scan whose key
+column already carries a hash index, the table's index buckets are reused
+verbatim — and the probe side drives one gather per side to assemble the
+output batch.
 
 NULL keys never match, following SQL equi-join semantics.
 """
@@ -15,11 +18,17 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.operators.base import Operator
-from repro.storage.expressions import Expression, compile_expression
+from repro.storage import accel
+from repro.storage.batch import RowBatch
+from repro.storage.expressions import ColumnRef, Expression, compile_batch_expression
+from repro.storage.indexes import HashIndex
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 
 __all__ = ["LocalHashJoinOperator"]
+
+#: Below this many build rows the Python dict build wins over argsort setup.
+_ACCEL_MIN_ROWS = 256
 
 
 class LocalHashJoinOperator(Operator):
@@ -45,23 +54,112 @@ class LocalHashJoinOperator(Operator):
         self.left_key = left_key
         self.right_key = right_key
         self._schema = left_schema.concat(right_schema)
-        self._left_rows: list[Row] = []
-        self._right_rows: list[Row] = []
+        self._left_batches: list[RowBatch] = []
+        self._right_batches: list[RowBatch] = []
 
     @property
     def output_schema(self) -> Schema:
         return self._schema
 
     def consumed_input(self) -> list[tuple[Row, int]]:
-        rows = [(row, 0) for row in self._left_rows]
-        rows += [(row, 1) for row in self._right_rows]
+        rows = [
+            (row, 0) for batch in self._left_batches for row in batch.to_rows()
+        ]
+        rows += [
+            (row, 1) for batch in self._right_batches for row in batch.to_rows()
+        ]
         return rows
 
-    def _process_batch(self, rows: list[Row], slot: int) -> None:
-        (self._left_rows if slot == 0 else self._right_rows).extend(rows)
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        (self._left_batches if slot == 0 else self._right_batches).append(batch)
 
     def _process(self, row: Row, slot: int) -> None:
-        (self._left_rows if slot == 0 else self._right_rows).append(row)
+        self._process_batches(RowBatch.single(row), slot)
+
+    def _index_backed_build(self, left: RowBatch) -> dict[Any, list[int]] | None:
+        """The build table's existing hash-index buckets, when reusable.
+
+        Reusable means: the build child is a base-table scan (positions in
+        the buffered batch equal table positions), the build key is a bare
+        column reference, that column carries a hash index, and the scan saw
+        every current row of the table.  The bucket lists are position lists
+        in ascending order — exactly the build structure the loop below
+        would produce.
+        """
+        from repro.core.operators.scan import ScanOperator
+
+        if not self.children or type(self.children[0]) is not ScanOperator:
+            return None
+        if not isinstance(self.left_key, ColumnRef):
+            return None
+        scan = self.children[0]
+        index = scan.table.index_on(self.left_key.name.rsplit(".", 1)[-1])
+        if not isinstance(index, HashIndex):
+            return None
+        if len(left) != len(scan.table):
+            return None
+        return index.buckets
+
+    def _accel_join(
+        self,
+        left: RowBatch,
+        right: RowBatch,
+        right_schema: Schema,
+    ) -> tuple[bool, RowBatch | None]:
+        """Dictionary-code build+probe: ``(handled, output batch or None)``.
+
+        Eligible when the build key is a bare column reference whose batch
+        column carries dictionary codes (string columns scanned out of a
+        table).  A stable argsort on the codes groups build positions by key
+        with ascending positions inside each group — exactly the bucket lists
+        the Python dict build produces — and each probe hit contributes one
+        contiguous slice of that order instead of a per-match list append.
+        Key equality semantics are identical because the encoding *is* a
+        dict keyed by value; NULL build keys carry a code but no probe key
+        can reach it (probe NULLs are skipped before the code lookup).
+        """
+        if not (accel.HAVE_NUMPY and len(left) >= _ACCEL_MIN_ROWS):
+            return False, None
+        if not isinstance(self.left_key, ColumnRef):
+            return False, None
+        key_index = left.schema.try_index_of(self.left_key.name)
+        if key_index is None:
+            return False, None
+        codes = left._codes(key_index)
+        if codes is None:
+            return False, None
+        codes_array, encoding = codes
+        np = accel.np
+        order = np.argsort(codes_array, kind="stable")
+        counts = np.bincount(codes_array, minlength=len(encoding))
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+        right_keys = compile_batch_expression(self.right_key, right_schema)(right)
+        code_of = encoding.code_of
+        slices = []
+        positions: list[int] = []
+        match_counts: list[int] = []
+        for position, key in enumerate(right_keys):
+            if key is None:
+                continue
+            code = code_of(key)
+            if code is None:
+                continue
+            n = int(counts[code])
+            if not n:
+                continue
+            start = int(starts[code])
+            slices.append(order[start : start + n])
+            positions.append(position)
+            match_counts.append(n)
+        if not slices:
+            return True, None
+        left_take = np.concatenate(slices)
+        right_take = np.repeat(
+            np.asarray(positions, dtype=np.intp),
+            np.asarray(match_counts),
+        )
+        return True, left._take_array(left_take).concat(right._take_array(right_take))
 
     def _on_inputs_finished(self) -> None:
         left_schema = (
@@ -70,22 +168,38 @@ class LocalHashJoinOperator(Operator):
         right_schema = (
             self.children[1].output_schema if len(self.children) > 1 else self._schema
         )
-        left_key_of = compile_expression(self.left_key, left_schema)
-        right_key_of = compile_expression(self.right_key, right_schema)
-        table: dict[Any, list[Row]] = {}
-        for left in self._left_rows:
-            key = left_key_of(left)
+        left = RowBatch.vstack(left_schema, self._left_batches)
+        right = RowBatch.vstack(right_schema, self._right_batches)
+        self._left_batches.clear()
+        self._right_batches.clear()
+
+        handled, accel_out = self._accel_join(left, right, right_schema)
+        if handled:
+            if accel_out is not None:
+                self.emit_rowbatch(accel_out)
+            return
+
+        build = self._index_backed_build(left)
+        if build is None:
+            left_keys = compile_batch_expression(self.left_key, left_schema)(left)
+            build = {}
+            setdefault = build.setdefault
+            for position, key in enumerate(left_keys):
+                if key is not None:
+                    setdefault(key, []).append(position)
+
+        right_keys = compile_batch_expression(self.right_key, right_schema)(right)
+        left_take: list[int] = []
+        right_take: list[int] = []
+        get = build.get
+        for position, key in enumerate(right_keys):
             if key is None:
                 continue
-            table.setdefault(key, []).append(left)
-        out: list[Row] = []
-        empty: tuple[Row, ...] = ()
-        for right in self._right_rows:
-            key = right_key_of(right)
-            if key is None:
-                continue
-            for left in table.get(key, empty):
-                out.append(left.concat(right))
-        self.emit_batch(out)
-        self._left_rows.clear()
-        self._right_rows.clear()
+            matches = get(key)
+            if matches:
+                left_take.extend(matches)
+                right_take.extend([position] * len(matches))
+        if not left_take:
+            return
+        out = left.take(left_take).concat(right.take(right_take))
+        self.emit_rowbatch(out)

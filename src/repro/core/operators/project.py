@@ -3,10 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import operator as _operator
 
 from repro.core.operators.base import Operator
-from repro.storage.expressions import Expression, compile_expression
+from repro.storage import accel
+from repro.storage.batch import RowBatch
+from repro.storage.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    compile_batch_expression,
+    compile_batch_predicate,
+    compile_expression,
+)
 from repro.storage.row import Row
 from repro.storage.schema import Column, Schema
 from repro.storage.types import DataType
@@ -15,6 +27,67 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from repro.core.exec.context import ExecutionContext
 
 __all__ = ["ProjectionItem", "ProjectOperator", "LocalFilterOperator"]
+
+#: Batches below this size filter faster through the plain Python kernel.
+_ACCEL_MIN_ROWS = 256
+
+_MASK_OPS = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+_FLIPPED_OPS = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _comparison_mask(batch: RowBatch, predicate: Expression):
+    """Bool ndarray selection vector for ``column op literal``, or None.
+
+    Eligible when the compared column is homogeneous numeric (no NULLs, so
+    three-valued logic never differs from the plain bool mask) or the column
+    is dictionary-encoded and the predicate is a string equality.  Anything
+    else returns None and takes the reference kernel path.
+    """
+    if not isinstance(predicate, Comparison):
+        return None
+    left, op, right = predicate.left, predicate.op, predicate.right
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        left, right = right, left
+        op = _FLIPPED_OPS.get(op, op)
+    if not isinstance(left, ColumnRef) or not isinstance(right, Literal):
+        return None
+    value = right.value
+    if value is None or op not in _MASK_OPS:
+        return None
+    index = batch.schema.try_index_of(left.name)
+    if index is None:
+        return None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        column = batch._num_array(index)
+        if column is None:
+            return None
+        # Int/float cross-comparisons are exact in Python but go through a
+        # float64 conversion in numpy; keep the int side within 2**53 where
+        # that conversion is lossless.
+        if isinstance(value, int):
+            if column.dtype.kind == "f" and abs(value) > 2**53:
+                return None
+        elif column.dtype.kind == "i" and len(column):
+            if column.max() > 2**53 or column.min() < -(2**53):
+                return None
+        return _MASK_OPS[op](column, value)
+    if isinstance(value, str) and op == "=":
+        codes = batch._codes(index)
+        if codes is None:
+            return None
+        codes_array, encoding = codes
+        code = encoding.code_of(value)
+        if code is None:
+            return accel.np.zeros(len(codes_array), dtype=bool)
+        return codes_array == code
+    return None
 
 
 @dataclass(frozen=True)
@@ -27,23 +100,26 @@ class ProjectionItem:
 
 
 class ProjectOperator(Operator):
-    """Evaluates a list of expressions against each input row.
+    """Evaluates a list of expressions against each input batch.
 
     The expressions are compiled once per open against the child's output
-    schema, so per-row evaluation reads values positionally instead of
-    resolving column names per row.
+    schema — both as per-row callables (kept for the row fallback) and as
+    column kernels: one kernel call per output column evaluates the whole
+    batch, and the resulting columns bind directly into the output batch
+    without ever materializing intermediate rows.
     """
 
     def __init__(self, items: list[ProjectionItem]):
         super().__init__("project")
         self.items = list(items)
         self._schema = Schema.of(*[Column(item.alias, item.data_type) for item in self.items])
-        # Untyped nullable outputs need no coercion, so projected rows can
+        # Untyped nullable outputs need no coercion, so projected columns can
         # take the trusted constructor; typed outputs keep full validation.
         self._trusted_output = all(
             c.data_type is DataType.ANY and c.nullable for c in self._schema.columns
         )
         self._compiled: list[Callable[[Row], Any]] | None = None
+        self._kernels: list[Callable[[RowBatch], Sequence[Any]]] | None = None
 
     @property
     def output_schema(self) -> Schema:
@@ -56,6 +132,22 @@ class ProjectOperator(Operator):
             self._compiled = [
                 compile_expression(item.expression, input_schema) for item in self.items
             ]
+            self._kernels = [
+                compile_batch_expression(item.expression, input_schema)
+                for item in self.items
+            ]
+
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        kernels = self._kernels
+        if kernels is None:  # hand-built plan stepped without children/open
+            self._process_batch(batch.to_rows(), slot)
+            return
+        columns = tuple(tuple(kernel(batch)) for kernel in kernels)
+        if self._trusted_output:
+            out = RowBatch.of_columns(self._schema, columns, len(batch))
+        else:
+            out = RowBatch.from_values(self._schema, zip(*columns))
+        self.emit_rowbatch(out)
 
     def _process_batch(self, rows: list[Row], slot: int) -> None:
         compiled = self._compiled
@@ -87,8 +179,10 @@ class LocalFilterOperator(Operator):
     because a free local filter that removes tuples before they reach a
     crowd operator directly reduces monetary cost (Section 4.1:
     "filtering-based reduction in cross-product size").  The predicate is
-    compiled once per open; each batch then filters with one callable per
-    row and emits the survivors in a single batch.
+    compiled once per open as a selection-vector kernel: one kernel call per
+    batch produces the mask, and the surviving rows leave as one compressed
+    batch — the per-row compiled path remains as fallback for hand-built
+    plans, with identical strict-True WHERE semantics.
     """
 
     def __init__(self, predicate: Expression, input_schema: Schema):
@@ -96,6 +190,7 @@ class LocalFilterOperator(Operator):
         self.predicate = predicate
         self._schema = input_schema
         self._predicate_fn: Callable[[Row], Any] | None = None
+        self._mask_kernel: Callable[[RowBatch], Sequence[Any]] | None = None
 
     @property
     def output_schema(self) -> Schema:
@@ -105,6 +200,19 @@ class LocalFilterOperator(Operator):
         super().open(context)
         input_schema = self.children[0].output_schema if self.children else self._schema
         self._predicate_fn = compile_expression(self.predicate, input_schema)
+        self._mask_kernel = compile_batch_predicate(self.predicate, input_schema)
+
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        kernel = self._mask_kernel
+        if kernel is None:  # hand-built plan stepped without open
+            self._process_batch(batch.to_rows(), slot)
+            return
+        if accel.HAVE_NUMPY and len(batch) >= _ACCEL_MIN_ROWS:
+            mask = _comparison_mask(batch, self.predicate)
+            if mask is not None:
+                self.emit_rowbatch(batch._compress_array(mask))
+                return
+        self.emit_rowbatch(batch.compress(kernel(batch)))
 
     def _process_batch(self, rows: list[Row], slot: int) -> None:
         predicate = self._predicate_fn or self.predicate.evaluate

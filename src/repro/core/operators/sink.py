@@ -8,6 +8,7 @@ result tuples." (Section 2)
 from __future__ import annotations
 
 from repro.core.operators.base import Operator
+from repro.storage.batch import RowBatch
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 from repro.storage.table import Table
@@ -18,9 +19,11 @@ __all__ = ["ResultSinkOperator"]
 class ResultSinkOperator(Operator):
     """Appends every produced row to the query's results table.
 
-    Result rows were validated when they entered the plan and every
-    derivation kept them validated, so batches land via the table's trusted
-    bulk append instead of one re-validating insert per row.
+    This is one of the places rows genuinely materialize: results tables are
+    row stores that users poll.  Result rows were validated when they entered
+    the plan and every derivation kept them validated, so batches land via
+    the table's trusted bulk append instead of one re-validating insert per
+    row.
     """
 
     def __init__(self, results_table: Table):
@@ -30,6 +33,11 @@ class ResultSinkOperator(Operator):
     @property
     def output_schema(self) -> Schema:
         return self.results_table.schema
+
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        inserted = self.results_table.insert_batch(batch)
+        self.metrics.rows_out += inserted
+        self.context.statistics.record_result_emitted(self.context.query_id, inserted)
 
     def _process_batch(self, rows: list[Row], slot: int) -> None:
         inserted = self.results_table.append_rows(rows)

@@ -3,19 +3,27 @@
 from __future__ import annotations
 
 from repro.core.operators.base import Operator
-from repro.storage.expressions import Expression, compile_expression
+from repro.storage import accel
+from repro.storage.batch import RowBatch
+from repro.storage.expressions import Expression, compile_batch_expression
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 
 __all__ = ["LocalSortOperator"]
+
+#: Below this many rows Python's timsort wins over ndarray setup.
+_ACCEL_MIN_ROWS = 256
 
 
 class LocalSortOperator(Operator):
     """Buffers its input and emits it ordered by a locally evaluable key.
 
     NULL keys sort last regardless of direction, matching common SQL engines.
-    Input batches extend the buffer wholesale; the key expression is compiled
-    once when the buffer is sorted, and the ordered output leaves as batches.
+    Input batches are buffered as-is (no materialization); on finish, the key
+    expression — compiled once as a column kernel — produces the key column,
+    an argsort orders the row indices, and one gather (:meth:`RowBatch.take`)
+    produces the output batch.  The sort is stable, so rows with equal keys
+    keep their arrival order, exactly like the old row-pair sort.
     """
 
     def __init__(self, key: Expression, input_schema: Schema, *, ascending: bool = True):
@@ -23,29 +31,54 @@ class LocalSortOperator(Operator):
         self.key = key
         self.ascending = ascending
         self._schema = input_schema
-        self._rows: list[Row] = []
+        self._batches: list[RowBatch] = []
 
     @property
     def output_schema(self) -> Schema:
         return self._schema
 
-    def _process_batch(self, rows: list[Row], slot: int) -> None:
-        self._rows.extend(rows)
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        self._batches.append(batch)
 
     def _process(self, row: Row, slot: int) -> None:
-        self._rows.append(row)
+        self._batches.append(RowBatch.single(row))
 
     def _on_inputs_finished(self) -> None:
         input_schema = self.children[0].output_schema if self.children else self._schema
-        key_of = compile_expression(self.key, input_schema)
-        keyed = [(key_of(row), row) for row in self._rows]
-        non_null = [(value, row) for value, row in keyed if value is not None]
-        nulls = [row for value, row in keyed if value is None]
+        combined = RowBatch.vstack(input_schema, self._batches)
+        self._batches.clear()
+        if not len(combined):
+            return
+        if accel.HAVE_NUMPY and len(combined) >= _ACCEL_MIN_ROWS:
+            # Numeric keys (NaN/NULL-free): a stable argsort on the key array
+            # (negated for DESC) is order-identical to the stable Python sort.
+            # array_kernel computes the key column without materializing any
+            # Python tuples; the sortable_array fallback covers keys it
+            # cannot express once the reference kernel has produced them.
+            key_array = accel.array_kernel(self.key, combined)
+            if key_array is not None and (
+                key_array.dtype.kind != "f" or not accel.np.isnan(key_array).any()
+            ):
+                if not self.ascending:
+                    key_array = -key_array
+                order = accel.np.argsort(key_array, kind="stable")
+                self.emit_rowbatch(combined._take_array(order))
+                return
+        keys = compile_batch_expression(self.key, input_schema)(combined)
+        if accel.HAVE_NUMPY and len(combined) >= _ACCEL_MIN_ROWS:
+            key_array = accel.sortable_array(keys)
+            if key_array is not None:
+                if not self.ascending:
+                    key_array = -key_array
+                order = accel.np.argsort(key_array, kind="stable")
+                self.emit_rowbatch(combined._take_array(order))
+                return
+        non_null = [i for i, key in enumerate(keys) if key is not None]
+        nulls = [i for i, key in enumerate(keys) if key is None]
         try:
-            non_null.sort(key=lambda pair: pair[0], reverse=not self.ascending)
+            non_null.sort(key=keys.__getitem__, reverse=not self.ascending)
         except TypeError:
             # Mixed types that cannot be compared directly: sort by text.
-            non_null.sort(key=lambda pair: str(pair[0]), reverse=not self.ascending)
-        self.emit_batch([row for _value, row in non_null])
-        self.emit_batch(nulls)
-        self._rows.clear()
+            non_null.sort(key=lambda i: str(keys[i]), reverse=not self.ascending)
+        order = non_null + nulls if nulls else non_null
+        self.emit_rowbatch(combined.take(order))

@@ -46,12 +46,21 @@ def majority_accuracy(single_accuracy: float, assignments: int) -> float:
 
 @dataclass(frozen=True)
 class CostEstimate:
-    """Predicted resources for one crowd operator (or a whole plan)."""
+    """Predicted resources for one crowd operator (or a whole plan).
+
+    ``local_work`` counts abstract machine-side row touches (a table scan is
+    ``n``, an index probe ``log n`` plus the matches).  It is *not* money:
+    candidate selection orders by (dollars, hits, tasks) first and uses
+    local work only as the trailing tie-break, so it differentiates
+    access paths of crowd-free pipelines without ever overriding a crowd
+    cost difference.
+    """
 
     tasks: float = 0.0
     hits: float = 0.0
     dollars: float = 0.0
     latency_seconds: float = 0.0
+    local_work: float = 0.0
 
     def plus(self, other: "CostEstimate") -> "CostEstimate":
         """Combine two estimates (dollars add; latency takes the pipeline max)."""
@@ -60,6 +69,7 @@ class CostEstimate:
             hits=self.hits + other.hits,
             dollars=self.dollars + other.dollars,
             latency_seconds=max(self.latency_seconds, other.latency_seconds),
+            local_work=self.local_work + other.local_work,
         )
 
 

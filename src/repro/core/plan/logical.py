@@ -28,6 +28,7 @@ has committed to it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -38,7 +39,7 @@ from repro.core.operators.crowd_generate import CrowdGenerateOperator
 from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
 from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
 from repro.core.operators.project import LocalFilterOperator, ProjectOperator
-from repro.core.operators.scan import ScanOperator
+from repro.core.operators.scan import IndexScanOperator, ScanOperator
 from repro.core.operators.sort_local import LocalSortOperator
 from repro.core.optimizer.cost_model import CostEstimate
 from repro.core.tasks.spec import JoinColumnsResponse, RatingResponse, TaskSpec
@@ -52,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 __all__ = [
     "LogicalNode",
     "LogicalScan",
+    "LogicalIndexScan",
     "LogicalFilter",
     "LogicalJoin",
     "LogicalGenerate",
@@ -124,6 +126,21 @@ class LogicalNode:
         return f"{type(self).__name__}({self.label()}, ~{rows} rows)"
 
 
+#: Abstract machine-work units (see :class:`CostEstimate.local_work`): a full
+#: scan touches every row once; a pushed-down local filter re-touches its
+#: input more cheaply (compiled column kernel); an index scan pays a probe
+#: plus a per-match gather that is pricier than a sequential touch.  The
+#: constants only need to order access paths sensibly: selective predicates
+#: favor the index, unselective ones the scan.
+SCAN_WORK_PER_ROW = 1.0
+FILTER_WORK_PER_ROW = 0.25
+INDEX_MATCH_WORK_PER_ROW = 1.5
+
+#: Matched-fraction guess for range predicates without value distribution
+#: statistics (the classic 1/3 selectivity heuristic).
+RANGE_SELECTIVITY = 1.0 / 3.0
+
+
 class LogicalScan(LogicalNode):
     """A base-table scan; the leaf of every logical plan."""
 
@@ -141,6 +158,77 @@ class LogicalScan(LogicalNode):
 
     def estimate_output_rows(self, child_rows: list[float], costing) -> float:
         return float(len(self.table))
+
+    def estimate_cost(self, child_rows: list[float], costing) -> CostEstimate:
+        return CostEstimate(local_work=SCAN_WORK_PER_ROW * len(self.table))
+
+
+class LogicalIndexScan(LogicalNode):
+    """A base-table access through a secondary index on one predicate.
+
+    Replaces a ``filter(column op literal) → scan`` pair when the column
+    carries an index that can serve ``op``.  The *output cardinality*
+    deliberately follows the same pass-through convention as the local
+    filter it replaces (local selectivity never feeds crowd-cost estimates),
+    so every crowd dollar/HIT estimate is identical across access paths and
+    only ``local_work`` — probe cost plus estimated matches, from catalog
+    statistics — separates index scan from scan-then-filter.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        column: str,
+        op: str,
+        value: object,
+        alias: str | None = None,
+        binding: str | None = None,
+    ):
+        super().__init__()
+        self.table = table
+        self.column = column
+        self.op = op
+        self.value = value
+        self.alias = alias
+        self.binding = binding or alias or table.name
+
+    def _clone_shallow(self) -> "LogicalIndexScan":
+        return LogicalIndexScan(
+            self.table,
+            column=self.column,
+            op=self.op,
+            value=self.value,
+            alias=self.alias,
+            binding=self.binding,
+        )
+
+    def label(self) -> str:
+        return f"index-scan({self.binding}.{self.column} {self.op} {self.value!r})"
+
+    def estimated_matches(self) -> float:
+        """Expected matching rows, from catalog statistics.
+
+        Equality predicates assume a uniform distribution over the column's
+        distinct values; range predicates fall back to the 1/3 heuristic.
+        """
+        n = float(len(self.table))
+        if self.op == "=":
+            distinct = self.table.distinct_count(self.column) or 1
+            return n / max(distinct, 1)
+        return n * RANGE_SELECTIVITY
+
+    def estimate_output_rows(self, child_rows: list[float], costing) -> float:
+        # Pass-through, matching the filter+scan chain this node replaces —
+        # see the class docstring for why.
+        return float(len(self.table))
+
+    def estimate_cost(self, child_rows: list[float], costing) -> CostEstimate:
+        n = max(float(len(self.table)), 1.0)
+        probe = math.log2(n) + 1.0
+        return CostEstimate(
+            local_work=probe + INDEX_MATCH_WORK_PER_ROW * self.estimated_matches()
+        )
 
 
 class LogicalFilter(LogicalNode):
@@ -193,9 +281,9 @@ class LogicalFilter(LogicalNode):
         return rows * selectivity
 
     def estimate_cost(self, child_rows: list[float], costing) -> CostEstimate:
-        if not self.is_crowd:
-            return CostEstimate()
         rows = child_rows[0] if child_rows else 0.0
+        if not self.is_crowd:
+            return CostEstimate(local_work=FILTER_WORK_PER_ROW * rows)
         return costing.cost_model.filter_cost(
             self.spec, rows, assignments=costing.assignments_for(self.spec)
         )
@@ -549,6 +637,15 @@ def from_physical(operator: Operator) -> LogicalNode:
     """
     if isinstance(operator, ScanOperator):
         return LogicalScan(operator.table, alias=operator.alias, binding=operator.alias)
+    if isinstance(operator, IndexScanOperator):
+        return LogicalIndexScan(
+            operator.table,
+            column=operator.column,
+            op=operator.op,
+            value=operator.value,
+            alias=operator.alias,
+            binding=operator.alias,
+        )
 
     children = [from_physical(child) for child in operator.children]
 

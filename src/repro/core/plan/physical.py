@@ -13,11 +13,14 @@ demo lets the audience explore:
   ``"response"`` policy the TASK's Response type is authoritative);
 * **crowd-filter placement** — on the filtered table below the joins, or
   above the joins over the (usually smaller) join result, plus the order in
-  which several filters on one table run.
+  which several filters on one table run;
+* **access path** — a full table scan versus a secondary-index scan, for
+  table pipelines whose local predicate compares an indexed column against
+  a literal (hash indexes serve equality, sorted indexes also ranges).
 
 Every candidate is costed through the optimizer's per-node logical costing
-and the cost-minimal candidate (dollars, then HITs, then tasks) is built
-into a tree of physical operators.  The chosen candidate's cardinality
+and the cost-minimal candidate (dollars, then HITs, then tasks, then local
+machine work) is built into a tree of physical operators.  The chosen candidate's cardinality
 annotations are stamped onto the physical operators (``planned_input_rows``)
 so the adaptive replanner can later detect misestimation.
 """
@@ -34,7 +37,7 @@ from repro.core.operators.crowd_generate import CrowdGenerateOperator
 from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
 from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
 from repro.core.operators.project import LocalFilterOperator, ProjectOperator, ProjectionItem
-from repro.core.operators.scan import ScanOperator
+from repro.core.operators.scan import IndexScanOperator, ScanOperator
 from repro.core.operators.sort_local import LocalSortOperator
 from repro.core.optimizer.cost_model import CostEstimate
 from repro.core.optimizer.optimizer import QueryOptimizer
@@ -42,6 +45,7 @@ from repro.core.plan.logical import (
     LogicalFilter,
     LogicalGenerate,
     LogicalGroupBy,
+    LogicalIndexScan,
     LogicalJoin,
     LogicalLimit,
     LogicalNode,
@@ -51,7 +55,8 @@ from repro.core.plan.logical import (
     LogicalSort,
 )
 from repro.errors import PlanError
-from repro.storage.expressions import ColumnRef, Expression
+from repro.storage.expressions import ColumnRef, Comparison, Expression, Literal
+from repro.storage.indexes import SortedIndex
 
 __all__ = ["PhysicalCandidate", "PhysicalPlanner"]
 
@@ -66,7 +71,10 @@ class PhysicalCandidate:
 
     def describe(self) -> str:
         parts = ", ".join(self.decisions) or "default"
-        return f"${self.cost.dollars:,.2f} / {self.cost.hits:,.0f} HITs :: {parts}"
+        return (
+            f"${self.cost.dollars:,.2f} / {self.cost.hits:,.0f} HITs"
+            f" / {self.cost.local_work:,.0f} work :: {parts}"
+        )
 
 
 class PhysicalPlanner:
@@ -87,7 +95,12 @@ class PhysicalPlanner:
         candidates = self.enumerate_candidates(plan)
         chosen = min(
             candidates,
-            key=lambda c: (round(c.cost.dollars, 9), c.cost.hits, c.cost.tasks),
+            key=lambda c: (
+                round(c.cost.dollars, 9),
+                c.cost.hits,
+                c.cost.tasks,
+                c.cost.local_work,
+            ),
         )
         return chosen, tuple(candidates)
 
@@ -100,17 +113,33 @@ class PhysicalPlanner:
         placement_axes = [
             self._filter_placements(plan, binding) for binding in filter_bindings
         ]
+        access_options = {
+            binding: self._access_paths(plan, binding)
+            for binding in sorted(plan.table_pipelines)
+        }
+        # Only bindings with a real alternative become an axis; everything
+        # else keeps its default pipeline and its decision strings untouched.
+        access_bindings = [b for b, paths in access_options.items() if len(paths) > 1]
+        access_axes = [access_options[b] for b in access_bindings]
 
-        combos = itertools.product(join_orders, *interface_axes, *sort_axes, *placement_axes)
+        combos = itertools.product(
+            join_orders, *interface_axes, *sort_axes, *placement_axes, *access_axes
+        )
         candidates: list[PhysicalCandidate] = []
         n_joins = len(plan.join_predicates)
         n_sorts = len(sort_axes)
+        n_placements = len(placement_axes)
         for combo in itertools.islice(combos, self.MAX_CANDIDATES):
             order = combo[0]
             interfaces = combo[1 : 1 + n_joins]
             sorts = combo[1 + n_joins : 1 + n_joins + n_sorts]
-            placements = dict(zip(filter_bindings, combo[1 + n_joins + n_sorts :]))
-            root, decisions = self._compose(plan, order, interfaces, sorts, placements)
+            placements = dict(
+                zip(filter_bindings, combo[1 + n_joins + n_sorts : 1 + n_joins + n_sorts + n_placements])
+            )
+            accesses = dict(
+                zip(access_bindings, combo[1 + n_joins + n_sorts + n_placements :])
+            )
+            root, decisions = self._compose(plan, order, interfaces, sorts, placements, accesses)
             cost = self.optimizer.estimate_logical_cost(root)
             candidates.append(PhysicalCandidate(root=root, cost=cost, decisions=decisions))
         return candidates
@@ -130,6 +159,7 @@ class PhysicalPlanner:
                 binding: ("below", tuple(filters))
                 for binding, filters in plan.crowd_filters.items()
             },
+            {},
         )
         return root
 
@@ -208,6 +238,87 @@ class PhysicalPlanner:
             placements.append("above")
         return [(placement, order) for placement in placements for order in orders]
 
+    #: Comparison operators a secondary index can serve (sorted indexes serve
+    #: all of them, hash indexes only equality).
+    _RANGE_OPS = ("<", "<=", ">", ">=")
+    _FLIPPED_OPS = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def _access_paths(
+        self, plan: LogicalPlan, binding: str
+    ) -> list[tuple[LogicalNode | None, str | None]]:
+        """Access-path options for one table pipeline.
+
+        Each option is ``(pipeline template, decision label)``; the first is
+        always the default table scan (template ``None``).  Alternatives
+        replace one ``filter(column op literal) → scan`` pair with a
+        :class:`LogicalIndexScan` leaf, keeping every other local filter in
+        its original position.  Labels stay ``None`` when no index applies,
+        so queries without usable indexes keep their decision strings
+        byte-identical.
+        """
+        node = plan.table_pipelines[binding]
+        filters: list[LogicalFilter] = []
+        while isinstance(node, LogicalFilter) and not node.is_crowd and node.children:
+            filters.append(node)
+            node = node.children[0]
+        if not isinstance(node, LogicalScan):
+            return [(None, None)]
+        scan = node
+        options: list[tuple[LogicalNode | None, str | None]] = [(None, None)]
+        for position, candidate in enumerate(filters):
+            match = self._indexable_comparison(scan, candidate.predicate)
+            if match is None:
+                continue
+            column, op, value = match
+            leaf: LogicalNode = LogicalIndexScan(
+                scan.table,
+                column=column,
+                op=op,
+                value=value,
+                alias=scan.alias,
+                binding=scan.binding,
+            )
+            pipeline = leaf
+            for other in reversed([f for i, f in enumerate(filters) if i != position]):
+                parent = other.clone()
+                parent.children.clear()
+                parent.add_child(pipeline)
+                pipeline = parent
+            options.append(
+                (pipeline, f"access[{binding}]: index({column} {op} {value!r})")
+            )
+        if len(options) > 1:
+            options[0] = (None, f"access[{binding}]: table-scan")
+        return options
+
+    def _indexable_comparison(
+        self, scan: LogicalScan, predicate: Expression | None
+    ) -> tuple[str, str, object] | None:
+        """``(column, op, literal)`` if an index on ``scan``'s table serves it."""
+        if not isinstance(predicate, Comparison):
+            return None
+        left, op, right = predicate.left, predicate.op, predicate.right
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            # Normalize ``literal op column`` to ``column op' literal``.
+            left, right = right, left
+            op = self._FLIPPED_OPS.get(op)
+        if op is None or not isinstance(left, ColumnRef) or not isinstance(right, Literal):
+            return None
+        if right.value is None:
+            return None  # ``col = NULL`` never matches; leave it to the filter.
+        if op != "=" and op not in self._RANGE_OPS:
+            return None
+        column = left.name.rsplit(".", 1)[-1]
+        prefix = left.name[: -len(column) - 1] if "." in left.name else None
+        if prefix is not None and prefix != scan.binding:
+            return None
+        index = scan.table.index_on(column)
+        if index is None:
+            return None
+        if op in self._RANGE_OPS and not isinstance(index, SortedIndex):
+            return None
+        return column, op, right.value
+
     # -- candidate composition ------------------------------------------------------------
 
     def _compose(
@@ -217,9 +328,15 @@ class PhysicalPlanner:
         join_strategies,
         sort_strategies,
         filter_choices: dict[str, tuple[str, tuple[LogicalFilter, ...]]],
+        access_choices: dict[str, tuple[LogicalNode | None, str | None]],
     ) -> tuple[LogicalNode, tuple[str, ...]]:
         decisions: list[str] = []
-        pipelines = {binding: node.clone() for binding, node in plan.table_pipelines.items()}
+        pipelines: dict[str, LogicalNode] = {}
+        for binding, node in plan.table_pipelines.items():
+            template, label = access_choices.get(binding, (None, None))
+            pipelines[binding] = (template or node).clone()
+            if label is not None:
+                decisions.append(label)
 
         for binding in sorted(filter_choices):
             placement, order = filter_choices[binding]
@@ -316,6 +433,10 @@ class PhysicalPlanner:
         input_schema = children[0].output_schema if children else None
         if isinstance(node, LogicalScan):
             return ScanOperator(node.table, alias=node.alias)
+        if isinstance(node, LogicalIndexScan):
+            return IndexScanOperator(
+                node.table, node.column, node.op, node.value, alias=node.alias
+            )
         if isinstance(node, LogicalFilter):
             if node.is_crowd:
                 return CrowdFilterOperator(

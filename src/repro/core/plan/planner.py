@@ -135,7 +135,8 @@ class QueryPlanner:
             f"== physical candidates ({len(candidates)} enumerated) ==",
         ]
         for candidate in sorted(
-            candidates, key=lambda c: (round(c.cost.dollars, 9), c.cost.hits)
+            candidates,
+            key=lambda c: (round(c.cost.dollars, 9), c.cost.hits, c.cost.local_work),
         ):
             marker = "-> " if candidate is chosen else "   "
             suffix = "   (chosen)" if candidate is chosen else ""

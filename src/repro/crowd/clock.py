@@ -86,16 +86,29 @@ class SimulationClock:
 
     # -- cancellation bookkeeping --------------------------------------------
 
+    #: Compact only once this many events are cancelled — tiny heaps are
+    #: cheaper to pop through than to rebuild.
+    COMPACT_MIN_CANCELLED = 16
+    #: Absolute ceiling on dead heap entries: compact regardless of the
+    #: cancelled fraction once this many accumulate, so a long-lived engine
+    #: with a large live heap and a slow trickle of far-future cancellations
+    #: doesn't hold dead events (and their callback closures) indefinitely.
+    COMPACT_MAX_CANCELLED = 4096
+
     def _note_cancelled(self) -> None:
         """Called by :meth:`ScheduledEvent.cancel`; compacts when bloated.
 
         Mass cancellations (a finished query abandoning speculative HITs)
         used to leave dead entries in the heap until their time came up,
-        bloating every push/pop.  Once more than half the heap is cancelled
-        events, rebuild it from the live ones.
+        bloating every push/pop.  Rebuild the heap from the live events once
+        more than half of it is cancelled, or — whatever the fraction — once
+        :attr:`COMPACT_MAX_CANCELLED` dead entries have accumulated.
         """
         self._cancelled_in_heap += 1
-        if self._cancelled_in_heap * 2 > len(self._events) and self._cancelled_in_heap > 16:
+        cancelled = self._cancelled_in_heap
+        if (
+            cancelled * 2 > len(self._events) and cancelled > self.COMPACT_MIN_CANCELLED
+        ) or cancelled >= self.COMPACT_MAX_CANCELLED:
             self._events = [event for event in self._events if not event.cancelled]
             heapq.heapify(self._events)
             self._cancelled_in_heap = 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import difflib
 import importlib
 import pstats
 import sys
@@ -32,14 +33,30 @@ DEFAULT_TOP = 20
 
 
 def discover_module(selector: str) -> Path:
-    """Resolve ``e15`` / ``bench_e15_control_plane`` to a benchmark file."""
+    """Resolve ``e15`` / ``bench_e15_control_plane`` to a benchmark file.
+
+    A miss exits with the full benchmark list (tag and module stem) and a
+    close-match suggestion, never a bare traceback — typos are the common
+    case for a CLI helper.
+    """
     candidates = sorted(BENCH_DIR.glob("bench_*.py"))
+    by_name: dict[str, Path] = {}
     for module in candidates:
-        tag = module.stem.split("_")[1]  # bench_e15_control_plane -> e15
-        if selector in (tag, module.stem):
-            return module
-    known = ", ".join(path.stem.split("_")[1] for path in candidates)
-    raise SystemExit(f"no benchmark matches {selector!r} (known: {known})")
+        parts = module.stem.split("_")
+        if len(parts) > 1:
+            by_name.setdefault(parts[1], module)  # bench_e15_control_plane -> e15
+        by_name[module.stem] = module
+    found = by_name.get(selector)
+    if found is not None:
+        return found
+    close = difflib.get_close_matches(selector, list(by_name), n=3)
+    hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
+    listing = "\n".join(
+        f"  {path.stem.split('_')[1]:<6} {path.stem}" for path in candidates
+    )
+    raise SystemExit(
+        f"no benchmark matches {selector!r}{hint}\navailable benchmarks:\n{listing}"
+    )
 
 
 def runners_of(module, wanted: str | None) -> dict:

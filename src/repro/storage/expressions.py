@@ -10,6 +10,7 @@ analysed uniformly.
 
 from __future__ import annotations
 
+import operator as _operator
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
@@ -17,6 +18,7 @@ from repro.errors import ExpressionError
 from repro.storage.row import Row
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.storage.batch import RowBatch
     from repro.storage.schema import Schema
 
 __all__ = [
@@ -30,6 +32,8 @@ __all__ = [
     "Not",
     "Arithmetic",
     "compile_expression",
+    "compile_batch_expression",
+    "compile_batch_predicate",
     "walk",
     "find_calls",
 ]
@@ -364,6 +368,185 @@ def compile_expression(expression: Expression, schema: "Schema") -> Callable[[Ro
     # Anything else (FieldAccess over crowd results, unimplemented calls,
     # future node types) falls back to tree interpretation.
     return expression.evaluate
+
+
+#: C-implemented counterparts of the comparison lambdas, for the column
+#: fast paths (``map(operator.gt, col, const_col)`` runs the loop in C).
+_FAST_COMPARATORS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+_FAST_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": _operator.add,
+    "-": _operator.sub,
+    "*": _operator.mul,
+    "/": _operator.truediv,
+}
+
+#: Node types whose evaluation yields only True / False / None.  Their raw
+#: output column doubles as a selection vector: among those three values only
+#: True is truthy, so ``itertools.compress`` keeps exactly the rows the
+#: per-row strict ``predicate(row) is True`` check would keep.
+_BOOLEAN_NODES = (Comparison, BooleanOp, Not)
+
+
+def compile_batch_expression(
+    expression: Expression, schema: "Schema"
+) -> Callable[["RowBatch"], Sequence[Any]]:
+    """Compile an expression to a column kernel: one call evaluates all rows.
+
+    The returned callable maps a :class:`~repro.storage.batch.RowBatch` to a
+    sequence holding the expression's value for each row, in order — exactly
+    the values the per-row :func:`compile_expression` callable would produce
+    row by row, including NULL propagation and :class:`ExpressionError`
+    messages for type failures (property-tested in
+    ``tests/storage/test_batch_kernels.py``).
+
+    Kernels run their inner loops in C where semantics allow: comparisons and
+    arithmetic over NULL-free columns go through ``map(operator.op, ...)``,
+    and fall back to an elementwise loop that replicates the per-row
+    three-valued logic whenever a NULL is present or a type error must be
+    reported.  Equality fast paths additionally require NULL-free inputs
+    because ``operator.eq(None, None)`` is True while SQL says NULL.
+    """
+    if isinstance(expression, Literal):
+        value = expression.value
+        return lambda batch: (value,) * len(batch)
+    if isinstance(expression, ColumnRef):
+        index = schema.index_of(expression.name)
+        return lambda batch: batch.column_at(index)
+    if isinstance(expression, Comparison):
+        left = compile_batch_expression(expression.left, schema)
+        right = compile_batch_expression(expression.right, schema)
+        fast = _FAST_COMPARATORS[expression.op]
+        comparator = _COMPARATORS[expression.op]
+        op = expression.op
+
+        def compare_columns(batch: "RowBatch") -> Sequence[Any]:
+            lcol = left(batch)
+            rcol = right(batch)
+            if None not in lcol and None not in rcol:
+                try:
+                    return list(map(fast, lcol, rcol))
+                except TypeError:
+                    pass  # report via the exact-semantics loop below
+            out = []
+            append = out.append
+            for lhs, rhs in zip(lcol, rcol):
+                if lhs is None or rhs is None:
+                    append(None)
+                    continue
+                try:
+                    append(comparator(lhs, rhs))
+                except TypeError as exc:
+                    raise ExpressionError(
+                        f"cannot compare {lhs!r} {op} {rhs!r}"
+                    ) from exc
+            return out
+
+        return compare_columns
+    if isinstance(expression, BooleanOp):
+        left = compile_batch_expression(expression.left, schema)
+        right = compile_batch_expression(expression.right, schema)
+        if expression.op == "and":
+
+            def conjoin_columns(batch: "RowBatch") -> Sequence[Any]:
+                return [
+                    False
+                    if (lhs is False or rhs is False)
+                    else (
+                        None
+                        if (lhs is None or rhs is None)
+                        else bool(lhs) and bool(rhs)
+                    )
+                    for lhs, rhs in zip(left(batch), right(batch))
+                ]
+
+            return conjoin_columns
+
+        def disjoin_columns(batch: "RowBatch") -> Sequence[Any]:
+            return [
+                True
+                if (lhs is True or rhs is True)
+                else (
+                    None if (lhs is None or rhs is None) else bool(lhs) or bool(rhs)
+                )
+                for lhs, rhs in zip(left(batch), right(batch))
+            ]
+
+        return disjoin_columns
+    if isinstance(expression, Not):
+        operand = compile_batch_expression(expression.operand, schema)
+        return lambda batch: [
+            None if value is None else not value for value in operand(batch)
+        ]
+    if isinstance(expression, Arithmetic):
+        left = compile_batch_expression(expression.left, schema)
+        right = compile_batch_expression(expression.right, schema)
+        fast = _FAST_ARITHMETIC[expression.op]
+        arith = _ARITHMETIC[expression.op]
+        op = expression.op
+
+        def apply_columns(batch: "RowBatch") -> Sequence[Any]:
+            lcol = left(batch)
+            rcol = right(batch)
+            if None not in lcol and None not in rcol:
+                try:
+                    return list(map(fast, lcol, rcol))
+                except (TypeError, ZeroDivisionError):
+                    pass  # report via the exact-semantics loop below
+            out = []
+            append = out.append
+            for lhs, rhs in zip(lcol, rcol):
+                if lhs is None or rhs is None:
+                    append(None)
+                    continue
+                try:
+                    append(arith(lhs, rhs))
+                except (TypeError, ZeroDivisionError) as exc:
+                    raise ExpressionError(
+                        f"cannot compute {lhs!r} {op} {rhs!r}"
+                    ) from exc
+            return out
+
+        return apply_columns
+    if isinstance(expression, FunctionCall) and expression.implementation is not None:
+        args = tuple(
+            compile_batch_expression(arg, schema) for arg in expression.args
+        )
+        implementation = expression.implementation
+        if not args:
+            return lambda batch: [implementation() for _ in range(len(batch))]
+        return lambda batch: [
+            implementation(*values) for values in zip(*(arg(batch) for arg in args))
+        ]
+    # Anything else (FieldAccess over crowd results, unimplemented calls,
+    # future node types) interprets the tree per materialized row — same
+    # fallback as compile_expression.
+    return lambda batch: [expression.evaluate(row) for row in batch.to_rows()]
+
+
+def compile_batch_predicate(
+    expression: Expression, schema: "Schema"
+) -> Callable[["RowBatch"], Sequence[Any]]:
+    """Compile a predicate to a selection-vector kernel.
+
+    The returned mask keeps exactly the rows where the per-row predicate is
+    strictly ``True`` (the local filter's SQL WHERE semantics).  For boolean
+    nodes the raw kernel output already is such a mask — only True is truthy
+    among {True, False, None} — while other node types (a bare column
+    reference, a UDF call) are wrapped in a strict ``is True`` check so a
+    truthy non-boolean value does not slip through compress.
+    """
+    kernel = compile_batch_expression(expression, schema)
+    if isinstance(expression, _BOOLEAN_NODES):
+        return kernel
+    return lambda batch: [value is True for value in kernel(batch)]
 
 
 def walk(expression: Expression) -> Iterator[Expression]:

@@ -1,0 +1,173 @@
+"""Secondary indexes for in-memory tables.
+
+Two index shapes cover the workload's access paths:
+
+- :class:`HashIndex` — value → row positions, for equality predicates and
+  index-backed hash-join build sides.
+- :class:`SortedIndex` — a bisect-maintained ``(value, position)`` list, for
+  range predicates.
+
+Both are maintained incrementally by ``Table.insert`` / ``append_rows`` /
+``insert_batch`` (an ``add`` per new row) and answer **positions**, not rows:
+the :class:`~repro.core.operators.scan.IndexScanOperator` gathers the matched
+positions out of the table's cached column snapshot, so an index probe feeds
+straight into the columnar pipeline.  Position lists are always returned in
+ascending order, which keeps index-scan output byte-identical to
+scan-then-filter over the same predicate.
+
+NULLs are never indexed for matching purposes: SQL predicates are
+three-valued and ``column op NULL`` is never True, so equality probes with
+``None`` return no positions and :class:`SortedIndex` excludes NULL keys
+entirely.  (:class:`HashIndex` still records NULL keys so distinct-count
+statistics and join build sides can see them, but ``positions_equal(None)``
+is empty.)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any
+
+from repro.errors import StorageError
+
+__all__ = ["HashIndex", "SortedIndex", "INDEX_KINDS"]
+
+
+class HashIndex:
+    """An equality index: value → list of row positions (insertion order)."""
+
+    kind = "hash"
+
+    __slots__ = ("column", "_buckets")
+
+    def __init__(self, column: str):
+        self.column = column
+        self._buckets: dict[Any, list[int]] = {}
+
+    def add(self, value: Any, position: int) -> None:
+        """Record that ``position`` holds ``value`` (positions arrive ascending)."""
+        self._buckets.setdefault(value, []).append(position)
+
+    def positions_equal(self, value: Any) -> list[int]:
+        """Row positions where the column equals ``value``, ascending.
+
+        A ``None`` probe matches nothing: NULL = NULL is NULL, not True.
+        """
+        if value is None:
+            return []
+        return self._buckets.get(value, [])
+
+    @property
+    def buckets(self) -> dict[Any, list[int]]:
+        """The raw value → positions mapping (join build sides reuse it)."""
+        return self._buckets
+
+    def distinct_count(self) -> int:
+        """Number of distinct non-NULL key values."""
+        return len(self._buckets) - (1 if None in self._buckets else 0)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def __repr__(self) -> str:
+        return f"HashIndex({self.column!r}, {len(self._buckets)} keys)"
+
+
+class SortedIndex:
+    """A range index: ``(value, position)`` entries kept sorted by value.
+
+    Requires mutually orderable (non-NULL) key values; a column mixing, say,
+    strings and integers cannot carry a sorted index and raises
+    :class:`StorageError` on the offending insert.
+    """
+
+    kind = "sorted"
+
+    __slots__ = ("column", "_entries", "_null_count")
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: list[tuple[Any, int]] = []
+        self._null_count = 0
+
+    def add(self, value: Any, position: int) -> None:
+        """Insert one key; NULLs are counted but never enter the order."""
+        if value is None:
+            self._null_count += 1
+            return
+        try:
+            insort(self._entries, (value, position))
+        except TypeError as exc:
+            raise StorageError(
+                f"sorted index on {self.column!r} requires mutually orderable "
+                f"values; cannot place {value!r}"
+            ) from exc
+
+    def positions_equal(self, value: Any) -> list[int]:
+        """Row positions where the column equals ``value``, ascending."""
+        if value is None:
+            return []
+        lo = bisect_left(self._entries, (value,))
+        hi = bisect_right(self._entries, (value, _POSITION_INFINITY))
+        return sorted(position for _, position in self._entries[lo:hi])
+
+    def positions_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """Row positions with ``low op column op high``, ascending.
+
+        ``None`` bounds are open ends (but NULL keys never match — they are
+        not in the order at all).
+        """
+        lo = 0
+        hi = len(self._entries)
+        if low is not None:
+            lo = (
+                bisect_left(self._entries, (low,))
+                if low_inclusive
+                else bisect_right(self._entries, (low, _POSITION_INFINITY))
+            )
+        if high is not None:
+            hi = (
+                bisect_right(self._entries, (high, _POSITION_INFINITY))
+                if high_inclusive
+                else bisect_left(self._entries, (high,))
+            )
+        return sorted(position for _, position in self._entries[lo:hi])
+
+    def distinct_count(self) -> int:
+        """Number of distinct non-NULL key values."""
+        count = 0
+        previous = _POSITION_INFINITY
+        for value, _ in self._entries:
+            if count == 0 or value != previous:
+                count += 1
+                previous = value
+        return count
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._null_count = 0
+
+    def __repr__(self) -> str:
+        return f"SortedIndex({self.column!r}, {len(self._entries)} keys)"
+
+
+class _PositionInfinity:
+    """Sorts after every real position — an upper sentinel for bisect probes."""
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+
+_POSITION_INFINITY = _PositionInfinity()
+
+INDEX_KINDS = {"hash": HashIndex, "sorted": SortedIndex}

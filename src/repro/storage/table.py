@@ -1,10 +1,21 @@
 """In-memory heap tables with optional secondary indexes.
 
 Crowd workloads "rarely approach hundreds of thousands of tuples" (Section 2
-of the paper), so a simple row-store with hash indexes is a faithful and
+of the paper), so a simple row-store with secondary indexes is a faithful and
 sufficient Storage Engine.  Tables also serve as the *results tables* that
 queries emit into and users poll (Section 2), so they support append +
 versioned reads (``rows_since``).
+
+Two structures make tables first-class citizens of the columnar data plane:
+
+- a **cached column snapshot** (:meth:`to_batch`): the table's rows
+  transposed into a :class:`~repro.storage.batch.RowBatch` once per version;
+  every scan of an unchanged table reuses the same snapshot, so repeated
+  queries pay the transpose once.
+- **secondary indexes** (:mod:`repro.storage.indexes`): hash for equality,
+  sorted for range, maintained incrementally by every insert path and
+  answering row *positions* that an index scan gathers straight out of the
+  column snapshot.
 """
 
 from __future__ import annotations
@@ -13,8 +24,11 @@ import itertools
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError, StorageError
+from repro.storage import accel
+from repro.storage.indexes import INDEX_KINDS, HashIndex, SortedIndex
 from repro.storage.row import Row
 from repro.storage.schema import Schema
+from repro.storage.types import DataType
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from repro.storage.batch import RowBatch
@@ -38,7 +52,20 @@ class Table:
         self._rows: list[Row] = []
         self._row_ids = itertools.count()
         self._ids: list[int] = []
-        self._indexes: dict[str, dict[Any, list[int]]] = {}
+        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        self._version = 0
+        self._batch_cache: tuple[int, "RowBatch"] | None = None
+        # Native column store, filled alongside _rows by every insert path:
+        # to_batch() then assembles the snapshot without a row transpose.
+        self._column_store: list[list[Any]] = [[] for _ in schema]
+        # Dictionary encodings for string columns (encode once at insert;
+        # scans expose the codes so joins/group-bys answer many times).
+        self._encodings: dict[int, accel.ColumnEncoding] = {
+            i: accel.ColumnEncoding()
+            for i, column in enumerate(schema)
+            if column.data_type is DataType.STRING
+        }
+        self._code_columns: dict[int, list[int]] = {i: [] for i in self._encodings}
 
     # -- mutation ------------------------------------------------------------
 
@@ -53,8 +80,10 @@ class Table:
         position = len(self._rows)
         self._rows.append(row)
         self._ids.append(row_id)
+        self._store_values(row.values)
+        self._version += 1
         for column, index in self._indexes.items():
-            index.setdefault(row[column], []).append(position)
+            index.add(row[column], position)
         return row_id
 
     def insert_many(self, rows: Iterable[Row | Mapping[str, Any] | Iterable[Any]]) -> list[int]:
@@ -82,10 +111,20 @@ class Table:
             position = len(self._rows)
             append_row(row)
             append_id(next(row_ids))
+            self._store_values(row.values)
             for column, index in indexes.items():
-                index.setdefault(row[column], []).append(position)
+                index.add(row[column], position)
             count += 1
+        if count:
+            self._version += 1
         return count
+
+    def _store_values(self, values: tuple) -> None:
+        """Mirror one validated row into the column store (+ string codes)."""
+        for column, value in zip(self._column_store, values):
+            column.append(value)
+        for i, codes in self._code_columns.items():
+            codes.append(self._encodings[i].encode(values[i]))
 
     def insert_batch(self, batch: "RowBatch") -> int:
         """Insert a column-major batch; validated when schemas differ."""
@@ -98,15 +137,66 @@ class Table:
         return inserted
 
     def to_batch(self) -> "RowBatch":
-        """Snapshot the table as a column-major :class:`RowBatch`."""
+        """The table as a column-major :class:`RowBatch`, cached per version.
+
+        Until the next mutation, every caller gets the *same* snapshot
+        object, so N queries scanning an unchanged table pay one transpose.
+        """
+        cached = self._batch_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         from repro.storage.batch import RowBatch
 
-        return RowBatch.from_rows(self.schema, self._rows)
+        if accel.HAVE_NUMPY and len(self._rows) >= 256:
+            # Bind columns as object ndarrays directly (lazy tuples) and
+            # seed the numeric/codes caches — one conversion per version,
+            # shared by every query that scans this snapshot.
+            batch = RowBatch.of_columns(
+                self.schema,
+                tuple(
+                    accel.object_array(column) for column in self._column_store
+                ),
+                len(self._rows),
+            )
+            for i, codes in self._code_columns.items():
+                batch._set_codes(
+                    i,
+                    accel.np.asarray(codes, dtype=accel.np.intp),
+                    self._encodings[i],
+                )
+            for i, column in enumerate(self.schema):
+                if column.data_type in (DataType.FLOAT, DataType.INTEGER):
+                    array = accel.numeric_array(
+                        self._column_store[i],
+                        assume_floats=column.data_type is DataType.FLOAT,
+                    )
+                    if array is not None:
+                        batch._set_num(i, array)
+        else:
+            batch = RowBatch.of_columns(
+                self.schema,
+                tuple(tuple(column) for column in self._column_store),
+                len(self._rows),
+            )
+            if accel.HAVE_NUMPY:
+                for i, codes in self._code_columns.items():
+                    batch._set_codes(
+                        i,
+                        accel.np.asarray(codes, dtype=accel.np.intp),
+                        self._encodings[i],
+                    )
+        self._batch_cache = (self._version, batch)
+        return batch
 
     def truncate(self) -> None:
         """Remove every row (row ids keep counting up)."""
         self._rows.clear()
         self._ids.clear()
+        for column in self._column_store:
+            column.clear()
+        for codes in self._code_columns.values():
+            codes.clear()  # encodings keep their dictionaries; codes stay valid
+        self._version += 1
         for index in self._indexes.values():
             index.clear()
 
@@ -154,26 +244,65 @@ class Table:
 
     # -- indexes -------------------------------------------------------------
 
-    def create_index(self, column: str) -> None:
-        """Create (or rebuild) a hash index on ``column``."""
+    def create_index(self, column: str, kind: str = "hash") -> None:
+        """Create (or rebuild) a secondary index on ``column``.
+
+        ``kind`` is ``"hash"`` (equality lookups, join build sides) or
+        ``"sorted"`` (range predicates).  The index is built from the current
+        rows and maintained incrementally by every insert path afterwards.
+        """
         if column not in self.schema:
             raise SchemaError(f"cannot index unknown column {column!r} on {self.name}")
-        index: dict[Any, list[int]] = {}
+        index_type = INDEX_KINDS.get(kind)
+        if index_type is None:
+            raise StorageError(
+                f"unknown index kind {kind!r}; have {', '.join(sorted(INDEX_KINDS))}"
+            )
+        qualified = self.schema.column(column).name
+        index = index_type(qualified)
+        column_index = self.schema.index_of(qualified)
         for position, row in enumerate(self._rows):
-            index.setdefault(row[column], []).append(position)
-        self._indexes[self.schema.column(column).name] = index
+            index.add(row._values[column_index], position)
+        self._indexes[qualified] = index
+
+    def index_on(self, column: str) -> HashIndex | SortedIndex | None:
+        """The index covering ``column``, or None."""
+        name = self.schema.try_index_of(column)
+        if name is None:
+            return None
+        return self._indexes.get(self.schema.columns[name].name)
 
     def lookup(self, column: str, value: Any) -> list[Row]:
         """Return rows where ``column == value``, via index when available."""
-        qualified = self.schema.column(column).name
-        if qualified in self._indexes:
-            return [self._rows[pos] for pos in self._indexes[qualified].get(value, [])]
+        index = self.index_on(column)
+        if index is not None and value is not None:
+            return [self._rows[pos] for pos in index.positions_equal(value)]
         return [row for row in self._rows if row[column] == value]
 
     @property
     def indexed_columns(self) -> tuple[str, ...]:
         """Names of columns that currently have an index."""
         return tuple(self._indexes)
+
+    def distinct_count(self, column: str) -> int | None:
+        """Distinct non-NULL values in ``column``: from an index when one
+        exists (O(1) for hash), computed otherwise, None for unhashable data.
+        """
+        index = self.index_on(column)
+        if isinstance(index, HashIndex):
+            return index.distinct_count()
+        if isinstance(index, SortedIndex):
+            return index.distinct_count()
+        position = self.schema.try_index_of(column)
+        if position is None:
+            return None
+        try:
+            return len(
+                {row._values[position] for row in self._rows}
+                - {None}
+            )
+        except TypeError:
+            return None
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, {len(self)} rows, schema={self.schema})"

@@ -1,0 +1,148 @@
+"""Access-path planning: index scan versus table scan, from catalog statistics.
+
+The planner enumerates a secondary-index access path whenever a table
+pipeline's local predicate compares an indexed column against a literal.
+Candidate selection orders by (dollars, HITs, tasks, local work), so for
+crowd-free pipelines the access path is decided purely by estimated machine
+work: selective predicates pick the index, unselective ones the scan.
+"""
+
+from repro.core.lang.sql_parser import parse_select
+from repro.core.operators.scan import IndexScanOperator, ScanOperator
+from repro.core.optimizer.cost_model import CostModel
+from repro.core.optimizer.optimizer import QueryOptimizer
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.plan.planner import QueryPlanner
+from repro.core.plan.registry import TaskRegistry
+from repro.engine import QurkEngine
+from repro.storage import Database, DataType, Schema, Table
+
+
+def build_items_table(*, n_rows: int = 100, indexes: bool = True) -> Table:
+    table = Table(
+        "items",
+        Schema.of(
+            ("id", DataType.INTEGER),
+            ("category", DataType.STRING),
+            ("score", DataType.FLOAT),
+            ("constant", DataType.STRING),
+        ),
+    )
+    for i in range(n_rows):
+        table.insert([i, f"cat{i % 20}", i / n_rows, "same"])
+    if indexes:
+        table.create_index("category")           # hash: equality only
+        table.create_index("score", kind="sorted")  # sorted: equality + ranges
+        table.create_index("constant")           # hash, 1 distinct value
+    return table
+
+
+def build_planner(table: Table) -> QueryPlanner:
+    database = Database()
+    database.catalog.register(table)
+    optimizer = QueryOptimizer(StatisticsManager(), CostModel())
+    return QueryPlanner(database, TaskRegistry(), optimizer)
+
+
+def plan_operators(planner: QueryPlanner, sql: str):
+    planned = planner.plan(parse_select(sql), query_id="q1")
+    return planned, list(planned.root.walk())
+
+
+class TestAccessPathChoice:
+    def test_selective_equality_chooses_index_scan(self):
+        planner = build_planner(build_items_table())
+        planned, operators = plan_operators(
+            planner, "SELECT id FROM items WHERE category = 'cat3'"
+        )
+        assert any(isinstance(op, IndexScanOperator) for op in operators)
+        assert not any(type(op) is ScanOperator for op in operators)
+        assert any(
+            decision.startswith("access[items]: index(category =")
+            for decision in planned.chosen.decisions
+        )
+        # Both access paths were enumerated and costed.
+        labels = {d for c in planned.candidates for d in c.decisions}
+        assert "access[items]: table-scan" in labels
+
+    def test_full_scan_keeps_table_scan(self):
+        planner = build_planner(build_items_table())
+        planned, operators = plan_operators(planner, "SELECT id FROM items")
+        assert any(type(op) is ScanOperator for op in operators)
+        assert not any(isinstance(op, IndexScanOperator) for op in operators)
+        assert len(planned.candidates) == 1  # no predicate, no alternative
+
+    def test_unselective_equality_keeps_table_scan(self):
+        """One distinct value: the index would gather every row, scan wins."""
+        planner = build_planner(build_items_table())
+        planned, operators = plan_operators(
+            planner, "SELECT id FROM items WHERE constant = 'same'"
+        )
+        assert any(type(op) is ScanOperator for op in operators)
+        assert not any(isinstance(op, IndexScanOperator) for op in operators)
+        # The index path was still enumerated — it just lost on local work.
+        labels = {d for c in planned.candidates for d in c.decisions}
+        assert any(label.startswith("access[items]: index(constant") for label in labels)
+
+    def test_range_predicate_uses_sorted_index(self):
+        planner = build_planner(build_items_table())
+        _planned, operators = plan_operators(
+            planner, "SELECT id FROM items WHERE score < 0.05"
+        )
+        index_scans = [op for op in operators if isinstance(op, IndexScanOperator)]
+        assert len(index_scans) == 1
+        assert index_scans[0].op == "<"
+
+    def test_range_on_hash_indexed_column_keeps_table_scan(self):
+        """Hash indexes cannot answer ranges, so no alternative exists."""
+        planner = build_planner(build_items_table())
+        planned, operators = plan_operators(
+            planner, "SELECT id FROM items WHERE category > 'cat3'"
+        )
+        assert not any(isinstance(op, IndexScanOperator) for op in operators)
+        assert len(planned.candidates) == 1
+
+    def test_unindexed_column_has_no_access_axis(self):
+        planner = build_planner(build_items_table(indexes=False))
+        planned, operators = plan_operators(
+            planner, "SELECT id FROM items WHERE category = 'cat3'"
+        )
+        assert not any(isinstance(op, IndexScanOperator) for op in operators)
+        assert len(planned.candidates) == 1
+        assert planned.chosen.decisions == ()  # decision strings untouched
+
+    def test_flipped_literal_orientation_is_normalized(self):
+        planner = build_planner(build_items_table())
+        _planned, operators = plan_operators(
+            planner, "SELECT id FROM items WHERE 0.05 > score"
+        )
+        index_scans = [op for op in operators if isinstance(op, IndexScanOperator)]
+        assert len(index_scans) == 1
+        assert index_scans[0].op == "<"  # 0.05 > score  ==  score < 0.05
+
+
+class TestExplainRendering:
+    def test_explain_shows_index_scan_for_selective_equality(self):
+        planner = build_planner(build_items_table())
+        text = planner.explain(parse_select("SELECT id FROM items WHERE category = 'cat3'"))
+        assert "index-scan(items.category = 'cat3')" in text
+        assert "access[items]: table-scan" in text  # the losing candidate is listed
+
+    def test_explain_shows_table_scan_for_full_scan(self):
+        planner = build_planner(build_items_table())
+        text = planner.explain(parse_select("SELECT id FROM items"))
+        assert "scan(items)" in text
+        assert "index-scan" not in text
+
+
+class TestEndToEndEquivalence:
+    def test_index_scan_results_match_table_scan(self):
+        sql = "SELECT id, score FROM items WHERE category = 'cat7' ORDER BY score"
+        results = {}
+        for label, indexes in (("indexed", True), ("plain", False)):
+            engine = QurkEngine(seed=11)
+            engine.database.catalog.register(build_items_table(indexes=indexes))
+            rows = engine.run(sql)
+            results[label] = [tuple(row.values) for row in rows]
+        assert results["indexed"] == results["plain"]
+        assert len(results["indexed"]) == 5

@@ -84,3 +84,55 @@ class TestScheduling:
         clock.schedule_in(2, lambda: None)
         clock.run_until_idle()
         assert clock.events_fired == 2
+
+
+class TestHeapCompaction:
+    """Pin the lazy heap-compaction triggers (fraction + absolute floor)."""
+
+    def test_no_compaction_below_minimum(self):
+        clock = SimulationClock()
+        events = [clock.schedule_in(i + 1, lambda: None) for i in range(10)]
+        for event in events[:8]:
+            event.cancel()
+        # 8 of 10 cancelled exceeds the half-fraction, but not the minimum.
+        assert len(clock._events) == 10
+        assert clock.pending_events == 2
+
+    def test_compaction_when_cancellations_dominate(self):
+        clock = SimulationClock()
+        events = [clock.schedule_in(i + 1, lambda: None) for i in range(40)]
+        for event in events[:20]:
+            event.cancel()
+        # 20 of 40 is not *more* than half; one more tips it over.
+        assert len(clock._events) == 40
+        events[20].cancel()
+        assert len(clock._events) == 19
+        assert clock.pending_events == 19
+        clock.run_until_idle()
+        assert clock.events_fired == 19
+
+    def test_compaction_at_absolute_floor_with_large_live_heap(self):
+        # A long-lived engine: a big live heap and a minority of cancels.
+        clock = SimulationClock()
+        floor = SimulationClock.COMPACT_MAX_CANCELLED
+        live = [clock.schedule_in(i + 1, lambda: None) for i in range(3 * floor)]
+        doomed = live[:floor]
+        for event in doomed[:-1]:
+            event.cancel()
+        # Still a minority of the heap, below the absolute floor: all retained.
+        assert len(clock._events) == 3 * floor
+        doomed[-1].cancel()
+        # Hitting the floor compacts even though cancelled < half the heap.
+        assert len(clock._events) == 2 * floor
+        assert clock.pending_events == 2 * floor
+
+    def test_cancelled_event_never_fires_after_compaction(self):
+        clock = SimulationClock()
+        fired = []
+        keep = clock.schedule_in(5, lambda: fired.append("keep"))
+        events = [clock.schedule_in(1, lambda: fired.append("dead")) for _ in range(30)]
+        for event in events:
+            event.cancel()
+        clock.run_until_idle()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
