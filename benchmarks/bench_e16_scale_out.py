@@ -1,0 +1,164 @@
+"""E16 — horizontal scale-out: sharded engines behind one coordinator.
+
+E15 made a *single* control plane scale to hundreds of concurrent queries;
+this benchmark shards the workload across N worker processes, each a full
+engine + scheduler + simulated marketplace, behind a
+:class:`~repro.cluster.ShardCoordinator`.  Every query is the same small
+crowd filter as E15 (one task per product, one task per HIT), so total crowd
+work is constant across the curve and the only variable is how many engine
+processes share it.
+
+Two effects add up:
+
+* **Parallelism** — on a multi-core box the shards genuinely run at once
+  (the coordinator broadcasts ``drain`` to every worker before collecting
+  any reply).
+* **Smaller per-shard heaps** — even time-sliced on one core, 8 engines
+  with 1/8th of the queries each beat one engine holding all of them,
+  because several control-plane costs grow with the *per-engine* query and
+  HIT population, not with total work.
+
+Reported per shard count: queries/sec, speedup versus the 1-shard cluster,
+crowd spend (which must not change — sharding is a runtime decision, not a
+semantic one) and worker peak RSS (sum and max across the fleet).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.cluster import EngineSpec, ShardCoordinator, ShardWorker, make_placement
+from repro.cluster.serialization import encode_query
+from repro.experiments import print_table
+
+FILTER_SQL = "SELECT name FROM products WHERE isTargetColor(name)"
+
+#: The scaling curve: worker processes sharing a fixed query population.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Concurrent crowd-filter queries across the whole cluster.
+CONCURRENT_QUERIES = 1024
+
+#: Crowd tasks (= HITs) per query.
+TASKS_PER_QUERY = 40
+
+
+def engine_spec(tasks_per_query: int = TASKS_PER_QUERY, *, seed: int = 1601) -> EngineSpec:
+    """The recipe every shard worker builds its engine from."""
+    return EngineSpec(
+        factory="repro.experiments.harness:build_products_engine",
+        kwargs={"n_products": tasks_per_query, "filter_batch": 1, "seed": seed},
+    )
+
+
+def _run_level(
+    n_shards: int, n_queries: int, tasks_per_query: int, *, seed: int = 1601
+) -> dict:
+    spec = engine_spec(tasks_per_query, seed=seed)
+    with ShardCoordinator(spec, n_shards) as cluster:
+        started = time.perf_counter()
+        cluster.submit_many([{"sql": FILTER_SQL} for _ in range(n_queries)])
+        statuses = cluster.drain()
+        wall = time.perf_counter() - started
+        if len(statuses) != n_queries or any(s != "completed" for s in statuses.values()):
+            raise AssertionError(f"not every query completed: {statuses}")
+        stats = cluster.stats()
+    return {
+        "shards": n_shards,
+        "queries": n_queries,
+        "tasks_per_query": tasks_per_query,
+        "hits": int(stats.totals["hits_posted"]),
+        "wall_seconds": round(wall, 3),
+        "queries_per_sec": round(n_queries / wall, 3),
+        "cost_usd": round(stats.totals["total_cost"], 2),
+        "rss_sum_kb": stats.peak_rss_kb_sum,
+        "rss_max_kb": stats.peak_rss_kb_max,
+    }
+
+
+def run_scale_out_curve(
+    shard_counts: tuple[int, ...] = SHARD_COUNTS,
+    n_queries: int = CONCURRENT_QUERIES,
+    tasks_per_query: int = TASKS_PER_QUERY,
+) -> list[dict]:
+    """The scaling curve: fixed workload, growing shard count."""
+    rows = [_run_level(n, n_queries, tasks_per_query) for n in shard_counts]
+    base = rows[0]["queries_per_sec"]
+    for row in rows:
+        row["speedup_vs_1_shard"] = round(row["queries_per_sec"] / base, 2)
+    return rows
+
+
+def shard_worker_workload(
+    shard_id: int = 0,
+    n_shards: int = 8,
+    n_queries: int = CONCURRENT_QUERIES,
+    tasks_per_query: int = TASKS_PER_QUERY,
+) -> dict:
+    """One shard's exact slice of the curve, runnable in-process.
+
+    ``python -m repro.profile e16 --shard 0 --shards 8`` uses this to put a
+    single worker under cProfile: the same placement the coordinator uses
+    routes the query stream, only shard ``shard_id``'s queries are submitted
+    to an in-process :class:`~repro.cluster.ShardWorker`, and the same
+    ``drain`` op the coordinator sends drives it to quiescence.
+    """
+    placement = make_placement("round-robin", n_shards, 0)
+    worker = ShardWorker(engine_spec(tasks_per_query), shard_id)
+    queries = [
+        encode_query(FILTER_SQL, query_id=f"cq{index + 1}", budget=None, priority=1.0, config=None)
+        for index in range(n_queries)
+        if placement.shard_of(index, f"cq{index + 1}") == shard_id
+    ]
+    submitted = worker.handle({"op": "submit_many", "queries": queries})
+    if not submitted.get("ok"):
+        raise AssertionError(submitted.get("error"))
+    drained = worker.handle({"op": "drain"})
+    if not drained.get("ok"):
+        raise AssertionError(drained.get("error"))
+    return {
+        "shard": shard_id,
+        "n_shards": n_shards,
+        "queries": len(queries),
+        "statuses": drained["statuses"],
+    }
+
+
+# -- pytest entry points (quick sizes, with the CI wall-clock regression gate) --
+
+#: Generous wall-clock budget for the quick curve (64 queries, 10 tasks each,
+#: at 1 and 2 shards).  Tripping it means either the cluster runtime grew a
+#: serialization hot spot or a worker stopped overlapping with its peers.
+QUICK_GATE_SECONDS = 60.0
+
+
+def test_e16_scale_out_quick(once):
+    rows = once(
+        run_scale_out_curve, shard_counts=(1, 2), n_queries=64, tasks_per_query=10
+    )
+    print_table(
+        "E16: scale-out (quick: 64 crowd-filter queries, 10 tasks each, 1/2 shards)",
+        [
+            "shards",
+            "queries",
+            "hits",
+            "wall_seconds",
+            "queries_per_sec",
+            "speedup_vs_1_shard",
+            "cost_usd",
+            "rss_sum_kb",
+            "rss_max_kb",
+        ],
+        rows,
+    )
+    # Sharding must not change what the crowd is asked or paid: every shard
+    # count posts the same HITs and spends the same dollars.
+    assert all(row["hits"] == row["queries"] * row["tasks_per_query"] for row in rows)
+    assert len({row["cost_usd"] for row in rows}) == 1
+    assert sum(row["wall_seconds"] for row in rows) < QUICK_GATE_SECONDS
+    if (os.cpu_count() or 1) >= 2:
+        # With real parallelism available, 2 shards must not be slower than
+        # one engine doing everything (generous bound: process startup and
+        # IPC may eat some of the win at these tiny sizes).
+        assert rows[1]["queries_per_sec"] > 0.6 * rows[0]["queries_per_sec"]

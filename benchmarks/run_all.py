@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import importlib
+import inspect
 import json
 import sys
 import time
@@ -35,10 +36,24 @@ sys.path.insert(0, str(BENCH_DIR))
 
 #: The ``--quick`` smoke subset: one cheap end-to-end caching experiment, the
 #: adaptive re-planning experiment, the engine-overhead benchmark, the
-#: worker quality-control experiment and the control-plane scaling
-#: benchmark, so plan-layer, data-plane, quality-control and control-plane
-#: regressions surface in CI without paying for the full sweep.
-QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15")
+#: worker quality-control experiment, the control-plane scaling benchmark
+#: and the sharded scale-out curve, so plan-layer, data-plane,
+#: quality-control, control-plane and cluster-runtime regressions surface in
+#: CI without paying for the full sweep.
+QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15", "e16")
+
+#: Quick-mode size overrides for benchmarks whose full curve is minutes
+#: long; keys are module stems, values are kwargs for every ``run_*``
+#: function that accepts them.  E16 spawns worker processes per level, so
+#: CI boxes (often 1-2 CPUs) run a scaled-down curve — the full 1/2/4/8
+#: sweep at 1,024 queries stays the default for `run_all.py e16`.
+QUICK_OVERRIDES = {
+    "bench_e16_scale_out": {
+        "shard_counts": (1, 2),
+        "n_queries": 128,
+        "tasks_per_query": 10,
+    },
+}
 
 
 def discover(selectors: list[str]) -> list[Path]:
@@ -53,23 +68,47 @@ def discover(selectors: list[str]) -> list[Path]:
     return wanted
 
 
-def peak_rss_kb() -> int | None:
-    """Process peak RSS in KiB (``ru_maxrss``), or None off-POSIX.
+def peak_rss_kb(who: str = "self") -> int | None:
+    """Peak RSS in KiB (``ru_maxrss``), or None off-POSIX.
 
-    The kernel reports a high-water mark for the whole process, so
-    per-benchmark values are monotone across a sweep: a benchmark's own
-    footprint shows up as the *increase* over the previous entry.  Recording
-    the mark after each module makes columnar-memory wins and regressions
-    visible in the summary trajectory.
+    ``who="self"`` is this process's high-water mark; ``who="children"`` is
+    the largest mark among *exited* child processes — which is how cluster
+    benchmarks' shard workers show up, since each worker's engine lives in
+    its own process and never inflates the driver's own RSS.
+
+    The kernel reports a high-water mark, so per-benchmark values are
+    monotone across a sweep: a benchmark's own footprint shows up as the
+    *increase* over the previous entry.  Recording the mark after each
+    module makes columnar-memory wins and regressions visible in the
+    summary trajectory.
     """
     if resource is None:
         return None
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    which = resource.RUSAGE_CHILDREN if who == "children" else resource.RUSAGE_SELF
+    usage = resource.getrusage(which).ru_maxrss
     # Linux reports KiB; macOS reports bytes.
     return usage // 1024 if sys.platform == "darwin" else usage
 
 
-def run_module(path: Path) -> dict:
+def shard_rss_kb(result) -> tuple[int, int] | None:
+    """``(sum, max)`` of per-shard worker RSS reported inside result rows.
+
+    Cluster benchmarks put each level's worker-fleet memory into
+    ``rss_sum_kb`` / ``rss_max_kb`` row fields (self-reported by every
+    worker before it exits).  Aggregating them here — sum of the largest
+    level's fleet, max of any single worker — gives the summary a real
+    cluster memory figure; ``RUSAGE_CHILDREN`` alone only sees the single
+    biggest child.
+    """
+    rows = result if isinstance(result, list) else [result]
+    sums = [row["rss_sum_kb"] for row in rows if isinstance(row, dict) and "rss_sum_kb" in row]
+    maxes = [row["rss_max_kb"] for row in rows if isinstance(row, dict) and "rss_max_kb" in row]
+    if not sums and not maxes:
+        return None
+    return max(sums, default=0), max(maxes, default=0)
+
+
+def run_module(path: Path, overrides: dict | None = None) -> dict:
     module = importlib.import_module(path.stem)
     runners = {
         name: fn
@@ -81,28 +120,40 @@ def run_module(path: Path) -> dict:
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "experiments": {},
     }
+    if overrides:
+        entry["overrides"] = dict(overrides)
     for name, fn in sorted(runners.items()):
+        kwargs = {}
+        if overrides:
+            accepted = inspect.signature(fn).parameters
+            kwargs = {key: value for key, value in overrides.items() if key in accepted}
         started = time.perf_counter()
         try:
-            result = fn()
+            result = fn(**kwargs)
         except Exception as error:  # keep the sweep going; record the failure
             entry["status"] = "error"
             entry["experiments"][name] = {"error": f"{type(error).__name__}: {error}"}
             continue
-        entry["experiments"][name] = {
+        experiment = {
             "wall_seconds": round(time.perf_counter() - started, 3),
             "peak_rss_kb": peak_rss_kb(),
             "results": result,
         }
+        shard_rss = shard_rss_kb(result)
+        if shard_rss is not None:
+            experiment["shard_rss_sum_kb"], experiment["shard_rss_max_kb"] = shard_rss
+        entry["experiments"][name] = experiment
     if not runners:
         entry["status"] = "skipped"
         entry["reason"] = "no run_* functions found"
     entry["peak_rss_kb"] = peak_rss_kb()
+    entry["children_peak_rss_kb"] = peak_rss_kb("children")
     return entry
 
 
 def main(argv: list[str]) -> int:
-    if "--quick" in argv:
+    quick = "--quick" in argv
+    if quick:
         argv = [arg for arg in argv if arg != "--quick"] + list(QUICK_SELECTORS)
     modules = discover(argv)
     if not modules:
@@ -129,7 +180,8 @@ def main(argv: list[str]) -> int:
     failures = 0
     for path in modules:
         print(f"running {path.stem} ...", flush=True)
-        entry = run_module(path)
+        overrides = QUICK_OVERRIDES.get(path.stem) if quick else None
+        entry = run_module(path, overrides)
         summary["benchmarks"][path.stem] = entry
         if entry["status"] == "error":
             failures += 1

@@ -1,0 +1,343 @@
+"""The shard coordinator: N engine processes behind one submission API.
+
+A :class:`ShardCoordinator` partitions queries across ``n_shards`` worker
+processes, each running a full :class:`~repro.engine.QurkEngine` built from
+the same :class:`~repro.cluster.worker.EngineSpec` (so every shard is an
+identical, independent marketplace).  Placement is deterministic — seeded
+hash or round-robin by admission order — which is what makes N-shard
+same-seed runs fingerprint-stable.
+
+Determinism contract: a 1-shard cluster is byte-identical to the in-process
+engine.  The worker's ``drain`` op is exactly the chaos harness's driving
+sequence (consecutive ``wait()`` calls share one global ``step()`` loop,
+which ``EngineScheduler.drain`` reproduces, followed by
+``clock.run_until_idle()``), so its fingerprint matches
+:func:`repro.testing.chaos.fingerprint_engine` over an in-process run of the
+same queries.
+
+Broadcast ops (``drain``, ``stats``, ``fingerprint``) send to every shard
+*before* collecting any reply, so shards genuinely run concurrently — on a
+drain of an N-shard cluster all N engines make progress at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.messages import PipeTransport
+from repro.cluster.placement import Placement, make_placement
+from repro.cluster.serialization import decode_rows, encode_query
+from repro.cluster.worker import EngineSpec, worker_main
+from repro.core.exec.context import QueryConfig
+from repro.errors import ClusterError
+
+__all__ = ["ClusterQueryHandle", "ClusterStats", "ShardCoordinator"]
+
+
+@dataclass(frozen=True)
+class ClusterQueryHandle:
+    """A pollable reference to a query running on some shard."""
+
+    coordinator: "ShardCoordinator"
+    query_id: str
+    shard: int
+
+    def status(self) -> dict[str, Any]:
+        """Current lifecycle status plus result count and any error text."""
+        return self.coordinator.status(self.query_id)
+
+    def poll(self):
+        """Result rows that arrived since the previous poll."""
+        return self.coordinator.poll(self.query_id)
+
+    def results(self):
+        """All result rows produced so far."""
+        return self.coordinator.results(self.query_id)
+
+    def describe_plan(self) -> str:
+        return self.coordinator.describe_plan(self.query_id)
+
+
+@dataclass
+class ClusterStats:
+    """Cross-shard aggregation of engine statistics.
+
+    ``totals`` sums every numeric counter across shards (HIT-batching stats,
+    budget spend, scheduler passes); ``per_shard`` keeps each worker's own
+    report, including its ``peak_rss_kb``; ``peak_rss_kb_sum`` /
+    ``peak_rss_kb_max`` summarize worker memory across the fleet.
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    per_shard: list[dict[str, Any]] = field(default_factory=list)
+    queries: dict[str, dict[str, Any]] = field(default_factory=dict)
+    peak_rss_kb_sum: int = 0
+    peak_rss_kb_max: int = 0
+
+
+class _Shard:
+    """Coordinator-side record of one worker process."""
+
+    def __init__(self, shard_id: int, process, transport: PipeTransport):
+        self.shard_id = shard_id
+        self.process = process
+        self.transport = transport
+
+
+class ShardCoordinator:
+    """Partition queries across N shard-per-process Qurk engines.
+
+    Parameters
+    ----------
+    spec:
+        Recipe every worker uses to build its engine (same seed → identical
+        independent marketplaces).
+    n_shards:
+        Number of worker processes.
+    placement:
+        ``"round-robin"`` (default: admission order, ``i % n``) or
+        ``"hash"`` (seeded SHA-256 of the query id), or a ready-made
+        :class:`~repro.cluster.placement.Placement`.
+    seed:
+        Seed for hash placement (ignored by round-robin).
+    start_method:
+        ``multiprocessing`` start method; ``"fork"`` is the cheap default.
+    """
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        n_shards: int = 1,
+        *,
+        placement: str | Placement = "round-robin",
+        seed: int = 0,
+        start_method: str = "fork",
+    ):
+        if n_shards < 1:
+            raise ClusterError(f"a cluster needs at least 1 shard, got {n_shards}")
+        self.spec = spec
+        self.n_shards = n_shards
+        self.placement = (
+            placement
+            if isinstance(placement, Placement)
+            else make_placement(placement, n_shards, seed)
+        )
+        if self.placement.n_shards != n_shards:
+            raise ClusterError(
+                f"placement covers {self.placement.n_shards} shards, cluster has {n_shards}"
+            )
+        self._start_method = start_method
+        self._shards: list[_Shard] = []
+        self._routes: dict[str, int] = {}
+        self._admitted = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ShardCoordinator":
+        """Spawn and ping every worker process."""
+        if self._shards:
+            raise ClusterError("coordinator already started")
+        context = multiprocessing.get_context(self._start_method)
+        spec_payload = self.spec.payload()
+        for shard_id in range(self.n_shards):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=worker_main,
+                args=(child_end, spec_payload, shard_id),
+                name=f"qurk-shard-{shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._shards.append(_Shard(shard_id, process, PipeTransport(parent_end)))
+        for shard in self._shards:
+            self._call(shard.shard_id, {"op": "ping"})
+        return self
+
+    def close(self) -> None:
+        """Shut every worker down; terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.transport.send({"op": "shutdown"})
+                shard.transport.recv()
+            except (ClusterError, OSError, BrokenPipeError):
+                pass
+            shard.transport.close()
+        for shard in self._shards:
+            shard.process.join(timeout=5)
+            if shard.process.is_alive():  # pragma: no cover - defensive
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- messaging ---------------------------------------------------------
+
+    def _call(self, shard_id: int, message: dict[str, Any]) -> dict[str, Any]:
+        if not self._shards:
+            raise ClusterError("coordinator not started (use start() or a with-block)")
+        shard = self._shards[shard_id]
+        shard.transport.send(message)
+        reply = shard.transport.recv()
+        if not reply.get("ok"):
+            raise ClusterError(f"shard {shard_id}: {reply.get('error', 'unknown failure')}")
+        return reply
+
+    def _broadcast(self, message: dict[str, Any]) -> list[dict[str, Any]]:
+        """Send to all shards, then collect — shards overlap their work."""
+        if not self._shards:
+            raise ClusterError("coordinator not started (use start() or a with-block)")
+        for shard in self._shards:
+            shard.transport.send(message)
+        replies = []
+        for shard in self._shards:
+            reply = shard.transport.recv()
+            if not reply.get("ok"):
+                raise ClusterError(
+                    f"shard {shard.shard_id}: {reply.get('error', 'unknown failure')}"
+                )
+            replies.append(reply)
+        return replies
+
+    def _route(self, query_id: str) -> int:
+        try:
+            return self._routes[query_id]
+        except KeyError:
+            raise ClusterError(f"unknown cluster query {query_id!r}")
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        *,
+        budget: float | None = None,
+        priority: float = 1.0,
+        config: QueryConfig | None = None,
+    ) -> ClusterQueryHandle:
+        """Place one query on its shard and submit it."""
+        return self.submit_many(
+            [{"sql": sql, "budget": budget, "priority": priority, "config": config}]
+        )[0]
+
+    def submit_many(self, queries: list[dict[str, Any]]) -> list[ClusterQueryHandle]:
+        """Submit a batch, grouped by shard to cut IPC round-trips.
+
+        Each entry is ``{"sql": ..., "budget"?, "priority"?, "config"?}``.
+        Handles come back in submission order; per-shard admission order
+        matches submission order, so placement is reproducible.
+        """
+        placed: list[tuple[int, str, dict[str, Any]]] = []
+        for entry in queries:
+            query_id = f"cq{self._admitted + 1}"
+            shard_id = self.placement.shard_of(self._admitted, query_id)
+            self._admitted += 1
+            payload = encode_query(
+                entry["sql"],
+                query_id=query_id,
+                budget=entry.get("budget"),
+                priority=entry.get("priority", 1.0),
+                config=entry.get("config"),
+            )
+            placed.append((shard_id, query_id, payload))
+
+        by_shard: dict[int, list[dict[str, Any]]] = {}
+        for shard_id, _, payload in placed:
+            by_shard.setdefault(shard_id, []).append(payload)
+        for shard_id, payloads in by_shard.items():
+            self._call(shard_id, {"op": "submit_many", "queries": payloads})
+
+        handles = []
+        for shard_id, query_id, _ in placed:
+            self._routes[query_id] = shard_id
+            handles.append(ClusterQueryHandle(self, query_id, shard_id))
+        return handles
+
+    # -- per-query ops -----------------------------------------------------
+
+    def status(self, query_id: str) -> dict[str, Any]:
+        reply = self._call(self._route(query_id), {"op": "status", "query_id": query_id})
+        return {
+            "status": reply["status"],
+            "results_emitted": reply["results_emitted"],
+            "error": reply["error"],
+        }
+
+    def poll(self, query_id: str):
+        reply = self._call(self._route(query_id), {"op": "poll", "query_id": query_id})
+        return decode_rows(reply["rows"])
+
+    def results(self, query_id: str):
+        reply = self._call(self._route(query_id), {"op": "results", "query_id": query_id})
+        return decode_rows(reply["rows"])
+
+    def describe_plan(self, query_id: str) -> str:
+        reply = self._call(self._route(query_id), {"op": "describe_plan", "query_id": query_id})
+        return reply["plan"]
+
+    # -- cluster-wide ops --------------------------------------------------
+
+    def pump(self, *, max_passes: int = 1) -> bool:
+        """One bounded scheduling slice on every shard; True if any moved."""
+        replies = self._broadcast({"op": "pump", "max_passes": max_passes})
+        return any(reply["progressed"] for reply in replies)
+
+    def has_work(self) -> bool:
+        replies = self._broadcast({"op": "pump", "max_passes": 0})
+        return any(reply["has_work"] for reply in replies)
+
+    def drain(self) -> dict[str, str]:
+        """Run every shard to quiescence; statuses keyed by cluster query id."""
+        statuses: dict[str, str] = {}
+        for reply in self._broadcast({"op": "drain"}):
+            statuses.update(reply["statuses"])
+        return statuses
+
+    def stats(self) -> ClusterStats:
+        """Merged statistics: summed totals, per-shard reports, RSS sum/max."""
+        merged = ClusterStats()
+        for reply in self._broadcast({"op": "stats"}):
+            shard_report = {
+                "shard": reply["shard"],
+                "totals": reply["totals"],
+                "peak_rss_kb": reply["peak_rss_kb"],
+            }
+            merged.per_shard.append(shard_report)
+            merged.queries.update(reply["queries"])
+            for key, value in reply["totals"].items():
+                if key == "simulated_time":
+                    merged.totals[key] = max(merged.totals.get(key, 0.0), value)
+                else:
+                    merged.totals[key] = merged.totals.get(key, 0) + value
+            merged.peak_rss_kb_sum += reply["peak_rss_kb"]
+            merged.peak_rss_kb_max = max(merged.peak_rss_kb_max, reply["peak_rss_kb"])
+        return merged
+
+    def dashboard(self) -> str:
+        """A merged dashboard: cluster header plus every shard's own view."""
+        from repro.dashboard.cluster import render_cluster
+
+        stats = self.stats()
+        panels = self._broadcast({"op": "dashboard"})
+        return render_cluster(stats, panels)
+
+    def fingerprint(self) -> list[dict[str, Any]]:
+        """Per-shard run fingerprints, ordered by shard id.
+
+        Each entry is exactly what :func:`repro.testing.chaos.fingerprint_engine`
+        computes over that shard's engine, with statuses/rows in that shard's
+        admission order — comparable across runs and against an in-process
+        engine fed the same queries.
+        """
+        replies = self._broadcast({"op": "fingerprint"})
+        return [reply["fingerprint"] for reply in sorted(replies, key=lambda r: r["shard"])]

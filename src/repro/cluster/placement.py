@@ -1,0 +1,65 @@
+"""Deterministic query → shard placement.
+
+The coordinator must place queries onto shards so that the same workload on
+the same cluster shape lands identically run to run — otherwise N-shard
+fingerprints could never be stable.  Two policies are provided:
+
+``round-robin``
+    Place by admission order: the *i*-th submitted query goes to shard
+    ``i % n``.  Perfectly balanced and trivially reproducible.
+
+``hash``
+    Place by a seeded SHA-256 of the query key (its coordinator-assigned
+    id), so a query's shard is a pure function of ``(seed, key, n_shards)``
+    and does not depend on what else was submitted.  Python's builtin
+    ``hash`` is *not* used — it is salted per process, which would break
+    cross-run stability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ClusterError
+
+__all__ = ["Placement", "RoundRobinPlacement", "HashPlacement", "make_placement"]
+
+
+class Placement:
+    """Maps a query (admission index + stable key) to a shard id."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ClusterError(f"a cluster needs at least 1 shard, got {n_shards}")
+        self.n_shards = n_shards
+
+    def shard_of(self, index: int, key: str) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(Placement):
+    """Admission-order round-robin: query *i* lands on shard ``i % n``."""
+
+    def shard_of(self, index: int, key: str) -> int:
+        return index % self.n_shards
+
+
+class HashPlacement(Placement):
+    """Seeded-hash placement: the shard is a pure function of the key."""
+
+    def __init__(self, n_shards: int, seed: int = 0):
+        super().__init__(n_shards)
+        self.seed = seed
+
+    def shard_of(self, index: int, key: str) -> int:
+        digest = hashlib.sha256(f"{self.seed}:{key}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_shards
+
+
+def make_placement(kind: str, n_shards: int, seed: int = 0) -> Placement:
+    """Build the placement policy named ``kind``."""
+    if kind == "round-robin":
+        return RoundRobinPlacement(n_shards)
+    if kind == "hash":
+        return HashPlacement(n_shards, seed)
+    raise ClusterError(f"unknown placement policy {kind!r} (use 'round-robin' or 'hash')")

@@ -1,0 +1,175 @@
+"""A minimal asyncio request/response front end for the cluster.
+
+Clients speak the same length-prefixed JSON frames as the internal
+coordinator ↔ worker protocol (:mod:`repro.cluster.serialization`), over a
+plain TCP socket:
+
+``{"op": "submit", "sql": ..., "budget"?, "priority"?}``
+    → ``{"ok": true, "query_id": "cq1", "shard": 0}``
+``{"op": "status", "query_id": "cq1"}``
+    → ``{"ok": true, "status": "running", "results_emitted": 3, "error": null}``
+``{"op": "results", "query_id": "cq1"}`` / ``{"op": "poll", ...}``
+    → ``{"ok": true, "rows": {"schema": [...], "values": [...]}}``
+``{"op": "stats"}``
+    → merged cluster totals.
+
+The coordinator's pipe protocol is synchronous, so every coordinator call
+runs in the default executor under one lock; a background pump task keeps
+the shards' schedulers moving between requests (this is what makes the
+server *live*: submitted queries progress while nobody is polling, and on a
+:class:`~repro.crowd.wallclock.WallClock` engine they progress in real
+time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.cluster.coordinator import ShardCoordinator
+from repro.cluster.serialization import decode_message, encode_rows, frame_message
+from repro.errors import ClusterError, QurkError
+
+__all__ = ["ClusterServer", "request"]
+
+_HEADER_BYTES = 4
+#: Idle delay between pump slices when no shard reported progress.
+_IDLE_PUMP_DELAY = 0.05
+
+
+class ClusterServer:
+    """Serve a :class:`ShardCoordinator` over asyncio TCP."""
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.coordinator = coordinator
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._lock = asyncio.Lock()
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the background pump."""
+        self._server = await asyncio.start_server(self._serve_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.get_running_loop().create_task(self._pump_loop())
+
+    async def close(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ClusterServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- coordinator access ------------------------------------------------
+
+    async def _coordinator_call(self, fn, *args, **kwargs):
+        """Run one blocking coordinator method without starving the loop."""
+        async with self._lock:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(None, lambda: fn(*args, **kwargs))
+
+    async def _pump_loop(self) -> None:
+        while True:
+            progressed = await self._coordinator_call(self.coordinator.pump, max_passes=4)
+            if not progressed:
+                await asyncio.sleep(_IDLE_PUMP_DELAY)
+
+    # -- request handling --------------------------------------------------
+
+    async def _serve_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(_HEADER_BYTES)
+                except asyncio.IncompleteReadError:
+                    break
+                length = int.from_bytes(header, "big")
+                body = await reader.readexactly(length)
+                try:
+                    reply = await self._dispatch(decode_message(body))
+                except QurkError as error:
+                    reply = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                writer.write(frame_message(reply))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                pass
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        if op == "submit":
+            if "sql" not in message:
+                raise ClusterError("submit requires 'sql'")
+            handle = (
+                await self._coordinator_call(
+                    self.coordinator.submit_many,
+                    [
+                        {
+                            "sql": message["sql"],
+                            "budget": message.get("budget"),
+                            "priority": message.get("priority", 1.0),
+                        }
+                    ],
+                )
+            )[0]
+            return {"ok": True, "query_id": handle.query_id, "shard": handle.shard}
+        if op == "status":
+            status = await self._coordinator_call(
+                self.coordinator.status, message["query_id"]
+            )
+            return {"ok": True, **status}
+        if op == "poll":
+            rows = await self._coordinator_call(self.coordinator.poll, message["query_id"])
+            return {"ok": True, "rows": encode_rows(rows)}
+        if op == "results":
+            rows = await self._coordinator_call(self.coordinator.results, message["query_id"])
+            return {"ok": True, "rows": encode_rows(rows)}
+        if op == "stats":
+            stats = await self._coordinator_call(self.coordinator.stats)
+            return {
+                "ok": True,
+                "totals": stats.totals,
+                "peak_rss_kb_sum": stats.peak_rss_kb_sum,
+                "peak_rss_kb_max": stats.peak_rss_kb_max,
+            }
+        raise ClusterError(f"unknown server op {op!r}")
+
+
+async def request(host: str, port: int, message: dict[str, Any]) -> dict[str, Any]:
+    """One-shot client: send a frame, await the reply frame."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(frame_message(message))
+        await writer.drain()
+        header = await reader.readexactly(_HEADER_BYTES)
+        body = await reader.readexactly(int.from_bytes(header, "big"))
+        return decode_message(body)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass

@@ -1,0 +1,276 @@
+"""A shard worker: one full Qurk engine behind a message-dispatch loop.
+
+Each shard of the cluster runs a complete :class:`~repro.engine.QurkEngine`
+(its own storage, marketplace, scheduler, budget ledger) built from an
+:class:`EngineSpec` — a ``"module:callable"`` factory path plus kwargs,
+resolved *inside* the worker process so no live engine ever crosses the
+process boundary.  The factory may return either a ``QurkEngine`` or an
+:class:`~repro.experiments.harness.ExperimentRun` (anything with an
+``.engine`` attribute).
+
+:class:`ShardWorker` is deliberately usable in-process: ``handle(message)``
+is a pure dict→dict dispatch, which is what ``python -m repro.profile``
+uses to profile a single named shard, and what the determinism tests use to
+compare a 1-shard cluster against an in-process engine without forking.
+:func:`worker_main` wraps it in the recv → handle → send loop that runs in
+each child process.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import resource
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.messages import PipeTransport, reply_error, reply_ok
+from repro.cluster.serialization import decode_query, encode_rows
+from repro.crowd.wallclock import WallClock
+from repro.dashboard import QueryDashboard
+from repro.errors import ClusterError, QurkError
+from repro.testing.chaos import fingerprint_engine
+
+__all__ = ["EngineSpec", "ShardWorker", "worker_main"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A picklable-by-value recipe for building one shard's engine.
+
+    ``factory`` names a callable as ``"package.module:callable"``; it is
+    imported and called with ``kwargs`` inside the worker.  Keeping the
+    recipe (not the engine) on the wire is what lets every shard build an
+    identical, independent marketplace from the same seed.
+    """
+
+    factory: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict[str, Any]:
+        return {"factory": self.factory, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "EngineSpec":
+        return cls(factory=payload["factory"], kwargs=dict(payload.get("kwargs", {})))
+
+    def build(self):
+        """Import the factory and build the engine (or ExperimentRun)."""
+        module_name, _, attr = self.factory.partition(":")
+        if not module_name or not attr:
+            raise ClusterError(
+                f"engine factory must be 'module:callable', got {self.factory!r}"
+            )
+        try:
+            module = importlib.import_module(module_name)
+            factory = getattr(module, attr)
+        except (ImportError, AttributeError) as error:
+            raise ClusterError(f"cannot resolve engine factory {self.factory!r}: {error}")
+        built = factory(**self.kwargs)
+        engine = getattr(built, "engine", built)
+        if not hasattr(engine, "scheduler") or not hasattr(engine, "query"):
+            raise ClusterError(
+                f"engine factory {self.factory!r} returned {type(built).__name__}, "
+                "which is neither a QurkEngine nor an object with an .engine"
+            )
+        return engine
+
+
+class ShardWorker:
+    """One shard: a full engine plus the op dispatch the coordinator speaks.
+
+    Coordinator-assigned query ids (``cq1``, ``cq2``, ...) are mapped to the
+    shard's own handles in submission order; every op addresses queries by
+    the coordinator id, so the coordinator never needs to know shard-local
+    ids.
+    """
+
+    def __init__(self, spec: EngineSpec, shard_id: int = 0):
+        self.spec = spec
+        self.shard_id = shard_id
+        self.engine = spec.build()
+        self._handles: dict[str, Any] = {}
+        self._order: list[str] = []
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Serve one protocol message; never raises for query-level faults."""
+        op = message.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return reply_error(f"unknown cluster op {op!r}")
+        try:
+            return handler(message)
+        except QurkError as error:
+            return reply_error(f"{type(error).__name__}: {error}")
+
+    def _handle_of(self, query_id: str):
+        try:
+            return self._handles[query_id]
+        except KeyError:
+            raise ClusterError(f"shard {self.shard_id} does not own query {query_id!r}")
+
+    # -- ops ---------------------------------------------------------------
+
+    def _op_ping(self, message: dict[str, Any]) -> dict[str, Any]:
+        return reply_ok(shard=self.shard_id, pid=os.getpid())
+
+    def _submit_one(self, payload: dict[str, Any]) -> str:
+        submission = decode_query(payload)
+        query_id = submission["query_id"]
+        if query_id in self._handles:
+            raise ClusterError(f"query {query_id!r} already submitted to shard {self.shard_id}")
+        handle = self.engine.query(
+            submission["sql"],
+            budget=submission["budget"],
+            priority=submission["priority"],
+            config=submission["config"],
+        )
+        self._handles[query_id] = handle
+        self._order.append(query_id)
+        return query_id
+
+    def _op_submit(self, message: dict[str, Any]) -> dict[str, Any]:
+        return reply_ok(query_id=self._submit_one(message["query"]))
+
+    def _op_submit_many(self, message: dict[str, Any]) -> dict[str, Any]:
+        accepted = [self._submit_one(payload) for payload in message["queries"]]
+        return reply_ok(query_ids=accepted)
+
+    def _op_status(self, message: dict[str, Any]) -> dict[str, Any]:
+        handle = self._handle_of(message["query_id"])
+        return reply_ok(
+            status=handle.status.value,
+            results_emitted=len(handle),
+            error=str(handle.error) if handle.error is not None else None,
+        )
+
+    def _op_poll(self, message: dict[str, Any]) -> dict[str, Any]:
+        handle = self._handle_of(message["query_id"])
+        return reply_ok(rows=encode_rows(handle.poll()))
+
+    def _op_results(self, message: dict[str, Any]) -> dict[str, Any]:
+        handle = self._handle_of(message["query_id"])
+        return reply_ok(status=handle.status.value, rows=encode_rows(handle.results()))
+
+    def _op_describe_plan(self, message: dict[str, Any]) -> dict[str, Any]:
+        handle = self._handle_of(message["query_id"])
+        return reply_ok(plan=handle.describe_plan())
+
+    def _op_pump(self, message: dict[str, Any]) -> dict[str, Any]:
+        max_passes = int(message.get("max_passes", 1))
+        if max_passes <= 0:  # a pure has_work probe; must not mutate anything
+            return reply_ok(progressed=False, has_work=self.engine.scheduler.has_work())
+        progressed = self.engine.scheduler.pump(max_passes=max_passes)
+        if not progressed and not self.engine.scheduler.has_work():
+            # Between queries nothing schedules, but the marketplace may
+            # still owe events (expiries of unclaimed HITs).  Draining them
+            # on a wall clock would block real time, so only the simulated
+            # substrate fast-forwards here.
+            if not isinstance(self.engine.clock, WallClock):
+                self.engine.clock.run_until_idle()
+        return reply_ok(progressed=progressed, has_work=self.engine.scheduler.has_work())
+
+    def _op_drain(self, message: dict[str, Any]) -> dict[str, Any]:
+        finished = self.engine.scheduler.drain()
+        self.engine.clock.run_until_idle()
+        statuses = {qid: self._handles[qid].status.value for qid in self._order}
+        return reply_ok(finished=finished, statuses=statuses)
+
+    def _op_stats(self, message: dict[str, Any]) -> dict[str, Any]:
+        manager = self.engine.task_manager.stats
+        platform = self.engine.platform.stats
+        scheduler = self.engine.scheduler.metrics
+        queries = {}
+        for qid in self._order:
+            stats = self._handles[qid].stats
+            queries[qid] = {
+                "status": self._handles[qid].status.value,
+                "budget": stats.budget,
+                "spent": stats.spent,
+                "hits_posted": stats.hits_posted,
+                "tasks_submitted": stats.tasks_submitted,
+                "tasks_completed": stats.tasks_completed,
+                "cache_hits": stats.cache_hits,
+                "model_answers": stats.model_answers,
+                "results_emitted": stats.results_emitted,
+                "dollars_saved_cache": stats.dollars_saved_cache,
+                "dollars_saved_model": stats.dollars_saved_model,
+            }
+        return reply_ok(
+            shard=self.shard_id,
+            queries=queries,
+            totals={
+                "queries": len(self._order),
+                "total_cost": self.engine.total_crowd_cost,
+                "hits_created": platform.hits_created,
+                "hits_expired": platform.hits_expired,
+                "assignments_submitted": platform.assignments_submitted,
+                "tasks_submitted": manager.tasks_submitted,
+                "tasks_completed": manager.tasks_completed,
+                "cache_answers": manager.cache_answers,
+                "model_answers": manager.model_answers,
+                "hits_posted": manager.hits_posted,
+                "cross_query_hits": manager.cross_query_hits,
+                "scheduler_passes": scheduler.passes,
+                "clock_advances": scheduler.clock_advances,
+                "simulated_time": self.engine.clock.now,
+            },
+            peak_rss_kb=_peak_rss_kb(),
+        )
+
+    def _op_dashboard(self, message: dict[str, Any]) -> dict[str, Any]:
+        dashboard = QueryDashboard(self.engine)
+        return reply_ok(shard=self.shard_id, text=dashboard.render_all())
+
+    def _op_fingerprint(self, message: dict[str, Any]) -> dict[str, Any]:
+        statuses = [self._handles[qid].status.value for qid in self._order]
+        rows = [
+            [row.to_dict() for row in self._handles[qid].results()] for qid in self._order
+        ]
+        return reply_ok(
+            shard=self.shard_id,
+            fingerprint=fingerprint_engine(self.engine, statuses, rows),
+        )
+
+    def _op_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
+        return reply_ok(bye=True)
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    return peak // 1024 if os.uname().sysname == "Darwin" else peak
+
+
+def worker_main(connection, spec_payload: dict[str, Any], shard_id: int) -> None:
+    """Child-process entry point: build the engine, then serve the pipe.
+
+    A failed engine build is reported as an error reply to the first request
+    rather than a silent child death, so the coordinator's ping surfaces a
+    readable message.
+    """
+    transport = PipeTransport(connection)
+    worker: ShardWorker | None = None
+    build_error: str | None = None
+    try:
+        worker = ShardWorker(EngineSpec.from_payload(spec_payload), shard_id)
+    except Exception as error:  # noqa: BLE001 - reported via the transport
+        build_error = f"shard {shard_id} failed to build its engine: {error}"
+    try:
+        while True:
+            try:
+                message = transport.recv()
+            except ClusterError:
+                break  # coordinator went away; exit quietly
+            if worker is None:
+                transport.send(reply_error(build_error or "worker has no engine"))
+                continue
+            reply = worker.handle(message)
+            transport.send(reply)
+            if message.get("op") == "shutdown":
+                break
+    finally:
+        transport.close()

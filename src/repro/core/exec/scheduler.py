@@ -451,6 +451,52 @@ class EngineScheduler:
 
     # -- driving to a target --------------------------------------------------------------
 
+    def has_work(self) -> bool:
+        """Whether any admitted or queued query is not yet terminal."""
+        return bool(self._active) or bool(self._waiting)
+
+    def pump(self, *, max_passes: int = 1) -> bool:
+        """Run up to ``max_passes`` scheduling passes without blocking policy.
+
+        The live-traffic entry point: a cluster worker serving a request/
+        response front end calls this between messages, so queries progress
+        incrementally instead of monopolising the worker until completion.
+        Global stalls are absorbed — :meth:`step` has already marked every
+        stuck query ``STALLED`` and retired it before raising, and a server
+        surfaces stalls per-query through handle status, not an exception.
+        Returns True when any pass made progress.
+        """
+        progressed = False
+        for _ in range(max(max_passes, 1)):
+            if not self.has_work():
+                break
+            try:
+                if not self.step():
+                    break
+            except QueryStalledError:
+                progressed = True
+                break
+            progressed = True
+        return progressed
+
+    def drain(self) -> int:
+        """Drive every admitted and queued query to a terminal state.
+
+        Exactly the pass sequence of calling :meth:`wait` on each handle in
+        turn — :meth:`step` is global, so the stepping order is independent
+        of which handle is watched — but stalls are recorded on the handles
+        instead of raised, letting the remaining queries finish.  Returns
+        the number of queries that reached a terminal state.
+        """
+        finished_before = self.metrics.queries_finished
+        while self.has_work():
+            try:
+                if not self.step():
+                    break
+            except QueryStalledError:
+                continue  # stalled queries were retired; keep driving the rest
+        return self.metrics.queries_finished - finished_before
+
     def run_until(self, simulated_time: float, *, watch: QueryHandle | None = None) -> None:
         """Step until the clock reaches ``simulated_time`` (or work runs out).
 

@@ -7,7 +7,8 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable
 from repro.core.operators.base import Operator
 from repro.core.tasks.spec import TaskSpec
 from repro.core.tasks.task import Task, TaskKind, TaskResult
-from repro.storage.expressions import Expression, compile_expression
+from repro.storage.batch import RowBatch
+from repro.storage.expressions import Expression, compile_batch_expression, compile_expression
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 
@@ -54,6 +55,7 @@ class CrowdFilterOperator(Operator):
         self.negate = negate
         self._schema = input_schema
         self._arg_fns: list[Callable[[Row], Any]] | None = None
+        self._batch_arg_fns: list[Callable[[RowBatch], Any]] | None = None
 
     @property
     def output_schema(self) -> Schema:
@@ -66,9 +68,36 @@ class CrowdFilterOperator(Operator):
             compile_expression(expression, input_schema)
             for expression in self.arg_expressions
         ]
+        self._batch_arg_fns = [
+            compile_batch_expression(expression, input_schema)
+            for expression in self.arg_expressions
+        ]
+
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        """Drain one columnar slice: argument kernels run batch-at-a-time.
+
+        Each argument expression is evaluated once over the whole batch (a
+        column kernel), so the per-row Python overhead left on this path is
+        only what the task boundary genuinely requires.  Submission stays
+        per-row in batch order — one crowd task per row, identical args,
+        cache keys and ordering to the per-row loop — so HIT batching and
+        the determinism fingerprints are unchanged.
+        """
+        batch_fns = self._batch_arg_fns
+        if batch_fns is None:
+            self._process_batch(batch.to_rows(), slot)
+            return
+        arg_columns = [fn(batch) for fn in batch_fns]
+        rows = batch.to_rows()
+        if not arg_columns:
+            for row in rows:
+                self._submit(row, ())
+            return
+        for row, args in zip(rows, zip(*arg_columns)):
+            self._submit(row, tuple(args))
 
     def _process_batch(self, rows: list[Row], slot: int) -> None:
-        """Drain a whole input slice, evaluating compiled args per row.
+        """Drain a row-major slice, evaluating compiled args per row.
 
         Task submission stays per-row (each row becomes one crowd task, and
         redundancy is re-resolved per task so adaptive assignment keeps

@@ -26,6 +26,7 @@ from repro.core.operators.base import Operator
 from repro.core.tasks.batching import FixedBatching
 from repro.core.tasks.spec import JoinColumnsResponse, TaskSpec
 from repro.core.tasks.task import Task, TaskKind, TaskResult
+from repro.storage.batch import RowBatch
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 
@@ -99,6 +100,10 @@ class CrowdJoinOperator(Operator):
         self._schema = left_schema.concat(right_schema)
         self._left_rows: list[Row] = []
         self._right_rows: list[Row] = []
+        # COLUMNS mode keeps drained input columnar until end-of-input; rows
+        # materialize once, when the cross-product blocks are built.
+        self._left_batches: list[RowBatch] = []
+        self._right_batches: list[RowBatch] = []
         self.pairs_considered = 0
         self.pairs_prefiltered = 0
         self.pairs_asked = 0
@@ -107,6 +112,7 @@ class CrowdJoinOperator(Operator):
         self.planned_right_rows: float | None = None
 
     def consumed_input(self) -> list[tuple[Row, int]]:
+        self._materialize_sides()
         rows = [(row, 0) for row in self._left_rows]
         rows += [(row, 1) for row in self._right_rows]
         return rows
@@ -124,14 +130,36 @@ class CrowdJoinOperator(Operator):
 
     # -- streaming input ------------------------------------------------------------
 
-    def _process_batch(self, rows: list[Row], slot: int) -> None:
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
         if self.strategy is JoinStrategy.COLUMNS:
-            # Build sides only buffer until end-of-input: extend wholesale.
-            (self._left_rows if slot == 0 else self._right_rows).extend(rows)
+            # Build sides buffer until end-of-input: keep the columnar slice
+            # as-is instead of materializing rows per drained batch.
+            (self._left_batches if slot == 0 else self._right_batches).append(batch)
             return
         # Pairwise streams tasks as rows arrive; keep per-row pair order.
+        self._process_batch(batch.to_rows(), slot)
+
+    def _process_batch(self, rows: list[Row], slot: int) -> None:
+        if self.strategy is JoinStrategy.COLUMNS:
+            # Row-major input (replanner replay) joins the same buffers.
+            if rows:
+                (self._left_batches if slot == 0 else self._right_batches).append(
+                    RowBatch.from_rows(rows[0].schema, rows)
+                )
+            return
         for row in rows:
             self._process(row, slot)
+
+    def _materialize_sides(self) -> None:
+        """Flush buffered columnar slices into the row-major build sides."""
+        if self._left_batches:
+            schema = self._left_batches[0].schema
+            self._left_rows.extend(RowBatch.vstack(schema, self._left_batches).to_rows())
+            self._left_batches.clear()
+        if self._right_batches:
+            schema = self._right_batches[0].schema
+            self._right_rows.extend(RowBatch.vstack(schema, self._right_batches).to_rows())
+            self._right_batches.clear()
 
     def _process(self, row: Row, slot: int) -> None:
         if slot == 0:
@@ -147,6 +175,7 @@ class CrowdJoinOperator(Operator):
 
     def _on_inputs_finished(self) -> None:
         if self.strategy is JoinStrategy.COLUMNS:
+            self._materialize_sides()
             self._build_blocks()
 
     # -- pairwise strategy ----------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.core.operators.base import Operator
 from repro.core.tasks.batching import FixedBatching
 from repro.core.tasks.spec import TaskSpec
 from repro.core.tasks.task import Task, TaskKind, TaskResult
+from repro.storage.batch import RowBatch
 from repro.storage.row import Row
 from repro.storage.schema import Schema
 
@@ -79,12 +80,15 @@ class CrowdSortOperator(Operator):
         self.payload = payload or _default_payload
         self._schema = input_schema
         self._rows: list[Row] = []
+        # Drained input stays columnar until the ranking tasks are built.
+        self._batches: list[RowBatch] = []
         self._scores: dict[int, float] = {}
         self._emitted = False
         self.comparisons_asked = 0
         self.ratings_asked = 0
 
     def consumed_input(self) -> list[tuple[Row, int]]:
+        self._materialize_rows()
         return [(row, 0) for row in self._rows]
 
     @property
@@ -103,10 +107,23 @@ class CrowdSortOperator(Operator):
 
     # -- input buffering --------------------------------------------------------------
 
+    def _process_batches(self, batch: RowBatch, slot: int) -> None:
+        # Buffer the columnar slice as-is; rows materialize once, when the
+        # ranking tasks are submitted at end-of-input.
+        self._batches.append(batch)
+
     def _process(self, row: Row, slot: int) -> None:
         self._rows.append(row)
 
+    def _materialize_rows(self) -> None:
+        """Flush buffered columnar slices into the row-major sort buffer."""
+        if self._batches:
+            schema = self._batches[0].schema
+            self._rows.extend(RowBatch.vstack(schema, self._batches).to_rows())
+            self._batches.clear()
+
     def _on_inputs_finished(self) -> None:
+        self._materialize_rows()
         if not self._rows:
             self._emitted = True
             return

@@ -41,6 +41,14 @@ class LocalHashJoinOperator(Operator):
         rows pair up when the two keys compare equal.  Keys must be hashable.
     left_schema, right_schema:
         Schemas of the two children.
+    build_side:
+        Which input is hashed: ``"left"`` (the default, preserving the
+        classic build-left convention) or ``"right"``.  The planner picks
+        the side with the cheaper build — fewer estimated rows, or one
+        whose base table already carries a hash index on the join key.
+        Output schema is always ``left ++ right``; only the emission order
+        (probe-major) depends on the build side, and no ordering is
+        guaranteed either way.
     """
 
     def __init__(
@@ -49,10 +57,16 @@ class LocalHashJoinOperator(Operator):
         right_key: Expression,
         left_schema: Schema,
         right_schema: Schema,
+        *,
+        build_side: str = "left",
     ):
-        super().__init__("join(local-hash)")
+        if build_side not in ("left", "right"):
+            raise ValueError(f"build_side must be 'left' or 'right', got {build_side!r}")
+        suffix = "" if build_side == "left" else ",build=right"
+        super().__init__(f"join(local-hash{suffix})")
         self.left_key = left_key
         self.right_key = right_key
+        self.build_side = build_side
         self._schema = left_schema.concat(right_schema)
         self._left_batches: list[RowBatch] = []
         self._right_batches: list[RowBatch] = []
@@ -76,7 +90,9 @@ class LocalHashJoinOperator(Operator):
     def _process(self, row: Row, slot: int) -> None:
         self._process_batches(RowBatch.single(row), slot)
 
-    def _index_backed_build(self, left: RowBatch) -> dict[Any, list[int]] | None:
+    def _index_backed_build(
+        self, build: RowBatch, build_key: Expression, build_child: int
+    ) -> dict[Any, list[int]] | None:
         """The build table's existing hash-index buckets, when reusable.
 
         Reusable means: the build child is a base-table scan (positions in
@@ -88,25 +104,30 @@ class LocalHashJoinOperator(Operator):
         """
         from repro.core.operators.scan import ScanOperator
 
-        if not self.children or type(self.children[0]) is not ScanOperator:
+        if (
+            len(self.children) <= build_child
+            or type(self.children[build_child]) is not ScanOperator
+        ):
             return None
-        if not isinstance(self.left_key, ColumnRef):
+        if not isinstance(build_key, ColumnRef):
             return None
-        scan = self.children[0]
-        index = scan.table.index_on(self.left_key.name.rsplit(".", 1)[-1])
+        scan = self.children[build_child]
+        index = scan.table.index_on(build_key.name.rsplit(".", 1)[-1])
         if not isinstance(index, HashIndex):
             return None
-        if len(left) != len(scan.table):
+        if len(build) != len(scan.table):
             return None
         return index.buckets
 
     def _accel_join(
         self,
-        left: RowBatch,
-        right: RowBatch,
-        right_schema: Schema,
-    ) -> tuple[bool, RowBatch | None]:
-        """Dictionary-code build+probe: ``(handled, output batch or None)``.
+        build: RowBatch,
+        probe: RowBatch,
+        build_key: Expression,
+        probe_key: Expression,
+        probe_schema: Schema,
+    ) -> tuple[bool, tuple[Any, Any] | None]:
+        """Dictionary-code build+probe: ``(handled, (build_take, probe_take))``.
 
         Eligible when the build key is a bare column reference whose batch
         column carries dictionary codes (string columns scanned out of a
@@ -118,14 +139,14 @@ class LocalHashJoinOperator(Operator):
         dict keyed by value; NULL build keys carry a code but no probe key
         can reach it (probe NULLs are skipped before the code lookup).
         """
-        if not (accel.HAVE_NUMPY and len(left) >= _ACCEL_MIN_ROWS):
+        if not (accel.HAVE_NUMPY and len(build) >= _ACCEL_MIN_ROWS):
             return False, None
-        if not isinstance(self.left_key, ColumnRef):
+        if not isinstance(build_key, ColumnRef):
             return False, None
-        key_index = left.schema.try_index_of(self.left_key.name)
+        key_index = build.schema.try_index_of(build_key.name)
         if key_index is None:
             return False, None
-        codes = left._codes(key_index)
+        codes = build._codes(key_index)
         if codes is None:
             return False, None
         codes_array, encoding = codes
@@ -134,12 +155,12 @@ class LocalHashJoinOperator(Operator):
         counts = np.bincount(codes_array, minlength=len(encoding))
         starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
 
-        right_keys = compile_batch_expression(self.right_key, right_schema)(right)
+        probe_keys = compile_batch_expression(probe_key, probe_schema)(probe)
         code_of = encoding.code_of
         slices = []
         positions: list[int] = []
         match_counts: list[int] = []
-        for position, key in enumerate(right_keys):
+        for position, key in enumerate(probe_keys):
             if key is None:
                 continue
             code = code_of(key)
@@ -154,12 +175,12 @@ class LocalHashJoinOperator(Operator):
             match_counts.append(n)
         if not slices:
             return True, None
-        left_take = np.concatenate(slices)
-        right_take = np.repeat(
+        build_take = np.concatenate(slices)
+        probe_take = np.repeat(
             np.asarray(positions, dtype=np.intp),
             np.asarray(match_counts),
         )
-        return True, left._take_array(left_take).concat(right._take_array(right_take))
+        return True, (build_take, probe_take)
 
     def _on_inputs_finished(self) -> None:
         left_schema = (
@@ -173,33 +194,51 @@ class LocalHashJoinOperator(Operator):
         self._left_batches.clear()
         self._right_batches.clear()
 
-        handled, accel_out = self._accel_join(left, right, right_schema)
+        if self.build_side == "left":
+            build, probe = left, right
+            build_key, probe_key = self.left_key, self.right_key
+            probe_schema, build_child = right_schema, 0
+        else:
+            build, probe = right, left
+            build_key, probe_key = self.right_key, self.left_key
+            probe_schema, build_child = left_schema, 1
+
+        handled, takes = self._accel_join(build, probe, build_key, probe_key, probe_schema)
         if handled:
-            if accel_out is not None:
-                self.emit_rowbatch(accel_out)
+            if takes is not None:
+                build_take, probe_take = takes
+                if self.build_side == "left":
+                    out = left._take_array(build_take).concat(right._take_array(probe_take))
+                else:
+                    out = left._take_array(probe_take).concat(right._take_array(build_take))
+                self.emit_rowbatch(out)
             return
 
-        build = self._index_backed_build(left)
-        if build is None:
-            left_keys = compile_batch_expression(self.left_key, left_schema)(left)
-            build = {}
-            setdefault = build.setdefault
-            for position, key in enumerate(left_keys):
+        buckets = self._index_backed_build(build, build_key, build_child)
+        if buckets is None:
+            build_schema = left_schema if self.build_side == "left" else right_schema
+            build_keys = compile_batch_expression(build_key, build_schema)(build)
+            buckets = {}
+            setdefault = buckets.setdefault
+            for position, key in enumerate(build_keys):
                 if key is not None:
                     setdefault(key, []).append(position)
 
-        right_keys = compile_batch_expression(self.right_key, right_schema)(right)
-        left_take: list[int] = []
-        right_take: list[int] = []
-        get = build.get
-        for position, key in enumerate(right_keys):
+        probe_keys = compile_batch_expression(probe_key, probe_schema)(probe)
+        build_take: list[int] = []
+        probe_take: list[int] = []
+        get = buckets.get
+        for position, key in enumerate(probe_keys):
             if key is None:
                 continue
             matches = get(key)
             if matches:
-                left_take.extend(matches)
-                right_take.extend([position] * len(matches))
-        if not left_take:
+                build_take.extend(matches)
+                probe_take.extend([position] * len(matches))
+        if not build_take:
             return
-        out = left.take(left_take).concat(right.take(right_take))
+        if self.build_side == "left":
+            out = left.take(build_take).concat(right.take(probe_take))
+        else:
+            out = left.take(probe_take).concat(right.take(build_take))
         self.emit_rowbatch(out)

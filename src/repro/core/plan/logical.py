@@ -38,6 +38,7 @@ from repro.core.operators.crowd_filter import CrowdFilterOperator
 from repro.core.operators.crowd_generate import CrowdGenerateOperator
 from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
 from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
+from repro.core.operators.join_local import LocalHashJoinOperator
 from repro.core.operators.project import LocalFilterOperator, ProjectOperator
 from repro.core.operators.scan import IndexScanOperator, ScanOperator
 from repro.core.operators.sort_local import LocalSortOperator
@@ -56,6 +57,7 @@ __all__ = [
     "LogicalIndexScan",
     "LogicalFilter",
     "LogicalJoin",
+    "LogicalLocalJoin",
     "LogicalGenerate",
     "LogicalSort",
     "LogicalProject",
@@ -388,6 +390,112 @@ class LogicalJoin(LogicalNode):
         return max(n_left * n_right * selectivity, 0.0)
 
 
+#: Machine-work constants for the local hash join: hashing a build row costs
+#: more than streaming a probe row past the table, and reusing a base table's
+#: existing hash index skips the build entirely (only the probe remains).
+HASH_BUILD_WORK_PER_ROW = 2.0
+HASH_PROBE_WORK_PER_ROW = 1.0
+
+
+class LogicalLocalJoin(LogicalNode):
+    """A machine-evaluated equi-join of two inputs (no crowd money involved).
+
+    Lowered from ``FROM a, b WHERE a.id = b.id`` when no crowd join predicate
+    connects the tables.  ``build_side`` is the physical decision: which
+    child is hashed (``None`` = undecided; costing then assumes the cheaper
+    side, mirroring what enumeration will pick).  ``left_table`` /
+    ``right_table`` carry the base tables when the keys are bare columns, so
+    output cardinality comes from catalog ``distinct_count`` statistics and
+    the cost model can see whether an existing hash index makes one build
+    side free.
+    """
+
+    def __init__(
+        self,
+        *,
+        left_key: Expression,
+        right_key: Expression,
+        left_binding: str = "",
+        right_binding: str = "",
+        left_table: Table | None = None,
+        right_table: Table | None = None,
+        left_column: str | None = None,
+        right_column: str | None = None,
+        build_side: str | None = None,
+    ):
+        super().__init__()
+        self.left_key = left_key
+        self.right_key = right_key
+        self.left_binding = left_binding
+        self.right_binding = right_binding
+        self.left_table = left_table
+        self.right_table = right_table
+        self.left_column = left_column
+        self.right_column = right_column
+        self.build_side = build_side
+
+    def _clone_shallow(self) -> "LogicalLocalJoin":
+        return LogicalLocalJoin(
+            left_key=self.left_key,
+            right_key=self.right_key,
+            left_binding=self.left_binding,
+            right_binding=self.right_binding,
+            left_table=self.left_table,
+            right_table=self.right_table,
+            left_column=self.left_column,
+            right_column=self.right_column,
+            build_side=self.build_side,
+        )
+
+    def label(self) -> str:
+        decided = f",build={self.build_side}" if self.build_side is not None else ""
+        return f"local-join({self.left_key} = {self.right_key}{decided})"
+
+    def _distinct(self, side: str) -> float | None:
+        table = self.left_table if side == "left" else self.right_table
+        column = self.left_column if side == "left" else self.right_column
+        if table is None or column is None:
+            return None
+        distinct = table.distinct_count(column)
+        return float(distinct) if distinct else None
+
+    def index_backed(self, side: str) -> bool:
+        """Whether ``side`` has a reusable hash index on its join key."""
+        from repro.storage.indexes import HashIndex
+
+        table = self.left_table if side == "left" else self.right_table
+        column = self.left_column if side == "left" else self.right_column
+        if table is None or column is None:
+            return False
+        return isinstance(table.index_on(column), HashIndex)
+
+    def estimate_output_rows(self, child_rows: list[float], costing) -> float:
+        n_left = child_rows[0] if child_rows else 0.0
+        n_right = child_rows[1] if len(child_rows) > 1 else 0.0
+        # Classic equi-join estimate: |L|·|R| / max(d(L.key), d(R.key)).
+        distincts = [d for d in (self._distinct("left"), self._distinct("right")) if d]
+        if distincts:
+            return n_left * n_right / max(distincts)
+        return min(n_left, n_right)
+
+    def _side_work(self, side: str, build_rows: float, probe_rows: float) -> float:
+        build = 0.0 if self.index_backed(side) else HASH_BUILD_WORK_PER_ROW * build_rows
+        return build + HASH_PROBE_WORK_PER_ROW * probe_rows
+
+    def estimate_cost(self, child_rows: list[float], costing) -> CostEstimate:
+        n_left = child_rows[0] if child_rows else 0.0
+        n_right = child_rows[1] if len(child_rows) > 1 else 0.0
+        works = {
+            "left": self._side_work("left", n_left, n_right),
+            "right": self._side_work("right", n_right, n_left),
+        }
+        if self.build_side is not None:
+            return CostEstimate(local_work=works[self.build_side])
+        # Undecided: assume enumeration picks the cheaper side (ties → left,
+        # matching the enumerator's axis order).
+        return CostEstimate(local_work=min(works["left"], works["right"]))
+
+
 class LogicalGenerate(LogicalNode):
     """Schema extension: run a Question task once per input tuple."""
 
@@ -573,6 +681,10 @@ class LogicalPlan:
     table_pipelines: dict[str, LogicalNode] = field(default_factory=dict)
     crowd_filters: dict[str, list[LogicalFilter]] = field(default_factory=dict)
     join_predicates: list[LogicalJoin] = field(default_factory=list)
+    #: Machine equi-joins connecting the FROM tables when no crowd join
+    #: predicate does (``FROM a, b WHERE a.id = b.id``); the physical planner
+    #: enumerates each join's build side.
+    local_joins: list[LogicalLocalJoin] = field(default_factory=list)
     post_join_filters: list[LogicalFilter] = field(default_factory=list)
     upper: list[LogicalNode] = field(default_factory=list)
     select_items: tuple = ()
@@ -668,6 +780,12 @@ def from_physical(operator: Operator) -> LogicalNode:
             strategy=operator.strategy,
             ascending=not operator.descending,
             items_per_hit=operator.items_per_hit,
+        )
+    elif isinstance(operator, LocalHashJoinOperator):
+        node = LogicalLocalJoin(
+            left_key=operator.left_key,
+            right_key=operator.right_key,
+            build_side=operator.build_side,
         )
     elif isinstance(operator, LocalFilterOperator):
         node = LogicalFilter(predicate=operator.predicate)

@@ -16,7 +16,11 @@ demo lets the audience explore:
   which several filters on one table run;
 * **access path** — a full table scan versus a secondary-index scan, for
   table pipelines whose local predicate compares an indexed column against
-  a literal (hash indexes serve equality, sorted indexes also ranges).
+  a literal (hash indexes serve equality, sorted indexes also ranges);
+* **local-join build side** — for machine equi-joins (``FROM a, b WHERE
+  a.id = b.id`` with no crowd join predicate), which input the hash join
+  builds on; a base table with a hash index on its join key makes that
+  build free (the operator reuses the index buckets verbatim).
 
 Every candidate is costed through the optimizer's per-node logical costing
 and the cost-minimal candidate (dollars, then HITs, then tasks, then local
@@ -36,6 +40,7 @@ from repro.core.operators.crowd_filter import CrowdFilterOperator
 from repro.core.operators.crowd_generate import CrowdGenerateOperator
 from repro.core.operators.crowd_join import CrowdJoinOperator, JoinStrategy
 from repro.core.operators.crowd_sort import CrowdSortOperator, SortStrategy
+from repro.core.operators.join_local import LocalHashJoinOperator
 from repro.core.operators.project import LocalFilterOperator, ProjectOperator, ProjectionItem
 from repro.core.operators.scan import IndexScanOperator, ScanOperator
 from repro.core.operators.sort_local import LocalSortOperator
@@ -48,6 +53,7 @@ from repro.core.plan.logical import (
     LogicalIndexScan,
     LogicalJoin,
     LogicalLimit,
+    LogicalLocalJoin,
     LogicalNode,
     LogicalPlan,
     LogicalProject,
@@ -121,14 +127,16 @@ class PhysicalPlanner:
         # else keeps its default pipeline and its decision strings untouched.
         access_bindings = [b for b, paths in access_options.items() if len(paths) > 1]
         access_axes = [access_options[b] for b in access_bindings]
+        build_axes = [["left", "right"] for _ in plan.local_joins]
 
         combos = itertools.product(
-            join_orders, *interface_axes, *sort_axes, *placement_axes, *access_axes
+            join_orders, *interface_axes, *sort_axes, *placement_axes, *access_axes, *build_axes
         )
         candidates: list[PhysicalCandidate] = []
         n_joins = len(plan.join_predicates)
         n_sorts = len(sort_axes)
         n_placements = len(placement_axes)
+        n_accesses = len(access_bindings)
         for combo in itertools.islice(combos, self.MAX_CANDIDATES):
             order = combo[0]
             interfaces = combo[1 : 1 + n_joins]
@@ -137,9 +145,21 @@ class PhysicalPlanner:
                 zip(filter_bindings, combo[1 + n_joins + n_sorts : 1 + n_joins + n_sorts + n_placements])
             )
             accesses = dict(
-                zip(access_bindings, combo[1 + n_joins + n_sorts + n_placements :])
+                zip(
+                    access_bindings,
+                    combo[
+                        1 + n_joins + n_sorts + n_placements : 1
+                        + n_joins
+                        + n_sorts
+                        + n_placements
+                        + n_accesses
+                    ],
+                )
             )
-            root, decisions = self._compose(plan, order, interfaces, sorts, placements, accesses)
+            builds = list(combo[1 + n_joins + n_sorts + n_placements + n_accesses :])
+            root, decisions = self._compose(
+                plan, order, interfaces, sorts, placements, accesses, builds
+            )
             cost = self.optimizer.estimate_logical_cost(root)
             candidates.append(PhysicalCandidate(root=root, cost=cost, decisions=decisions))
         return candidates
@@ -160,6 +180,7 @@ class PhysicalPlanner:
                 for binding, filters in plan.crowd_filters.items()
             },
             {},
+            [None] * len(plan.local_joins),
         )
         return root
 
@@ -170,9 +191,18 @@ class PhysicalPlanner:
         bindings = set(plan.table_pipelines)
         predicates = plan.join_predicates
         if len(bindings) > 1 and not predicates:
+            locally_joined: set[str] = set()
+            for local in plan.local_joins:
+                locally_joined.update((local.left_binding, local.right_binding))
+            if locally_joined == bindings:
+                # Machine equi-joins connect every table; the crowd join
+                # order axis is empty, build sides are a separate axis.
+                return [()]
+            missing = ", ".join(sorted(bindings - locally_joined)) or "<none>"
             raise PlanError(
-                "joining several tables requires a crowd join predicate in WHERE "
-                "(cartesian products are never what you want to pay for)"
+                "joining several tables requires a crowd join predicate or a "
+                f"machine equi-join in WHERE linking every table (unjoined: {missing}); "
+                "cartesian products are never what you want to pay for"
             )
         if not predicates:
             return [()]
@@ -329,6 +359,7 @@ class PhysicalPlanner:
         sort_strategies,
         filter_choices: dict[str, tuple[str, tuple[LogicalFilter, ...]]],
         access_choices: dict[str, tuple[LogicalNode | None, str | None]],
+        build_choices: list[str | None] | None = None,
     ) -> tuple[LogicalNode, tuple[str, ...]]:
         decisions: list[str] = []
         pipelines: dict[str, LogicalNode] = {}
@@ -379,6 +410,39 @@ class PhysicalPlanner:
                 decisions.append(f"join[{template.spec.name}]: {strategy.value}")
         if len(join_order) > 1:
             decisions.append("join order: " + " -> ".join(order_labels))
+
+        for position, template in enumerate(plan.local_joins):
+            node = template.clone()
+            side = build_choices[position] if build_choices else None
+            node.build_side = side
+            left, right = template.left_binding, template.right_binding
+            if current is None:
+                node.add_child(pipelines[left])
+                node.add_child(pipelines[right])
+                joined |= {left, right}
+            elif left in joined:
+                node.add_child(current)
+                node.add_child(pipelines[right])
+                joined.add(right)
+            elif right in joined:
+                node.add_child(pipelines[left])
+                node.add_child(current)
+                joined.add(left)
+            else:
+                raise PlanError(
+                    "machine equi-join predicates do not form a connected chain "
+                    "over the FROM tables; reorder them so each one links a new "
+                    "table to the already-joined ones"
+                )
+            current = node
+            if side is not None:
+                build_child = node.children[0] if side == "left" else node.children[1]
+                index_backed = isinstance(build_child, LogicalScan) and node.index_backed(side)
+                tag = " (index-backed)" if index_backed else ""
+                decisions.append(
+                    f"local-join[{template.left_key} = {template.right_key}]: "
+                    f"build={side}{tag}"
+                )
 
         if current is None:
             current = next(iter(pipelines.values()))
@@ -467,6 +531,14 @@ class PhysicalPlanner:
                 left_payload=entry.left_payload if entry else None,
                 right_payload=entry.right_payload if entry else None,
                 prefilter=entry.prefilter if entry else None,
+            )
+        if isinstance(node, LogicalLocalJoin):
+            return LocalHashJoinOperator(
+                node.left_key,
+                node.right_key,
+                children[0].output_schema,
+                children[1].output_schema,
+                build_side=node.build_side or "left",
             )
         if isinstance(node, LogicalGenerate):
             return CrowdGenerateOperator(

@@ -39,6 +39,7 @@ from repro.core.plan.logical import (
     LogicalGroupBy,
     LogicalJoin,
     LogicalLimit,
+    LogicalLocalJoin,
     LogicalPlan,
     LogicalProject,
     LogicalScan,
@@ -52,6 +53,7 @@ from repro.storage.database import Database
 from repro.storage.expressions import (
     BooleanOp,
     ColumnRef,
+    Comparison,
     Expression,
     FieldAccess,
     FunctionCall,
@@ -172,8 +174,18 @@ class QueryPlanner:
             LogicalJoin(entry.spec, call=call, entry=entry, left_binding=left, right_binding=right)
             for entry, call, left, right in join_predicates
         ]
+        cross_conjuncts = local_conjuncts.get(None, [])
+        if len(scans) > 1 and not join_predicates:
+            # No crowd join connects the tables: machine equi-joins may.
+            # Two-binding equality conjuncts become LogicalLocalJoin
+            # predicates; anything else stays a post-join filter.  Queries
+            # with crowd joins are untouched — there the cross-table local
+            # conjuncts filter the (already joined) crowd output.
+            plan.local_joins, cross_conjuncts = self._promote_local_joins(
+                cross_conjuncts, scans
+            )
         plan.post_join_filters = [
-            LogicalFilter(predicate=predicate) for predicate in local_conjuncts.get(None, [])
+            LogicalFilter(predicate=predicate) for predicate in cross_conjuncts
         ]
 
         upper, rewritten_items = self._lower_generates(statement.select_items)
@@ -273,6 +285,61 @@ class QueryPlanner:
     def _ordered_bindings(bindings: set[str], scans: dict[str, LogicalScan]) -> tuple[str, str]:
         ordered = [binding for binding in scans if binding in bindings]
         return ordered[0], ordered[1]
+
+    # -- machine equi-joins ------------------------------------------------------------------------
+
+    def _promote_local_joins(
+        self, conjuncts: list[Expression], scans: dict[str, LogicalScan]
+    ) -> tuple[list[LogicalLocalJoin], list[Expression]]:
+        """Split cross-table conjuncts into equi-join predicates and leftovers."""
+        joins: list[LogicalLocalJoin] = []
+        leftovers: list[Expression] = []
+        for conjunct in conjuncts:
+            join = self._as_local_join(conjunct, scans)
+            if join is None:
+                leftovers.append(conjunct)
+            else:
+                joins.append(join)
+        return joins, leftovers
+
+    def _as_local_join(
+        self, conjunct: Expression, scans: dict[str, LogicalScan]
+    ) -> LogicalLocalJoin | None:
+        """``a.x = b.y`` (each side touching exactly one table) or ``None``."""
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            return None
+        left_bindings = self._bindings_of(conjunct.left, scans)
+        right_bindings = self._bindings_of(conjunct.right, scans)
+        if len(left_bindings) != 1 or len(right_bindings) != 1:
+            return None
+        left_binding = next(iter(left_bindings))
+        right_binding = next(iter(right_bindings))
+        if left_binding == right_binding:
+            return None
+        left_key, right_key = conjunct.left, conjunct.right
+        # Normalize to FROM order so plans are stable under `a.x = b.y`
+        # vs `b.y = a.x`.
+        first, _ = self._ordered_bindings({left_binding, right_binding}, scans)
+        if first != left_binding:
+            left_binding, right_binding = right_binding, left_binding
+            left_key, right_key = right_key, left_key
+
+        def base_column(key: Expression) -> str | None:
+            """Bare column name when statistics/indexes can apply."""
+            if not isinstance(key, ColumnRef):
+                return None
+            return key.name.rsplit(".", 1)[-1]
+
+        return LogicalLocalJoin(
+            left_key=left_key,
+            right_key=right_key,
+            left_binding=left_binding,
+            right_binding=right_binding,
+            left_table=scans[left_binding].table,
+            right_table=scans[right_binding].table,
+            left_column=base_column(left_key),
+            right_column=base_column(right_key),
+        )
 
     # -- SELECT-list crowd generates ---------------------------------------------------------------------
 

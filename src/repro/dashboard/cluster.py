@@ -1,0 +1,62 @@
+"""Merged dashboard for a sharded cluster (Figure 2, fleet edition).
+
+The per-engine :class:`~repro.dashboard.dashboard.QueryDashboard` renders one
+marketplace.  A cluster runs N of them, so the coordinator collects every
+shard's rendered panel plus its statistics report and this module stitches
+them into one view: a cluster header with cross-shard totals (queries by
+status, spend, HITs, batching, memory), then each shard's own dashboard
+under a shard banner.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: coordinator imports us
+    from repro.cluster.coordinator import ClusterStats
+
+__all__ = ["render_cluster"]
+
+
+def _count_statuses(queries: dict[str, dict[str, Any]]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for report in queries.values():
+        counts[report["status"]] = counts.get(report["status"], 0) + 1
+    return counts
+
+
+def render_cluster(stats: "ClusterStats", panels: list[dict[str, Any]]) -> str:
+    """One text dashboard for the whole cluster.
+
+    ``stats`` is the coordinator's merged :class:`ClusterStats`; ``panels``
+    are the per-shard ``dashboard`` op replies (``{"shard", "text"}``).
+    """
+    totals = stats.totals
+    statuses = _count_statuses(stats.queries)
+    status_line = (
+        ", ".join(f"{count} {status}" for status, count in sorted(statuses.items()))
+        or "none"
+    )
+    lines = [
+        f"=== Qurk cluster: {len(stats.per_shard)} shard(s), "
+        f"{int(totals.get('queries', 0))} query(ies) ===",
+        f"queries: {status_line}",
+        f"crowd spend: ${totals.get('total_cost', 0.0):.2f}  "
+        f"HITs posted: {int(totals.get('hits_posted', 0))} "
+        f"(cross-query {int(totals.get('cross_query_hits', 0))}, "
+        f"expired {int(totals.get('hits_expired', 0))})",
+        f"tasks: {int(totals.get('tasks_submitted', 0))} submitted, "
+        f"{int(totals.get('tasks_completed', 0))} completed, "
+        f"{int(totals.get('cache_answers', 0))} from cache, "
+        f"{int(totals.get('model_answers', 0))} from task models",
+        f"scheduler: {int(totals.get('scheduler_passes', 0))} passes, "
+        f"{int(totals.get('clock_advances', 0))} clock advances  "
+        f"simulated time: {totals.get('simulated_time', 0.0):.1f}s",
+        f"memory: {stats.peak_rss_kb_sum} KiB across workers "
+        f"(max shard {stats.peak_rss_kb_max} KiB)",
+    ]
+    for panel in sorted(panels, key=lambda p: p["shard"]):
+        lines.append("")
+        lines.append(f"--- shard {panel['shard']} ---")
+        lines.append(panel["text"].rstrip("\n"))
+    return "\n".join(lines)

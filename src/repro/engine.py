@@ -104,6 +104,12 @@ class QurkEngine:
         reputation tracker feeding confidence-weighted voting, and adaptive
         (wave-based, early-stopping) redundancy.  ``None`` (the default)
         keeps the fixed-redundancy unweighted pipeline byte-identical.
+    clock:
+        The clock everything latency-related runs on.  ``None`` (the
+        default) builds a fresh discrete-event
+        :class:`~repro.crowd.clock.SimulationClock`; pass a
+        :class:`~repro.crowd.wallclock.WallClock` to make simulated delays
+        take real time (live-traffic mode behind the cluster front end).
     """
 
     def __init__(
@@ -120,9 +126,10 @@ class QurkEngine:
         max_concurrent_queries: int | None = None,
         fault_profile: FaultProfile | None = None,
         quality: QualityConfig | None = None,
+        clock: SimulationClock | None = None,
     ) -> None:
         self.database = Database()
-        self.clock = SimulationClock()
+        self.clock = clock if clock is not None else SimulationClock()
         self.oracle = CompositeOracle({})
         self.worker_pool = WorkerPool(
             size=worker_pool_size, mix=population_mix or PopulationMix(), seed=seed

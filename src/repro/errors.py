@@ -32,6 +32,7 @@ __all__ = [
     "OptimizerError",
     "WorkloadError",
     "DashboardError",
+    "ClusterError",
 ]
 
 
@@ -170,3 +171,7 @@ class WorkloadError(QurkError):
 
 class DashboardError(QurkError):
     """The query status dashboard was asked about an unknown query."""
+
+
+class ClusterError(QurkError):
+    """The shard-per-process cluster runtime hit a protocol or worker fault."""

@@ -8,6 +8,13 @@ description (or hunted down) with one command::
     python -m repro.profile e15                 # every run_* in bench_e15_*
     python -m repro.profile e13 run_engine_overhead_experiment
     python -m repro.profile e15 --top 40        # deeper dump
+    python -m repro.profile e16 --shard 0 --shards 8   # one cluster worker
+
+``--shard`` profiles a single named shard worker instead of the module's
+``run_*`` sweep: the benchmark module must define ``shard_worker_workload``
+(E16 does), which rebuilds exactly the query slice the cluster placement
+routes to that worker and drives it in-process — so the profile shows one
+worker's engine work without any process or IPC noise on top.
 
 Benchmarks are discovered exactly like ``benchmarks/run_all.py`` discovers
 them: by the ``e<N>`` tag or the full module stem, from the repository's
@@ -100,11 +107,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sort", default="cumulative", help="pstats sort key (default: cumulative)"
     )
+    parser.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        help="profile one cluster shard worker in-process (needs shard_worker_workload)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=8, help="cluster size the shard slice is cut from"
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(BENCH_DIR))
     path = discover_module(args.bench)
     module = importlib.import_module(path.stem)
+    if args.shard is not None:
+        workload = getattr(module, "shard_worker_workload", None)
+        if workload is None:
+            raise SystemExit(
+                f"{module.__name__} defines no shard_worker_workload; "
+                "--shard only applies to cluster benchmarks (e.g. e16)"
+            )
+        if not 0 <= args.shard < args.shards:
+            raise SystemExit(f"--shard must be in [0, {args.shards}), got {args.shard}")
+        profile_runner(
+            f"shard_worker_workload(shard_id={args.shard}, n_shards={args.shards})",
+            lambda: workload(shard_id=args.shard, n_shards=args.shards),
+            top=args.top,
+            sort=args.sort,
+        )
+        return 0
     for name, fn in sorted(runners_of(module, args.runner).items()):
         profile_runner(name, fn, top=args.top, sort=args.sort)
     return 0

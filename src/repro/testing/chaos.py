@@ -19,7 +19,13 @@ from repro.errors import QueryStalledError
 from repro.experiments.harness import ExperimentRun
 from repro.testing.invariants import check_invariants
 
-__all__ = ["ChaosScenario", "ScenarioResult", "run_scenario", "assert_deterministic"]
+__all__ = [
+    "ChaosScenario",
+    "ScenarioResult",
+    "run_scenario",
+    "fingerprint_engine",
+    "assert_deterministic",
+]
 
 
 @dataclass(frozen=True)
@@ -114,16 +120,38 @@ def run_scenario(scenario: ChaosScenario) -> ScenarioResult:
         statuses=statuses,
         rows=rows,
         violations=violations,
-        fingerprint=_fingerprint(engine, statuses, rows),
+        fingerprint=fingerprint_engine(engine, statuses, rows),
     )
 
 
-def _fingerprint(engine, statuses: list[str], rows: list[list[dict[str, Any]]]) -> dict[str, Any]:
-    """The run facts that must be bit-identical across same-seed runs."""
+def _jsonify(value: Any) -> Any:
+    """Lower tuples to lists recursively, matching a JSON round trip."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    return value
+
+
+def fingerprint_engine(
+    engine, statuses: list[str], rows: list[list[dict[str, Any]]]
+) -> dict[str, Any]:
+    """The run facts that must be bit-identical across same-seed runs.
+
+    Shared with the cluster runtime: a shard worker fingerprints its own
+    engine through this exact function, so 1-shard-vs-in-process equality
+    (and N-shard run-to-run stability) is checked against the same facts the
+    chaos harness pins.  The structure is JSON-stable — tuples are lowered
+    to lists — so a fingerprint that crossed a process boundary as JSON
+    compares equal to one computed in-process.
+    """
     stats = engine.platform.stats
     return {
         "statuses": list(statuses),
-        "rows": [[sorted(row.items()) for row in query_rows] for query_rows in rows],
+        "rows": [
+            [[_jsonify(item) for item in sorted(row.items())] for row in query_rows]
+            for query_rows in rows
+        ],
         "hits_created": stats.hits_created,
         "hits_expired": stats.hits_expired,
         "assignments_submitted": stats.assignments_submitted,

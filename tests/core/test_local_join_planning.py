@@ -1,0 +1,150 @@
+"""Machine equi-join planning: build-side choice from catalog statistics.
+
+``FROM a, b WHERE a.id = b.id`` with no crowd join predicate lowers to a
+:class:`LogicalLocalJoin`.  The physical planner enumerates both hash-build
+sides; a base table carrying a hash index on its join key makes that build
+free (the operator reuses the index buckets verbatim), so the index-backed
+side wins on estimated machine work.
+"""
+
+import pytest
+
+from repro.core.lang.sql_parser import parse_select
+from repro.core.operators.join_local import LocalHashJoinOperator
+from repro.core.optimizer.cost_model import CostModel
+from repro.core.optimizer.optimizer import QueryOptimizer
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.plan.planner import QueryPlanner
+from repro.core.plan.registry import TaskRegistry
+from repro.engine import QurkEngine
+from repro.errors import PlanError
+from repro.storage import Database, DataType, Schema, Table
+
+JOIN_SQL = (
+    "SELECT orders.order_id, products.name "
+    "FROM orders, products WHERE orders.product_id = products.pid"
+)
+
+
+def build_tables(*, index: bool = True) -> tuple[Table, Table]:
+    orders = Table(
+        "orders", Schema.of(("order_id", DataType.INTEGER), ("product_id", DataType.INTEGER))
+    )
+    products = Table("products", Schema.of(("pid", DataType.INTEGER), ("name", DataType.STRING)))
+    for i in range(12):
+        products.insert([i, f"prod{i}"])
+    for i in range(40):
+        orders.insert([i, i % 12])
+    if index:
+        products.create_index("pid")
+    return orders, products
+
+
+def build_planner(*tables: Table) -> QueryPlanner:
+    database = Database()
+    for table in tables:
+        database.catalog.register(table)
+    optimizer = QueryOptimizer(StatisticsManager(), CostModel())
+    return QueryPlanner(database, TaskRegistry(), optimizer)
+
+
+class TestLocalJoinPlanning:
+    def test_both_build_sides_enumerated(self):
+        planner = build_planner(*build_tables())
+        planned = planner.plan(parse_select(JOIN_SQL), query_id="q1")
+        labels = {d for c in planned.candidates for d in c.decisions}
+        assert "local-join[orders.product_id = products.pid]: build=left" in labels
+        assert (
+            "local-join[orders.product_id = products.pid]: build=right (index-backed)"
+            in labels
+        )
+
+    def test_indexed_side_wins(self):
+        """The hash index on products.pid makes the right build free."""
+        planner = build_planner(*build_tables())
+        planned = planner.plan(parse_select(JOIN_SQL), query_id="q1")
+        assert planned.chosen.decisions == (
+            "local-join[orders.product_id = products.pid]: build=right (index-backed)",
+        )
+        joins = [
+            op for op in planned.root.walk() if isinstance(op, LocalHashJoinOperator)
+        ]
+        assert len(joins) == 1
+        assert joins[0].build_side == "right"
+
+    def test_no_index_builds_smaller_side(self):
+        """Without an index, the fewer-row side (products, 12 rows) is built."""
+        planner = build_planner(*build_tables(index=False))
+        planned = planner.plan(parse_select(JOIN_SQL), query_id="q1")
+        assert planned.chosen.decisions == (
+            "local-join[orders.product_id = products.pid]: build=right",
+        )
+
+    def test_explain_shows_build_side_candidates(self):
+        planner = build_planner(*build_tables())
+        text = planner.explain(parse_select(JOIN_SQL))
+        assert "local-join(orders.product_id = products.pid)" in text
+        assert "build=right (index-backed)" in text
+        assert "build=left" in text
+        assert "(chosen)" in text
+
+    def test_reversed_predicate_normalizes_to_from_order(self):
+        """``b.y = a.x`` plans identically to ``a.x = b.y``."""
+        planner = build_planner(*build_tables())
+        reversed_sql = (
+            "SELECT orders.order_id, products.name "
+            "FROM orders, products WHERE products.pid = orders.product_id"
+        )
+        planned = planner.plan(parse_select(reversed_sql), query_id="q1")
+        assert planned.chosen.decisions == (
+            "local-join[orders.product_id = products.pid]: build=right (index-backed)",
+        )
+
+    def test_disconnected_tables_still_rejected(self):
+        orders, products = build_tables()
+        extra = Table("extra", Schema.of(("k", DataType.INTEGER)))
+        extra.insert([1])
+        planner = build_planner(orders, products, extra)
+        sql = (
+            "SELECT orders.order_id FROM orders, products, extra "
+            "WHERE orders.product_id = products.pid"
+        )
+        with pytest.raises(PlanError, match="unjoined: extra"):
+            planner.plan(parse_select(sql), query_id="q1")
+
+    def test_non_equality_cross_predicate_not_promoted(self):
+        """``a.x < b.y`` alone stays a cartesian product — still an error."""
+        orders, products = build_tables()
+        planner = build_planner(orders, products)
+        sql = (
+            "SELECT orders.order_id FROM orders, products "
+            "WHERE orders.product_id < products.pid"
+        )
+        with pytest.raises(PlanError, match="machine equi-join"):
+            planner.plan(parse_select(sql), query_id="q1")
+
+
+class TestLocalJoinExecution:
+    def run_join(self, sql: str, *, index: bool = True) -> list[tuple]:
+        engine = QurkEngine()
+        for table in build_tables(index=index):
+            engine.database.catalog.register(table)
+        handle = engine.query(sql)
+        engine.scheduler.drain()
+        engine.clock.run_until_idle()
+        return sorted(tuple(row.values) for row in handle.results())
+
+    def test_join_results(self):
+        expected = sorted((i, f"prod{i % 12}") for i in range(40))
+        assert self.run_join(JOIN_SQL) == expected
+
+    def test_build_sides_agree(self):
+        """Index-backed and dict-build paths produce the same multiset."""
+        assert self.run_join(JOIN_SQL) == self.run_join(JOIN_SQL, index=False)
+
+    def test_extra_cross_filter_applies_after_join(self):
+        sql = JOIN_SQL + " AND orders.order_id > products.pid"
+        rows = self.run_join(sql)
+        expected = sorted((i, f"prod{i % 12}") for i in range(40) if i > i % 12)
+        assert rows == expected
+        assert rows  # the filter keeps the 28 rows where order_id > pid

@@ -1,0 +1,128 @@
+"""Cluster determinism: 1 shard == in-process engine; N shards stable.
+
+The determinism contract of the shard-per-process runtime:
+
+* A 1-shard cluster produces a fingerprint *byte-identical* to an in-process
+  engine built from the same recipe and fed the same queries — the worker's
+  ``drain`` op reproduces exactly the chaos harness's driving sequence.
+* An N-shard cluster is fingerprint-stable run to run under the same seed,
+  because placement is deterministic and every shard is an independent
+  same-seed marketplace.
+
+Fingerprints are :func:`repro.testing.chaos.fingerprint_engine` structures
+(statuses, result rows, HIT/assignment counters, spend), JSON-stable so they
+compare equal across the process boundary.
+"""
+
+import pytest
+
+from repro.cluster import (
+    EngineSpec,
+    HashPlacement,
+    RoundRobinPlacement,
+    ShardCoordinator,
+    ShardWorker,
+    make_placement,
+)
+from repro.cluster.serialization import encode_query
+from repro.errors import ClusterError
+from repro.experiments import build_products_engine
+from repro.testing.chaos import fingerprint_engine
+
+FILTER_SQL = "SELECT name FROM products WHERE isTargetColor(name)"
+N_QUERIES = 6
+SPEC = EngineSpec(
+    factory="repro.experiments.harness:build_products_engine",
+    kwargs={"n_products": 10, "filter_batch": 1, "seed": 13},
+)
+
+
+def in_process_fingerprint(n_queries: int = N_QUERIES) -> dict:
+    """The same workload driven exactly like a shard worker drives it."""
+    engine = build_products_engine(n_products=10, filter_batch=1, seed=13).engine
+    handles = [engine.query(FILTER_SQL) for _ in range(n_queries)]
+    engine.scheduler.drain()
+    engine.clock.run_until_idle()
+    statuses = [handle.status.value for handle in handles]
+    rows = [[row.to_dict() for row in handle.results()] for handle in handles]
+    return fingerprint_engine(engine, statuses, rows)
+
+
+def cluster_fingerprints(n_shards: int, n_queries: int = N_QUERIES) -> list[dict]:
+    with ShardCoordinator(SPEC, n_shards) as cluster:
+        cluster.submit_many([{"sql": FILTER_SQL} for _ in range(n_queries)])
+        statuses = cluster.drain()
+        assert all(status == "completed" for status in statuses.values())
+        return cluster.fingerprint()
+
+
+class TestOneShardEqualsInProcess:
+    def test_fingerprints_identical(self):
+        (cluster_fp,) = cluster_fingerprints(1)
+        assert cluster_fp == in_process_fingerprint()
+
+    def test_in_process_worker_equals_in_process_engine(self):
+        """The same equality, without forking: ShardWorker.handle directly."""
+        worker = ShardWorker(SPEC, shard_id=0)
+        queries = [
+            encode_query(FILTER_SQL, query_id=f"cq{i + 1}") for i in range(N_QUERIES)
+        ]
+        assert worker.handle({"op": "submit_many", "queries": queries})["ok"]
+        drained = worker.handle({"op": "drain"})
+        assert drained["ok"]
+        reply = worker.handle({"op": "fingerprint"})
+        assert reply["fingerprint"] == in_process_fingerprint()
+
+
+class TestNShardStability:
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_same_seed_runs_identical(self, n_shards):
+        assert cluster_fingerprints(n_shards) == cluster_fingerprints(n_shards)
+
+    def test_shards_split_the_work(self):
+        fingerprints = cluster_fingerprints(2)
+        per_shard = [len(fp["statuses"]) for fp in fingerprints]
+        assert per_shard == [N_QUERIES // 2, N_QUERIES // 2]
+        # Every query completed and cost money on its own shard.
+        assert all(fp["total_cost"] > 0 for fp in fingerprints)
+
+    def test_cluster_totals_match_in_process_totals(self):
+        """Sharding must not change what the crowd does in aggregate."""
+        reference = in_process_fingerprint()
+        with ShardCoordinator(SPEC, 3) as cluster:
+            cluster.submit_many([{"sql": FILTER_SQL} for _ in range(N_QUERIES)])
+            cluster.drain()
+            stats = cluster.stats()
+        assert stats.totals["queries"] == N_QUERIES
+        assert stats.totals["hits_created"] == reference["hits_created"]
+        assert round(stats.totals["total_cost"], 9) == reference["total_cost"]
+
+
+class TestPlacement:
+    def test_round_robin_is_admission_order(self):
+        placement = RoundRobinPlacement(3)
+        assert [placement.shard_of(i, f"cq{i + 1}") for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_hash_placement_is_seed_deterministic(self):
+        a = HashPlacement(4, seed=9)
+        b = HashPlacement(4, seed=9)
+        shards = [a.shard_of(i, f"cq{i + 1}") for i in range(32)]
+        assert shards == [b.shard_of(i, f"cq{i + 1}") for i in range(32)]
+        assert all(0 <= shard < 4 for shard in shards)
+        assert len(set(shards)) > 1  # actually spreads
+
+    def test_make_placement_rejects_unknown_kind(self):
+        with pytest.raises(ClusterError):
+            make_placement("random", 2, 0)
+
+    def test_hash_placement_routes_cluster_queries(self):
+        """End to end: hash placement still completes and stays stable."""
+
+        def run() -> list[dict]:
+            with ShardCoordinator(SPEC, 2, placement="hash", seed=5) as cluster:
+                cluster.submit_many([{"sql": FILTER_SQL} for _ in range(N_QUERIES)])
+                statuses = cluster.drain()
+                assert all(status == "completed" for status in statuses.values())
+                return cluster.fingerprint()
+
+        assert run() == run()

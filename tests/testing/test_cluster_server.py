@@ -1,0 +1,70 @@
+"""The asyncio TCP front end: submit → pump-driven progress → results.
+
+The server's background pump loop is what makes the cluster *live*: a
+submitted query completes without any client calling ``drain``.  This test
+runs a real 1-shard cluster behind the server, submits over TCP, polls
+status until completion and reads the rows back — the whole external
+protocol in one round trip.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import EngineSpec, ShardCoordinator
+from repro.cluster.serialization import decode_rows
+from repro.cluster.server import ClusterServer, request
+
+FILTER_SQL = "SELECT name FROM products WHERE isTargetColor(name)"
+SPEC = EngineSpec(
+    factory="repro.experiments.harness:build_products_engine",
+    kwargs={"n_products": 10, "filter_batch": 1, "seed": 13},
+)
+
+
+async def _exercise_server() -> None:
+    with ShardCoordinator(SPEC, 1) as cluster:
+        async with ClusterServer(cluster) as server:
+            assert server.port != 0  # bound to a real ephemeral port
+            host, port = server.host, server.port
+
+            submitted = await request(host, port, {"op": "submit", "sql": FILTER_SQL})
+            assert submitted["ok"], submitted
+            query_id = submitted["query_id"]
+            assert query_id == "cq1" and submitted["shard"] == 0
+
+            # The pump loop drives the shard; nobody ever calls drain().
+            for _ in range(400):
+                status = await request(host, port, {"op": "status", "query_id": query_id})
+                assert status["ok"], status
+                if status["status"] == "completed":
+                    break
+                await asyncio.sleep(0.05)
+            else:
+                raise AssertionError(f"query never completed: {status}")
+
+            reply = await request(host, port, {"op": "results", "query_id": query_id})
+            rows = decode_rows(reply["rows"])
+            assert rows and all(row.schema.columns[0].name == "name" for row in rows)
+            assert len(rows) == status["results_emitted"]
+
+            stats = await request(host, port, {"op": "stats"})
+            assert stats["ok"]
+            assert stats["totals"]["queries"] == 1
+            assert stats["totals"]["total_cost"] > 0
+
+            unknown = await request(host, port, {"op": "never-heard-of-it"})
+            assert not unknown["ok"]
+            assert "unknown server op" in unknown["error"]
+
+            missing = await request(host, port, {"op": "submit"})
+            assert not missing["ok"] and "requires 'sql'" in missing["error"]
+
+
+def test_server_round_trip():
+    asyncio.run(asyncio.wait_for(_exercise_server(), timeout=60))
+
+
+def test_request_helper_rejects_dead_port():
+    with pytest.raises(OSError):
+        asyncio.run(request("127.0.0.1", 1, {"op": "stats"}))
