@@ -1,0 +1,296 @@
+"""E17 — durability overhead and recovery speed.
+
+Three questions about the event-sourced WAL + snapshot layer:
+
+1. **What does journaling cost?**  E15's control-plane workload (concurrent
+   crowd filter queries on one marketplace) is run twice from the same seed —
+   once plain, once with durability enabled — under each fsync policy.  The
+   engine's hot loops are untouched by the WAL (journal writes happen on
+   externally-visible crowd events, not per scheduler pass), so the interval
+   policy's overhead should stay in the low single digits; ``always`` pays an
+   fsync per record and bounds the worst case.
+
+2. **How fast is recovery, and how does it scale?**  Crash a durable run
+   after N queries and time :meth:`QurkEngine.recover`.  Replay resubmits the
+   logged queries against a fresh same-seed engine, so recovery time tracks
+   the replayed work — i.e. it is linear in log length, which is exactly why
+   snapshots exist.
+
+3. **What do snapshots buy?**  The same workload with periodic checkpoints:
+   each snapshot truncates the WAL, so recovery replays only the tail.  The
+   sweep reports recovery time and replayed-record count per snapshot
+   interval, with the no-snapshot run as the reference point.
+
+Results feed ``BENCH_SUMMARY.json`` via ``run_all.py`` (e17 is in the CI
+``--quick`` subset) and the ROADMAP durability item.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import QurkEngine
+from repro.experiments import build_products_engine, print_table
+from repro.storage.durability import DurabilityConfig
+
+FILTER_SQL = "SELECT name FROM products WHERE isTargetColor(name)"
+
+#: E15's workload shape: one crowd filter task per product per query.
+N_QUERIES = 64
+TASKS_PER_QUERY = 40
+SEED = 1501
+
+#: Acceptance bar from the durability PR: journaling under the default
+#: ``interval`` fsync policy may not cost more than 15% wall time on e15's
+#: control-plane workload.
+MAX_INTERVAL_OVERHEAD_PCT = 15.0
+
+
+def _spec_payload(tasks_per_query: int) -> dict:
+    return {
+        "factory": "repro.experiments.harness:build_products_engine",
+        "kwargs": {"n_products": tasks_per_query, "filter_batch": 1, "seed": SEED},
+    }
+
+
+def _run_workload(
+    n_queries: int,
+    tasks_per_query: int,
+    *,
+    directory: Path | None = None,
+    fsync: str = "interval",
+    snapshot_every: int | None = None,
+    batches: int = 1,
+) -> tuple[QurkEngine, float]:
+    """Drive e15's workload; optionally durable.  Returns (engine, wall)."""
+    engine = build_products_engine(
+        n_products=tasks_per_query, filter_batch=1, seed=SEED
+    ).engine
+    if directory is not None:
+        engine.enable_durability(
+            DurabilityConfig(
+                directory=str(directory),
+                fsync=fsync,
+                snapshot_every=snapshot_every,
+            ),
+            spec=_spec_payload(tasks_per_query),
+        )
+    per_batch = max(1, n_queries // batches)
+    started = time.perf_counter()
+    submitted = 0
+    while submitted < n_queries:
+        count = min(per_batch, n_queries - submitted)
+        handles = [engine.query(FILTER_SQL) for _ in range(count)]
+        submitted += count
+        engine.scheduler.drain()
+        engine.clock.run_until_idle()
+        if not all(handle.is_complete for handle in handles):
+            raise AssertionError("not every query completed")
+    wall = time.perf_counter() - started
+    return engine, wall
+
+
+def run_wal_overhead(
+    n_queries: int = N_QUERIES,
+    tasks_per_query: int = TASKS_PER_QUERY,
+    repeats: int = 3,
+) -> list[dict]:
+    """WAL-on vs WAL-off wall time per fsync policy, same seed and workload.
+
+    Each mode runs ``repeats`` times in interleaved round-robin order, and
+    overhead is the **median across cycles of the same-cycle paired ratio**
+    (mode wall / that cycle's baseline wall).  Host timing noise on shared
+    VMs dwarfs the journaling cost itself, but it drifts slowly — pairing
+    each durable run with the baseline run measured moments before cancels
+    the drift, and the median discards the cycles a scheduler hiccup hits.
+    The engine is deterministic, so every repetition does identical work.
+    """
+    modes: list[str | None] = [None, "off", "interval", "always"]
+    walls: dict[str | None, list[float]] = {mode: [] for mode in modes}
+    records: dict[str | None, int] = {None: 0}
+    for _ in range(repeats):
+        for fsync in modes:
+            if fsync is None:
+                _, wall = _run_workload(n_queries, tasks_per_query)
+            else:
+                directory = Path(tempfile.mkdtemp(prefix=f"e17-{fsync}-"))
+                try:
+                    engine, wall = _run_workload(
+                        n_queries, tasks_per_query, directory=directory, fsync=fsync
+                    )
+                    records[fsync] = engine.journal.wal.last_lsn
+                    engine.journal.close()
+                finally:
+                    shutil.rmtree(directory, ignore_errors=True)
+            walls[fsync].append(wall)
+    rows = []
+    for fsync in modes:
+        wall = min(walls[fsync])
+        ratios = sorted(
+            mode_wall / base_wall
+            for mode_wall, base_wall in zip(walls[fsync], walls[None])
+        )
+        median_ratio = ratios[len(ratios) // 2]
+        rows.append(
+            {
+                "mode": "wal off (baseline)" if fsync is None else f"wal on, fsync={fsync}",
+                "wall_seconds": round(wall, 3),
+                "queries_per_sec": round(n_queries / wall, 2),
+                "overhead_pct": round((median_ratio - 1) * 100, 1),
+                "wal_records": records[fsync],
+            }
+        )
+    return rows
+
+
+def run_recovery_time(
+    query_counts: tuple[int, ...] = (8, 32, 128), tasks_per_query: int = 10
+) -> list[dict]:
+    """Recovery wall time vs log length (no snapshots: full replay)."""
+    rows = []
+    for n_queries in query_counts:
+        directory = Path(tempfile.mkdtemp(prefix="e17-recovery-"))
+        try:
+            engine, run_wall = _run_workload(
+                n_queries, tasks_per_query, directory=directory, fsync="interval"
+            )
+            engine.journal.wal.simulate_crash()
+            result = QurkEngine.recover(directory)
+            result.engine.journal.close()
+            rows.append(
+                {
+                    "queries_logged": n_queries,
+                    "wal_records": result.wal_records,
+                    "run_seconds": round(run_wall, 3),
+                    "recovery_seconds": round(result.recovery_seconds, 3),
+                    "recovered_queries": len(result.engine.queries)
+                    + len(result.outcomes),
+                    "replayed_queries": len(result.replayed_query_ids),
+                }
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return rows
+
+
+def run_snapshot_interval_sweep(
+    n_queries: int = 64,
+    tasks_per_query: int = 10,
+    intervals: tuple[int | None, ...] = (None, 500, 100),
+    batches: int = 8,
+) -> list[dict]:
+    """Checkpoint cadence vs recovery cost on a batched (drain-y) workload.
+
+    Submissions arrive in ``batches`` waves with a drain between waves — the
+    quiescent points where auto-checkpoints can fire.  Denser snapshots mean
+    a shorter surviving WAL and fewer replayed records at recovery.
+    """
+    rows = []
+    for snapshot_every in intervals:
+        directory = Path(tempfile.mkdtemp(prefix="e17-snap-"))
+        try:
+            engine, run_wall = _run_workload(
+                n_queries,
+                tasks_per_query,
+                directory=directory,
+                fsync="interval",
+                snapshot_every=snapshot_every,
+                batches=batches,
+            )
+            snapshots = len(list(directory.glob("snapshot-*.json")))
+            engine.journal.wal.simulate_crash()
+            result = QurkEngine.recover(directory)
+            result.engine.journal.close()
+            rows.append(
+                {
+                    "snapshot_every": snapshot_every or "off",
+                    "run_seconds": round(run_wall, 3),
+                    "snapshots_taken": snapshots,
+                    "surviving_wal_records": result.wal_records,
+                    "replayed_queries": len(result.replayed_query_ids),
+                    "recovery_seconds": round(result.recovery_seconds, 3),
+                }
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return rows
+
+
+# -- pytest entry points (quick sizes, with the CI regression gates) ---------
+
+#: Wall-clock ceiling for the whole quick benchmark; it runs in a few
+#: seconds on a laptop, so tripping this means durability code grew a hot
+#: loop (e.g. journaling per scheduler pass instead of per crowd event).
+QUICK_GATE_SECONDS = 60.0
+
+#: The quick run halves e15's sizes, so allow more timer noise than the
+#: full-size acceptance bar before failing CI.
+QUICK_MAX_INTERVAL_OVERHEAD_PCT = 25.0
+
+
+def test_e17_durability_quick(once):
+    def quick() -> dict:
+        return {
+            "overhead": run_wal_overhead(n_queries=32, tasks_per_query=20),
+            "recovery": run_recovery_time(query_counts=(8, 32)),
+            "snapshots": run_snapshot_interval_sweep(
+                n_queries=32, intervals=(None, 100), batches=4
+            ),
+        }
+
+    results = once(quick)
+    print_table(
+        "E17: WAL overhead on e15's workload (quick: 32 queries, 20 tasks each)",
+        ["mode", "wall_seconds", "queries_per_sec", "overhead_pct", "wal_records"],
+        results["overhead"],
+    )
+    print_table(
+        "E17: recovery time vs log length",
+        [
+            "queries_logged",
+            "wal_records",
+            "run_seconds",
+            "recovery_seconds",
+            "replayed_queries",
+        ],
+        results["recovery"],
+    )
+    print_table(
+        "E17: snapshot interval sweep",
+        [
+            "snapshot_every",
+            "snapshots_taken",
+            "surviving_wal_records",
+            "replayed_queries",
+            "recovery_seconds",
+        ],
+        results["snapshots"],
+    )
+
+    overhead = {row["mode"]: row for row in results["overhead"]}
+    interval = overhead["wal on, fsync=interval"]
+    assert interval["wal_records"] > 0
+    assert interval["overhead_pct"] <= QUICK_MAX_INTERVAL_OVERHEAD_PCT, (
+        f"interval-fsync WAL overhead {interval['overhead_pct']}% exceeds "
+        f"{QUICK_MAX_INTERVAL_OVERHEAD_PCT}%"
+    )
+
+    # Recovery replays everything when there are no snapshots...
+    for row in results["recovery"]:
+        assert row["replayed_queries"] == row["queries_logged"]
+    # ...and snapshots shrink both the surviving log and the replayed tail.
+    no_snap, with_snap = results["snapshots"]
+    assert with_snap["snapshots_taken"] > 0
+    assert no_snap["snapshots_taken"] == 0
+    assert with_snap["surviving_wal_records"] < no_snap["surviving_wal_records"]
+    assert with_snap["replayed_queries"] < no_snap["replayed_queries"]
+
+    total = (
+        sum(row["wall_seconds"] for row in results["overhead"])
+        + sum(row["run_seconds"] + row["recovery_seconds"] for row in results["recovery"])
+        + sum(row["run_seconds"] + row["recovery_seconds"] for row in results["snapshots"])
+    )
+    assert total < QUICK_GATE_SECONDS

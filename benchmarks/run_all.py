@@ -38,9 +38,9 @@ sys.path.insert(0, str(BENCH_DIR))
 #: adaptive re-planning experiment, the engine-overhead benchmark, the
 #: worker quality-control experiment, the control-plane scaling benchmark
 #: and the sharded scale-out curve, so plan-layer, data-plane,
-#: quality-control, control-plane and cluster-runtime regressions surface in
-#: CI without paying for the full sweep.
-QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15", "e16")
+#: quality-control, control-plane, cluster-runtime and durability
+#: regressions surface in CI without paying for the full sweep.
+QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15", "e16", "e17")
 
 #: Quick-mode size overrides for benchmarks whose full curve is minutes
 #: long; keys are module stems, values are kwargs for every ``run_*``
@@ -52,6 +52,15 @@ QUICK_OVERRIDES = {
         "shard_counts": (1, 2),
         "n_queries": 128,
         "tasks_per_query": 10,
+    },
+    # Halved e15 sizes, as in the module's own quick pytest gate; the full
+    # 64x40 overhead sweep stays the default for `run_all.py e17`.
+    "bench_e17_durability": {
+        "n_queries": 32,
+        "tasks_per_query": 20,
+        "query_counts": (8, 32),
+        "intervals": (None, 100),
+        "batches": 4,
     },
 }
 

@@ -23,7 +23,9 @@ drain of an N-shard cluster all N engines make progress at once.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.cluster.messages import PipeTransport
@@ -31,7 +33,7 @@ from repro.cluster.placement import Placement, make_placement
 from repro.cluster.serialization import decode_rows, encode_query
 from repro.cluster.worker import EngineSpec, worker_main
 from repro.core.exec.context import QueryConfig
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ShardCrashedError
 
 __all__ = ["ClusterQueryHandle", "ClusterStats", "ShardCoordinator"]
 
@@ -104,6 +106,19 @@ class ShardCoordinator:
         Seed for hash placement (ignored by round-robin).
     start_method:
         ``multiprocessing`` start method; ``"fork"`` is the cheap default.
+    durability_root:
+        Directory for per-shard durability state (``<root>/shard-<i>`` each
+        holds that worker's WAL).  With this set, a worker that dies is
+        detected, respawned, and heals itself by replaying its own log —
+        the coordinator then retries the interrupted op exactly once.
+        ``None`` (the default) keeps workers ephemeral: a dead worker
+        raises :class:`~repro.errors.ShardCrashedError` instead.
+    durability_fsync, durability_fsync_every:
+        WAL fsync policy the workers journal under.
+    call_timeout:
+        Seconds the coordinator waits for one op reply before declaring the
+        worker hung.  Liveness is checked every 100ms regardless, so a
+        *dead* worker is detected within a poll slice, not the timeout.
     """
 
     def __init__(
@@ -114,6 +129,10 @@ class ShardCoordinator:
         placement: str | Placement = "round-robin",
         seed: int = 0,
         start_method: str = "fork",
+        durability_root: str | Path | None = None,
+        durability_fsync: str = "interval",
+        durability_fsync_every: int = 256,
+        call_timeout: float = 300.0,
     ):
         if n_shards < 1:
             raise ClusterError(f"a cluster needs at least 1 shard, got {n_shards}")
@@ -129,6 +148,11 @@ class ShardCoordinator:
                 f"placement covers {self.placement.n_shards} shards, cluster has {n_shards}"
             )
         self._start_method = start_method
+        self.durability_root = Path(durability_root) if durability_root is not None else None
+        self._durability_fsync = durability_fsync
+        self._durability_fsync_every = durability_fsync_every
+        self.call_timeout = call_timeout
+        self.heals: int = 0
         self._shards: list[_Shard] = []
         self._routes: dict[str, int] = {}
         self._admitted = 0
@@ -136,23 +160,36 @@ class ShardCoordinator:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _shard_durability(self, shard_id: int) -> dict[str, Any] | None:
+        if self.durability_root is None:
+            return None
+        return {
+            "directory": str(self.durability_root / f"shard-{shard_id}"),
+            "fsync": self._durability_fsync,
+            "fsync_every": self._durability_fsync_every,
+        }
+
+    def _spawn(self, shard_id: int) -> _Shard:
+        context = multiprocessing.get_context(self._start_method)
+        parent_end, child_end = context.Pipe()
+        process = context.Process(
+            target=worker_main,
+            args=(child_end, self.spec.payload(), shard_id, self._shard_durability(shard_id)),
+            name=f"qurk-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return _Shard(shard_id, process, PipeTransport(parent_end))
+
     def start(self) -> "ShardCoordinator":
         """Spawn and ping every worker process."""
         if self._shards:
             raise ClusterError("coordinator already started")
-        context = multiprocessing.get_context(self._start_method)
-        spec_payload = self.spec.payload()
+        if self.durability_root is not None:
+            self.durability_root.mkdir(parents=True, exist_ok=True)
         for shard_id in range(self.n_shards):
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=worker_main,
-                args=(child_end, spec_payload, shard_id),
-                name=f"qurk-shard-{shard_id}",
-                daemon=True,
-            )
-            process.start()
-            child_end.close()
-            self._shards.append(_Shard(shard_id, process, PipeTransport(parent_end)))
+            self._shards.append(self._spawn(shard_id))
         for shard in self._shards:
             self._call(shard.shard_id, {"op": "ping"})
         return self
@@ -183,12 +220,117 @@ class ShardCoordinator:
 
     # -- messaging ---------------------------------------------------------
 
+    #: Seconds per liveness-poll slice while waiting for a reply.
+    _POLL_SLICE = 0.1
+
+    def _send(self, shard: _Shard, message: dict[str, Any]) -> None:
+        """Send one op, converting a dead peer into :class:`ShardCrashedError`.
+
+        Writing to a pipe whose worker died raises ``BrokenPipeError`` (or
+        succeeds into the kernel buffer and fails on the next write — which
+        is why :meth:`_recv` also checks liveness).  Either way the caller
+        sees the same diagnosed crash error, never a raw socket traceback.
+        """
+        try:
+            shard.transport.send(message)
+        except (ClusterError, OSError) as error:
+            raise ShardCrashedError(
+                f"shard {shard.shard_id} (pid {shard.process.pid}) was unreachable "
+                f"for {message.get('op')!r}: {error}",
+                shard_id=shard.shard_id,
+                pid=shard.process.pid,
+                exitcode=shard.process.exitcode,
+                op=str(message.get("op")),
+            ) from error
+
+    def _recv(self, shard: _Shard, op: Any) -> dict[str, Any]:
+        """Receive one reply, failing fast if the worker process died.
+
+        A plain blocking ``recv`` would hang forever on a crashed worker
+        (the write end of the pipe survives in the coordinator, so no EOF
+        arrives).  Waiting in short poll slices lets the coordinator check
+        ``process.is_alive()`` between them and put a name, pid, exit code
+        and the in-flight op on the failure instead.
+        """
+        deadline = time.monotonic() + self.call_timeout
+        while True:
+            try:
+                if shard.transport.poll(self._POLL_SLICE):
+                    return shard.transport.recv()
+            except (ClusterError, OSError, EOFError) as error:
+                raise ShardCrashedError(
+                    f"shard {shard.shard_id} closed its pipe during {op!r}: {error}",
+                    shard_id=shard.shard_id,
+                    pid=shard.process.pid,
+                    exitcode=shard.process.exitcode,
+                    op=str(op),
+                ) from error
+            if not shard.process.is_alive():
+                raise ShardCrashedError(
+                    f"shard {shard.shard_id} (pid {shard.process.pid}) died during "
+                    f"{op!r} with exit code {shard.process.exitcode}",
+                    shard_id=shard.shard_id,
+                    pid=shard.process.pid,
+                    exitcode=shard.process.exitcode,
+                    op=str(op),
+                )
+            if time.monotonic() >= deadline:
+                raise ShardCrashedError(
+                    f"shard {shard.shard_id} (pid {shard.process.pid}) sent no reply to "
+                    f"{op!r} within {self.call_timeout:.0f}s",
+                    shard_id=shard.shard_id,
+                    pid=shard.process.pid,
+                    exitcode=shard.process.exitcode,
+                    op=str(op),
+                )
+
+    def heal(self, shard_id: int) -> None:
+        """Respawn a dead worker; it replays its WAL and rejoins the cluster.
+
+        Only meaningful with ``durability_root`` set — without a log there
+        is nothing to heal from.  The old process is reaped, a fresh one is
+        spawned against the same durability directory (so it recovers its
+        engine and its coordinator-id mappings), and pinged.
+        """
+        if self.durability_root is None:
+            raise ClusterError(
+                f"cannot heal shard {shard_id}: cluster has no durability_root"
+            )
+        old = self._shards[shard_id]
+        old.transport.close()
+        if old.process.is_alive():  # pragma: no cover - defensive
+            old.process.terminate()
+        old.process.join(timeout=5)
+        self._shards[shard_id] = self._spawn(shard_id)
+        self.heals += 1
+        shard = self._shards[shard_id]
+        self._send(shard, {"op": "ping"})
+        reply = self._recv(shard, "ping")
+        if not reply.get("ok"):
+            raise ClusterError(
+                f"healed shard {shard_id} failed its ping: "
+                f"{reply.get('error', 'unknown failure')}"
+            )
+
     def _call(self, shard_id: int, message: dict[str, Any]) -> dict[str, Any]:
         if not self._shards:
             raise ClusterError("coordinator not started (use start() or a with-block)")
         shard = self._shards[shard_id]
-        shard.transport.send(message)
-        reply = shard.transport.recv()
+        op = message.get("op")
+        try:
+            self._send(shard, message)
+            reply = self._recv(shard, op)
+        except ShardCrashedError:
+            if self.durability_root is None:
+                raise
+            # Heal in place and retry the interrupted op exactly once.  The
+            # worker's durable records make the retry idempotent (already-
+            # applied submissions are acknowledged, drains re-run to the
+            # same state), so crash-during-op is exactly-once overall.
+            self.heal(shard_id)
+            shard = self._shards[shard_id]
+            self._send(shard, message)
+            reply = self._recv(shard, op)
         if not reply.get("ok"):
             raise ClusterError(f"shard {shard_id}: {reply.get('error', 'unknown failure')}")
         return reply
@@ -197,11 +339,25 @@ class ShardCoordinator:
         """Send to all shards, then collect — shards overlap their work."""
         if not self._shards:
             raise ClusterError("coordinator not started (use start() or a with-block)")
-        for shard in self._shards:
-            shard.transport.send(message)
+        for shard in list(self._shards):
+            try:
+                self._send(shard, message)
+            except ShardCrashedError:
+                if self.durability_root is None:
+                    raise
+                self.heal(shard.shard_id)
+                self._send(self._shards[shard.shard_id], message)
         replies = []
         for shard in self._shards:
-            reply = shard.transport.recv()
+            try:
+                reply = self._recv(shard, message.get("op"))
+            except ShardCrashedError:
+                if self.durability_root is None:
+                    raise
+                self.heal(shard.shard_id)
+                healed = self._shards[shard.shard_id]
+                self._send(healed, message)
+                reply = self._recv(healed, message.get("op"))
             if not reply.get("ok"):
                 raise ClusterError(
                     f"shard {shard.shard_id}: {reply.get('error', 'unknown failure')}"

@@ -41,6 +41,14 @@ class PipeTransport:
     def send(self, message: dict[str, Any]) -> None:
         self._connection.send_bytes(encode_message(message))
 
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Whether a message is ready within ``timeout`` seconds.
+
+        Lets callers wait in short slices and check peer liveness between
+        them instead of blocking forever on a dead process.
+        """
+        return self._connection.poll(timeout)
+
     def recv(self) -> dict[str, Any]:
         try:
             payload = self._connection.recv_bytes()

@@ -158,8 +158,12 @@ class ClusterServer:
         raise ClusterError(f"unknown server op {op!r}")
 
 
-async def request(host: str, port: int, message: dict[str, Any]) -> dict[str, Any]:
-    """One-shot client: send a frame, await the reply frame."""
+#: Default bounded-retry policy for the one-shot client.
+_REQUEST_ATTEMPTS = 3
+_REQUEST_BACKOFF = 0.1
+
+
+async def _request_once(host: str, port: int, message: dict[str, Any]) -> dict[str, Any]:
     reader, writer = await asyncio.open_connection(host, port)
     try:
         writer.write(frame_message(message))
@@ -173,3 +177,36 @@ async def request(host: str, port: int, message: dict[str, Any]) -> dict[str, An
             await writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover
             pass
+
+
+async def request(
+    host: str,
+    port: int,
+    message: dict[str, Any],
+    *,
+    attempts: int = _REQUEST_ATTEMPTS,
+    backoff: float = _REQUEST_BACKOFF,
+) -> dict[str, Any]:
+    """One-shot client: send a frame, await the reply frame.
+
+    Connect and read failures (server restarting, connection reset mid-
+    reply) are retried with exponential backoff up to ``attempts`` times,
+    then surface as a terminal :class:`~repro.errors.ClusterError` naming
+    every attempt's failure — never an infinite hang, never a bare socket
+    traceback.  Application-level errors (``{"ok": false}`` replies) are
+    returned to the caller, not retried.
+    """
+    if attempts < 1:
+        raise ClusterError(f"request needs at least 1 attempt, got {attempts}")
+    failures: list[str] = []
+    for attempt in range(attempts):
+        if attempt:
+            await asyncio.sleep(backoff * 2 ** (attempt - 1))
+        try:
+            return await _request_once(host, port, message)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+            failures.append(f"attempt {attempt + 1}: {type(error).__name__}: {error}")
+    raise ClusterError(
+        f"request to {host}:{port} failed after {attempts} attempt(s): "
+        + "; ".join(failures)
+    )

@@ -85,12 +85,64 @@ class ShardWorker:
     ids.
     """
 
-    def __init__(self, spec: EngineSpec, shard_id: int = 0):
+    def __init__(
+        self,
+        spec: EngineSpec,
+        shard_id: int = 0,
+        *,
+        durability: dict[str, Any] | None = None,
+    ):
         self.spec = spec
         self.shard_id = shard_id
-        self.engine = spec.build()
+        self.durability = durability
         self._handles: dict[str, Any] = {}
         self._order: list[str] = []
+        if durability is None:
+            self.engine = spec.build()
+            return
+        # Durable shard: recover in place when a WAL already exists (the
+        # worker is a restart after a crash), otherwise start journalling.
+        # Workers never auto-checkpoint (snapshot_every=None): the full log
+        # is what lets a restart rebuild the coordinator-id → handle map
+        # below, and per-shard logs stay short-lived anyway.
+        from pathlib import Path
+
+        from repro.engine import QurkEngine
+        from repro.storage.durability import WAL_FILENAME, DurabilityConfig
+
+        directory = Path(durability["directory"])
+        fsync = durability.get("fsync", "interval")
+        fsync_every = int(durability.get("fsync_every", 256))
+        if (directory / WAL_FILENAME).exists():
+            result = QurkEngine.recover(
+                directory, fsync=fsync, fsync_every=fsync_every, snapshot_every=None
+            )
+            self.engine = result.engine
+            # Replay in LSN order restores submission order; an alias whose
+            # engine query never made it into the log belongs to a
+            # submission that died before becoming durable — the
+            # coordinator's retry will re-submit it.
+            for record in result.records:
+                if record.type != "cluster_alias":
+                    continue
+                cluster_id = record.data["cluster_id"]
+                engine_id = record.data["query_id"]
+                if cluster_id in self._handles or engine_id not in self.engine.queries:
+                    continue
+                self._handles[cluster_id] = self.engine.queries[engine_id]
+                self._order.append(cluster_id)
+        else:
+            self.engine = spec.build()
+            directory.mkdir(parents=True, exist_ok=True)
+            self.engine.enable_durability(
+                DurabilityConfig(
+                    directory=str(directory),
+                    fsync=fsync,
+                    fsync_every=fsync_every,
+                    snapshot_every=None,
+                ),
+                spec=spec.payload(),
+            )
 
     # -- dispatch ----------------------------------------------------------
 
@@ -120,7 +172,29 @@ class ShardWorker:
         submission = decode_query(payload)
         query_id = submission["query_id"]
         if query_id in self._handles:
+            if self.durability is not None:
+                # A healed coordinator retries the whole op; submissions
+                # that already survived the crash are simply acknowledged,
+                # making heal + retry exactly-once.
+                return query_id
             raise ClusterError(f"query {query_id!r} already submitted to shard {self.shard_id}")
+        journal = getattr(self.engine, "journal", None)
+        if journal is not None:
+            # The alias is logged *before* the engine's own query_submitted
+            # record and names the engine id the submission is about to get.
+            # On recovery, an alias whose engine query is missing marks a
+            # submission that died in between — it is dropped, and the retry
+            # recreates the same id.  Durability is group-committed: the
+            # submit op fsyncs once before acking the batch (see
+            # :meth:`_flush_journal`), so "acked to the coordinator" still
+            # implies "on disk".
+            journal.record(
+                "cluster_alias",
+                {
+                    "cluster_id": query_id,
+                    "query_id": f"q{self.engine._next_query_seq + 1}",
+                },
+            )
         handle = self.engine.query(
             submission["sql"],
             budget=submission["budget"],
@@ -131,11 +205,27 @@ class ShardWorker:
         self._order.append(query_id)
         return query_id
 
+    def _flush_journal(self) -> None:
+        """Group commit: one fsync covers every record of the batch.
+
+        The coordinator treats an acked submission as durable (a healed
+        worker must reproduce it), so the ack must not leave the pipe
+        before the aliases and submissions of the whole op are on disk —
+        but per-record fsyncs would cost one sync per query instead of one
+        per op.
+        """
+        journal = getattr(self.engine, "journal", None)
+        if journal is not None:
+            journal.wal.flush()
+
     def _op_submit(self, message: dict[str, Any]) -> dict[str, Any]:
-        return reply_ok(query_id=self._submit_one(message["query"]))
+        query_id = self._submit_one(message["query"])
+        self._flush_journal()
+        return reply_ok(query_id=query_id)
 
     def _op_submit_many(self, message: dict[str, Any]) -> dict[str, Any]:
         accepted = [self._submit_one(payload) for payload in message["queries"]]
+        self._flush_journal()
         return reply_ok(query_ids=accepted)
 
     def _op_status(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -245,18 +335,27 @@ def _peak_rss_kb() -> int:
     return peak // 1024 if os.uname().sysname == "Darwin" else peak
 
 
-def worker_main(connection, spec_payload: dict[str, Any], shard_id: int) -> None:
+def worker_main(
+    connection,
+    spec_payload: dict[str, Any],
+    shard_id: int,
+    durability: dict[str, Any] | None = None,
+) -> None:
     """Child-process entry point: build the engine, then serve the pipe.
 
-    A failed engine build is reported as an error reply to the first request
-    rather than a silent child death, so the coordinator's ping surfaces a
-    readable message.
+    With ``durability`` (a ``{"directory", "fsync", "fsync_every"}`` dict)
+    the worker recovers from an existing WAL or starts journalling to a
+    fresh one, so a respawned worker heals in place.  A failed engine build
+    is reported as an error reply to the first request rather than a silent
+    child death, so the coordinator's ping surfaces a readable message.
     """
     transport = PipeTransport(connection)
     worker: ShardWorker | None = None
     build_error: str | None = None
     try:
-        worker = ShardWorker(EngineSpec.from_payload(spec_payload), shard_id)
+        worker = ShardWorker(
+            EngineSpec.from_payload(spec_payload), shard_id, durability=durability
+        )
     except Exception as error:  # noqa: BLE001 - reported via the transport
         build_error = f"shard {shard_id} failed to build its engine: {error}"
     try:
@@ -273,4 +372,6 @@ def worker_main(connection, spec_payload: dict[str, Any], shard_id: int) -> None
             if message.get("op") == "shutdown":
                 break
     finally:
+        if worker is not None and getattr(worker.engine, "journal", None) is not None:
+            worker.engine.journal.close()
         transport.close()

@@ -130,8 +130,17 @@ class EngineScheduler:
         #: event-fed, so reaping never scans the active set.
         self._to_reap: list[str] = []
         self._errors_pending = False
+        # Durability wiring (both set by QurkEngine.enable_durability): the
+        # journal receives every lifecycle event; the checkpoint hook runs
+        # after a drain quiesces the engine, the natural snapshot point.
+        self._journal = None
+        self._checkpoint_hook = None
         task_manager.on_result_delivered(self._on_result_delivered)
         task_manager.on_error_recorded(self._on_error_recorded)
+
+    def attach_journal(self, journal, *, checkpoint_hook=None) -> None:
+        self._journal = journal
+        self._checkpoint_hook = checkpoint_hook
 
     # -- submission and admission ---------------------------------------------------------
 
@@ -215,6 +224,14 @@ class EngineScheduler:
         record = SchedulerEvent(self.clock.now, query_id, event, detail)
         self.events.append(record)
         self._events_by_query.setdefault(query_id, []).append(record)
+        # The single choke point every lifecycle transition passes through
+        # (admitted/started/completed/stalled/budget_exceeded/replanned/...),
+        # so one hook journals them all.
+        if self._journal is not None:
+            self._journal.record(
+                "query_event",
+                {"query_id": query_id, "event": event, "detail": detail, "time": record.time},
+            )
 
     # -- the shared run loop --------------------------------------------------------------
 
@@ -488,6 +505,12 @@ class EngineScheduler:
         instead of raised, letting the remaining queries finish.  Returns
         the number of queries that reached a terminal state.
         """
+        if self._journal is not None:
+            # Drain boundaries shape scheduling (which queries run
+            # concurrently), so recovery must reproduce them: the record is
+            # forced durable *before* the drain starts, and replay re-runs
+            # the drain to completion when it reaches this LSN.
+            self._journal.record("drain", {}, durable=True)
         finished_before = self.metrics.queries_finished
         while self.has_work():
             try:
@@ -495,6 +518,10 @@ class EngineScheduler:
                     break
             except QueryStalledError:
                 continue  # stalled queries were retired; keep driving the rest
+        if self._checkpoint_hook is not None:
+            # A completed drain is the engine's natural quiescent point;
+            # the hook snapshots (and truncates the WAL) when one is due.
+            self._checkpoint_hook()
         return self.metrics.queries_finished - finished_before
 
     def run_until(self, simulated_time: float, *, watch: QueryHandle | None = None) -> None:

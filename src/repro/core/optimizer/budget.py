@@ -50,6 +50,13 @@ class BudgetLedger:
 
     def __init__(self) -> None:
         self._budgets: dict[str, QueryBudget] = {}
+        # Optional durability journal (an EngineJournal); every commit and
+        # release is an externally-visible money movement, so both are
+        # logged when the engine is durable.
+        self._journal = None
+
+    def attach_journal(self, journal) -> None:
+        self._journal = journal
 
     def register(self, query_id: str, limit: float | None) -> QueryBudget:
         """Register a query with an optional dollar budget."""
@@ -73,6 +80,11 @@ class BudgetLedger:
                 budget=budget.limit or 0.0,
             )
         budget.commit(amount)
+        if self._journal is not None:
+            self._journal.record(
+                "budget_commit",
+                {"query_id": query_id, "amount": amount, "description": description},
+            )
 
     def release(self, query_id: str, amount: float) -> None:
         """Give back committed spend that will never be collected.
@@ -85,6 +97,10 @@ class BudgetLedger:
         ``BUDGET_EXCEEDED`` having spent almost nothing.
         """
         self.budget(query_id).release(amount)
+        if self._journal is not None:
+            self._journal.record(
+                "budget_release", {"query_id": query_id, "amount": amount}
+            )
 
     def would_exceed(self, query_id: str, amount: float) -> bool:
         """Whether committing ``amount`` would exceed the query's budget."""
@@ -97,3 +113,23 @@ class BudgetLedger:
     def remaining(self, query_id: str) -> float | None:
         """Dollars remaining for a query (None when unbudgeted)."""
         return self.budget(query_id).remaining
+
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "budgets": {
+                query_id: {"limit": budget.limit, "committed": budget.committed}
+                for query_id, budget in self._budgets.items()
+            }
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._budgets = {
+            query_id: QueryBudget(
+                query_id=query_id,
+                limit=fields["limit"],
+                committed=fields["committed"],
+            )
+            for query_id, fields in state["budgets"].items()
+        }

@@ -235,6 +235,32 @@ class StatisticsManager:
         if query_id:
             self.query(query_id).results_emitted += count
 
+    # -- durability -----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Every statistics bucket, as plain field dicts (all JSON scalars).
+
+        Selectivity/latency/cost estimates feed the optimizer and the
+        replanner, so a recovered engine must resume from the same
+        observations or its plan choices (and fingerprints) would diverge.
+        """
+        from dataclasses import asdict
+
+        return {
+            "specs": {name: asdict(stats) for name, stats in self._specs.items()},
+            "workers": {wid: asdict(stats) for wid, stats in self._workers.items()},
+            "queries": {qid: asdict(stats) for qid, stats in self._queries.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._specs = {name: SpecStats(**fields) for name, fields in state["specs"].items()}
+        self._workers = {
+            wid: WorkerStats(**fields) for wid, fields in state["workers"].items()
+        }
+        self._queries = {
+            qid: QueryStats(**fields) for qid, fields in state["queries"].items()
+        }
+
     # -- estimators -----------------------------------------------------------------
 
     def estimate_selectivity(self, spec_name: str, prior: float | None = None) -> float:

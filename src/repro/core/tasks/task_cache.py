@@ -94,6 +94,49 @@ class TaskCache:
         self.stats.entries = len(self._entries)
         return dropped
 
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Entries + counters with exact-round-trip key/value packing.
+
+        Cache keys and reduced answers contain tuples (JOIN_BLOCK
+        reductions are lists of id pairs); plain JSON would lower them to
+        lists and break dict-key equality on restore, so both sides go
+        through the tagged :func:`~repro.storage.snapshot.pack_value`
+        encoding — which *raises* on anything it cannot round-trip, since
+        a silently-dropped entry would diverge recovery fingerprints.
+        """
+        from dataclasses import asdict
+
+        from repro.storage.snapshot import pack_value
+
+        return {
+            "stats": asdict(self.stats),
+            "entries": [
+                {
+                    "name": name,
+                    "key": pack_value(cache_key),
+                    "reduced": pack_value(entry.reduced),
+                    "original_cost": entry.original_cost,
+                    "stored_at": entry.stored_at,
+                }
+                for (name, cache_key), entry in self._entries.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.storage.snapshot import unpack_value
+
+        self.stats = CacheStats(**state["stats"])
+        self._entries = {
+            (item["name"], unpack_value(item["key"])): CacheEntry(
+                reduced=unpack_value(item["reduced"]),
+                original_cost=item["original_cost"],
+                stored_at=item["stored_at"],
+            )
+            for item in state["entries"]
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -197,8 +197,15 @@ class TaskManager:
         self._delivery_listeners: list = []
         self._error_listeners: list = []
         self._quality_rng = random.Random(quality.seed) if quality is not None else None
+        # Optional durability journal (an EngineJournal) recording the
+        # externally-visible lifecycle events: HIT posts, settlements and
+        # answer deliveries.
+        self._journal = None
         platform.on_assignment_submitted(self._on_assignment_submitted)
         platform.on_hit_expired(self._on_hit_expired)
+
+    def attach_journal(self, journal) -> None:
+        self._journal = journal
 
     # -- configuration -------------------------------------------------------------
 
@@ -534,6 +541,17 @@ class TaskManager:
         self._inflight_by_group.setdefault(group, set()).add(hit.hit_id)
         for query_id in shares:
             self._inflight_by_query.setdefault(query_id, set()).add(hit.hit_id)
+        if self._journal is not None:
+            self._journal.record(
+                "hit_posted",
+                {
+                    "hit_id": hit.hit_id,
+                    "spec": spec_name,
+                    "tasks": len(tasks),
+                    "cost": cost,
+                    "shares": dict(shares),
+                },
+            )
         return 1
 
     def _forget_inflight(self, hit_id: str, inflight: _InflightHIT) -> None:
@@ -580,6 +598,15 @@ class TaskManager:
         completed HIT it is a planned wave continuation.
         """
         submissions = hit.submitted_assignments
+        if self._journal is not None:
+            self._journal.record(
+                "hit_settled",
+                {
+                    "hit_id": hit.hit_id,
+                    "expired": expired,
+                    "submissions": len(submissions),
+                },
+            )
         if expired:
             self._refund_unfilled_slots(hit, inflight, submissions)
         self._score_gold(inflight.compiled, submissions)
@@ -822,6 +849,15 @@ class TaskManager:
     def _deliver(self, result: TaskResult) -> None:
         self.stats.tasks_completed += 1
         self.statistics.record_result(result)
+        if self._journal is not None:
+            self._journal.record(
+                "answer_delivered",
+                {
+                    "task_id": result.task.task_id,
+                    "query_id": result.task.query_id,
+                    "source": result.source.value,
+                },
+            )
         result.task.callback(result)
         for listener in self._delivery_listeners:
             listener(result)
@@ -947,3 +983,41 @@ class TaskManager:
             self._pending_by_query[query_id] = 0
         self._pending_groups_by_query.pop(query_id, None)
         return removed
+
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Cumulative counters + the cancellation set + the quality stream.
+
+        Pending queues, in-flight HITs and wave progress are *not*
+        captured: snapshots are only taken at quiescence (nothing queued,
+        nothing in flight — enforced by the engine's checkpoint), so the
+        only live state is what accumulates across queries.
+        """
+        from dataclasses import asdict
+
+        from repro.storage.snapshot import pack_rng_state
+
+        if self.has_outstanding_work():
+            raise TaskError("cannot snapshot the Task Manager with work outstanding")
+        return {
+            "stats": asdict(self.stats),
+            "cancelled_queries": sorted(self._cancelled_queries),
+            "quality_rng": (
+                pack_rng_state(self._quality_rng.getstate())
+                if self._quality_rng is not None
+                else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.storage.snapshot import unpack_rng_state
+
+        self.stats = TaskManagerStats(**state["stats"])
+        self._cancelled_queries = set(state["cancelled_queries"])
+        if state["quality_rng"] is not None:
+            if self._quality_rng is None:
+                raise TaskError(
+                    "snapshot has a quality stream but this engine has quality disabled"
+                )
+            self._quality_rng.setstate(unpack_rng_state(state["quality_rng"]))

@@ -196,6 +196,28 @@ class LearnedTaskModel(TaskModel):
         """Credit the money a crowd HIT would have cost (dashboard metric)."""
         self.stats.dollars_saved += dollars
 
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Learned parameters + usage counters for a snapshot.
+
+        The hyper-parameters are not captured — they come from the spec
+        registration the engine recipe re-runs on rebuild.
+        """
+        from dataclasses import asdict
+
+        return {
+            "weights": None if self._weights is None else self._weights.tolist(),
+            "bias": self._bias,
+            "stats": asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        weights = state["weights"]
+        self._weights = None if weights is None else np.asarray(weights, dtype=float)
+        self._bias = float(state["bias"])
+        self.stats = ModelStats(**state["stats"])
+
 
 class TaskModelRegistry:
     """Holds the task model (if any) for each task spec name."""
@@ -234,5 +256,31 @@ class TaskModelRegistry:
             if stats is not None:
                 total += stats.dollars_saved
         return total
+
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Per-model learned state, for models that support snapshots.
+
+        Models are *registered* by the engine recipe on rebuild; only
+        their learned parameters travel through the snapshot.
+        """
+        return {
+            name: model.state_dict()
+            for name, model in self._models.items()
+            if hasattr(model, "state_dict")
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.errors import RecoveryError
+
+        for name, model_state in state.items():
+            model = self._models.get(name)
+            if model is None or not hasattr(model, "load_state_dict"):
+                raise RecoveryError(
+                    f"snapshot carries task-model state for {name!r} but the rebuilt "
+                    "engine did not register that model"
+                )
+            model.load_state_dict(model_state)
 
 

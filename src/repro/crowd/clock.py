@@ -152,6 +152,21 @@ class SimulationClock:
         self._now = max(self._now, time)
         return fired
 
+    def restore_time(self, now: float) -> None:
+        """Jump the idle clock forward to ``now`` (snapshot recovery).
+
+        Only legal while no events are pending and only forward — a clock
+        with scheduled work cannot be teleported without reordering it,
+        and the no-rewind invariant stands during recovery too.
+        """
+        if self.pending_events:
+            raise CrowdError(
+                f"cannot restore clock time with {self.pending_events} events pending"
+            )
+        if now < self._now:
+            raise CrowdError(f"cannot rewind clock from {self._now:.3f} to {now:.3f}")
+        self._now = float(now)
+
     def advance_by(self, delta: float) -> int:
         """Advance the clock by ``delta`` seconds."""
         return self.advance_to(self._now + delta)

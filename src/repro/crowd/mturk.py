@@ -12,7 +12,6 @@ shared :class:`~repro.crowd.clock.SimulationClock`, so latency behaviour
 from __future__ import annotations
 
 import heapq
-import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -121,7 +120,9 @@ class MTurkSimulator:
         # Expiry-deadline heap of (expires_at, hit_id): earliest open-HIT
         # deadline without scanning, lazily pruned as HITs settle.
         self._expiry_heap: list[tuple[float, str]] = []
-        self._hit_counter = itertools.count(1)
+        # Plain int (not itertools.count) so a snapshot can capture and
+        # restore the id sequence exactly.
+        self._hit_seq = 0
         self._completion_listeners: list[Callable[[HIT, Assignment], None]] = []
         self._expiry_listeners: list[Callable[[HIT], None]] = []
         self._fault_rng = random.Random(self.faults.seed) if self.faults.enabled else None
@@ -168,8 +169,9 @@ class MTurkSimulator:
                 lifetime = self.faults.hit_lifetime
             else:
                 lifetime = 24 * 3600.0
+        self._hit_seq += 1
         hit = HIT(
-            hit_id=f"HIT{next(self._hit_counter):06d}",
+            hit_id=f"HIT{self._hit_seq:06d}",
             content=content,
             reward=reward,
             max_assignments=max_assignments,
@@ -401,6 +403,45 @@ class MTurkSimulator:
     def estimate_cost(self, reward: float, hit_count: int, assignments: int) -> float:
         """Requester-side estimate used by the optimizer's cost model."""
         return self.pricing.assignment_cost(reward) * hit_count * assignments
+
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Evolved platform state for a quiescent-point snapshot.
+
+        The HIT archive is deliberately *not* captured: live HITs are
+        clock-heap closures that cannot serialize, and snapshots are only
+        taken at quiescence, when every remaining archived HIT belongs to
+        a terminal query and can never influence execution again (only
+        the dashboard and the post-run invariant audit read the archive).
+        What must survive is the cumulative accounting, the id sequence
+        and the fault stream position.
+        """
+        from dataclasses import asdict
+
+        from repro.storage.snapshot import pack_rng_state
+
+        return {
+            "stats": asdict(self.stats),
+            "hit_seq": self._hit_seq,
+            "fault_rng": (
+                pack_rng_state(self._fault_rng.getstate())
+                if self._fault_rng is not None
+                else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.storage.snapshot import unpack_rng_state
+
+        self.stats = PlatformStats(**state["stats"])
+        self._hit_seq = int(state["hit_seq"])
+        if state["fault_rng"] is not None:
+            if self._fault_rng is None:
+                raise CrowdError(
+                    "snapshot has a fault stream but this simulator has faults disabled"
+                )
+            self._fault_rng.setstate(unpack_rng_state(state["fault_rng"]))
 
     def __repr__(self) -> str:
         return (

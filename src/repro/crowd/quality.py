@@ -223,6 +223,26 @@ class WorkerReputation:
         self._population_memo = (self._version, min_observations, min_workers, result)
         return result
 
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """The learned posteriors, for a snapshot (priors come from config)."""
+        return {
+            "alpha": dict(self._alpha),
+            "beta": dict(self._beta),
+            "gold_observations": dict(self._gold_observations),
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        self._alpha = {str(k): float(v) for k, v in state["alpha"].items()}
+        self._beta = {str(k): float(v) for k, v in state["beta"].items()}
+        self._gold_observations = {
+            str(k): int(v) for k, v in state["gold_observations"].items()
+        }
+        # Invalidate the population-accuracy memo.
+        self._version += 1
+        self._population_memo = None
+
     def summary(self) -> dict[str, Any]:
         """Aggregate view for the dashboard."""
         tracked = self.tracked_workers()

@@ -203,3 +203,26 @@ class WorkerPool:
         """Generate a platform-unique assignment id."""
         self._assignment_counter += 1
         return f"A{self._assignment_counter:06d}"
+
+    # -- durability -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Evolved marketplace state for a snapshot.
+
+        The population itself is *not* captured: it is a pure function of
+        ``(size, mix, seed)`` and is rebuilt identically by the engine
+        spec.  What evolves during a run is the shared random stream and
+        the assignment-id counter.
+        """
+        from repro.storage.snapshot import pack_rng_state
+
+        return {
+            "rng": pack_rng_state(self._rng.getstate()),
+            "assignment_counter": self._assignment_counter,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.storage.snapshot import unpack_rng_state
+
+        self._rng.setstate(unpack_rng_state(state["rng"]))
+        self._assignment_counter = int(state["assignment_counter"])

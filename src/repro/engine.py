@@ -29,7 +29,7 @@ simulation to completion.
 
 from __future__ import annotations
 
-import itertools
+from pathlib import Path
 
 from repro.core.exec.context import ExecutionContext, QueryConfig
 from repro.core.exec.executor import QueryExecutor
@@ -64,8 +64,17 @@ from repro.crowd.quality import (
     WorkerReputation,
 )
 from repro.crowd.worker_pool import PopulationMix, WorkerPool
-from repro.errors import QurkError
+from repro.errors import QurkError, SnapshotError
 from repro.storage.database import Database
+from repro.storage.durability import (
+    DurabilityConfig,
+    EngineJournal,
+    RecoveryResult,
+    capture_engine_state,
+    recover_engine,
+)
+from repro.storage.snapshot import write_snapshot
+from repro.storage.wal import WriteAheadLog
 from repro.workloads.oracles import CompositeOracle
 
 __all__ = ["QurkEngine"]
@@ -171,7 +180,17 @@ class QurkEngine:
         self.registry = TaskRegistry()
         self.default_query_config = default_query_config or QueryConfig()
         self.queries: dict[str, QueryHandle] = {}
-        self._query_ids = itertools.count(1)
+        # Plain int (not itertools.count) so recovery can restore it from a
+        # snapshot and replayed queries get their original ids back.
+        self._next_query_seq = 0
+        # Durability is opt-in via enable_durability()/recover().
+        self.durability: DurabilityConfig | None = None
+        self.journal: EngineJournal | None = None
+        # Outcomes (status + rows) of queries that finished before the
+        # snapshot this engine was recovered from; their query_submitted
+        # records were truncated out of the WAL, so these are the only
+        # surviving account of them.
+        self._recovered_outcomes: list[dict] = []
 
     # -- schema / data ------------------------------------------------------------------------
 
@@ -252,6 +271,16 @@ class QurkEngine:
         query on this marketplace; ``priority`` weights this query's share of
         scheduler passes.
         """
+        if self.journal is not None:
+            # Replay re-submits the logged SQL text; anything that cannot
+            # travel through the log verbatim would make recovery diverge.
+            if not isinstance(sql, str):
+                raise QurkError("a durable engine requires SQL text, not a pre-parsed statement")
+            if config is not None:
+                raise QurkError(
+                    "a durable engine does not accept per-query config overrides; "
+                    "set default_query_config on the engine instead"
+                )
         statement = parse_select(sql) if isinstance(sql, str) else sql
         # Clone so per-query budget resolution never mutates the caller's (or
         # the engine's default) config, and new QueryConfig fields carry over.
@@ -261,7 +290,23 @@ class QurkEngine:
             effective_budget = query_config.budget
         query_config.budget = effective_budget
 
-        query_id = f"q{next(self._query_ids)}"
+        self._next_query_seq += 1
+        query_id = f"q{self._next_query_seq}"
+        if self.journal is not None:
+            # Submissions are the replay source, but they group-commit: the
+            # WAL's append ordering plus the forced-durable record at drain
+            # entry guarantee every submission is on disk before any of its
+            # crowd effects happen, without paying an fsync per query().
+            # Under fsync="always" the append is synced immediately anyway.
+            self.journal.record(
+                "query_submitted",
+                {
+                    "query_id": query_id,
+                    "sql": sql,
+                    "budget": effective_budget,
+                    "priority": priority,
+                },
+            )
         self.budget_ledger.register(query_id, effective_budget)
         planner = QueryPlanner(self.database, self.registry, self.optimizer, config=query_config)
         planned = planner.plan(statement, query_id=query_id)
@@ -309,6 +354,116 @@ class QurkEngine:
             config=(config or self.default_query_config).clone(),
         )
         return planner.explain(statement)
+
+    # -- durability --------------------------------------------------------------------------------
+
+    def enable_durability(
+        self,
+        config: DurabilityConfig,
+        *,
+        spec: dict | None = None,
+        _wal: WriteAheadLog | None = None,
+    ) -> EngineJournal:
+        """Start journalling every externally-visible event to a WAL.
+
+        ``spec`` is an optional engine recipe (``{"factory", "kwargs"}``,
+        the cluster :class:`~repro.cluster.worker.EngineSpec` payload
+        shape) stored in the WAL header so :meth:`recover` can rebuild
+        the engine without being told how.  Must be called before any
+        query is submitted — the log must contain the engine's whole
+        visible history.
+        """
+        if self.journal is not None:
+            raise QurkError("durability is already enabled on this engine")
+        if self._next_query_seq:
+            raise QurkError("enable durability before submitting queries, not after")
+        if _wal is not None:
+            wal = _wal
+        else:
+            directory = Path(config.directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            wal = WriteAheadLog.create(
+                directory / "wal.log",
+                spec=spec,
+                fsync=config.fsync,
+                fsync_every=config.fsync_every,
+            )
+        self.durability = config
+        self.journal = EngineJournal(wal)
+        self.budget_ledger.attach_journal(self.journal)
+        self.task_manager.attach_journal(self.journal)
+        self.scheduler.attach_journal(self.journal, checkpoint_hook=self._maybe_checkpoint)
+        return self.journal
+
+    def checkpoint(self) -> Path:
+        """Snapshot the engine and truncate the WAL up to the snapshot LSN.
+
+        Only legal at a quiescent point: open HITs live as closures on
+        the clock's event heap and cannot be serialised, so the engine
+        must have no pending events, no runnable queries and no
+        outstanding crowd work.  (The scheduler calls this automatically
+        at the end of a completed ``drain()`` when ``snapshot_every`` is
+        configured.)
+        """
+        if self.journal is None:
+            raise QurkError("checkpoint() requires durability; call enable_durability first")
+        if (
+            self.clock.pending_events
+            or self.scheduler.has_work()
+            or self.task_manager.has_outstanding_work()
+        ):
+            raise SnapshotError(
+                "cannot snapshot a non-quiescent engine: "
+                f"{self.clock.pending_events} clock events pending, "
+                f"scheduler has_work={self.scheduler.has_work()}, "
+                f"outstanding crowd work={self.task_manager.has_outstanding_work()}"
+            )
+        state = capture_engine_state(self)
+        lsn = self.journal.wal.last_lsn
+        path = write_snapshot(Path(self.durability.directory), state, lsn=lsn)
+        self.journal.wal.truncate_to(lsn)
+        self.journal.snapshot_taken()
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        """Auto-checkpoint hook the scheduler fires after a completed drain."""
+        if self.journal is None or self.journal.replaying or self.durability is None:
+            return
+        if not self.journal.snapshot_due(self.durability.snapshot_every):
+            return
+        if (
+            self.clock.pending_events
+            or self.scheduler.has_work()
+            or self.task_manager.has_outstanding_work()
+        ):
+            return
+        self.checkpoint()
+
+    @classmethod
+    def recover(
+        cls,
+        path: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_every: int = 256,
+        snapshot_every: int | None = 200,
+        factory=None,
+    ) -> RecoveryResult:
+        """Rebuild an engine from a durability directory after a crash.
+
+        Loads the newest readable snapshot, replays every logged query
+        submitted after it, and returns a
+        :class:`~repro.storage.durability.RecoveryResult` whose engine
+        is byte-identical (per ``fingerprint_engine``) to an
+        uninterrupted run — determinism does the heavy lifting.
+        """
+        return recover_engine(
+            path,
+            fsync=fsync,
+            fsync_every=fsync_every,
+            snapshot_every=snapshot_every,
+            factory=factory,
+        )
 
     # -- simulation control ------------------------------------------------------------------------
 

@@ -16,6 +16,10 @@ __all__ = [
     "CatalogError",
     "TypeCheckError",
     "ExpressionError",
+    "WALError",
+    "WALCorruptionError",
+    "SnapshotError",
+    "RecoveryError",
     "ParseError",
     "PlanError",
     "ExecutionError",
@@ -33,6 +37,7 @@ __all__ = [
     "WorkloadError",
     "DashboardError",
     "ClusterError",
+    "ShardCrashedError",
 ]
 
 
@@ -63,6 +68,27 @@ class TypeCheckError(StorageError):
 
 class ExpressionError(StorageError):
     """An expression could not be evaluated against a row."""
+
+
+class WALError(StorageError):
+    """The write-ahead log was used incorrectly (closed log, bad LSN, ...)."""
+
+
+class WALCorruptionError(WALError):
+    """A WAL record failed its length/CRC/decoding check.
+
+    Raised only when corruption cannot be handled by clean truncation —
+    a torn *tail* is expected after a crash and is silently truncated at
+    the last valid record boundary instead.
+    """
+
+
+class SnapshotError(StorageError):
+    """A snapshot could not be written, or no readable snapshot survives."""
+
+
+class RecoveryError(StorageError):
+    """Snapshot + WAL replay could not reconstruct a consistent engine."""
 
 
 # ---------------------------------------------------------------------------
@@ -175,3 +201,30 @@ class DashboardError(QurkError):
 
 class ClusterError(QurkError):
     """The shard-per-process cluster runtime hit a protocol or worker fault."""
+
+
+class ShardCrashedError(ClusterError):
+    """A shard worker process died (or stopped responding) mid-operation.
+
+    Attributes
+    ----------
+    shard_id, pid, exitcode, op:
+        Diagnostics for the dead worker: which shard, its process id, the
+        exit code reported by the OS (``None`` while undetermined) and the
+        cluster operation that was in flight when the death was detected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: int,
+        pid: int | None = None,
+        exitcode: int | None = None,
+        op: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.pid = pid
+        self.exitcode = exitcode
+        self.op = op

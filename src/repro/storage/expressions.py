@@ -413,6 +413,37 @@ def compile_batch_expression(
     three-valued logic whenever a NULL is present or a type error must be
     reported.  Equality fast paths additionally require NULL-free inputs
     because ``operator.eq(None, None)`` is True while SQL says NULL.
+
+    Error ordering: a column kernel evaluates subexpressions column-at-a-
+    time, so when several cells would raise, the cell it reaches first can
+    differ from the one per-row evaluation reaches first (column-major vs
+    row-major order).  Any :class:`ExpressionError` therefore triggers a
+    row-at-a-time re-evaluation of the whole expression, which raises the
+    exact error the per-row path raises — the error path pays for the rerun,
+    the success path pays one try frame.
+    """
+    kernel = _compile_batch_node(expression, schema)
+    compiled_row = compile_expression(expression, schema)
+
+    def with_row_major_errors(batch: "RowBatch") -> Sequence[Any]:
+        try:
+            return kernel(batch)
+        except ExpressionError:
+            for row in batch.to_rows():
+                compiled_row(row)
+            raise  # per-row found no error: keep the kernel's diagnosis
+
+    return with_row_major_errors
+
+
+def _compile_batch_node(
+    expression: Expression, schema: "Schema"
+) -> Callable[["RowBatch"], Sequence[Any]]:
+    """The recursive kernel compiler behind :func:`compile_batch_expression`.
+
+    Kernels compose without the row-major error wrapper — only the root of
+    the tree rewinds to per-row evaluation, so nested failures propagate up
+    raw and are re-diagnosed exactly once.
     """
     if isinstance(expression, Literal):
         value = expression.value
@@ -421,8 +452,8 @@ def compile_batch_expression(
         index = schema.index_of(expression.name)
         return lambda batch: batch.column_at(index)
     if isinstance(expression, Comparison):
-        left = compile_batch_expression(expression.left, schema)
-        right = compile_batch_expression(expression.right, schema)
+        left = _compile_batch_node(expression.left, schema)
+        right = _compile_batch_node(expression.right, schema)
         fast = _FAST_COMPARATORS[expression.op]
         comparator = _COMPARATORS[expression.op]
         op = expression.op
@@ -451,8 +482,8 @@ def compile_batch_expression(
 
         return compare_columns
     if isinstance(expression, BooleanOp):
-        left = compile_batch_expression(expression.left, schema)
-        right = compile_batch_expression(expression.right, schema)
+        left = _compile_batch_node(expression.left, schema)
+        right = _compile_batch_node(expression.right, schema)
         if expression.op == "and":
 
             def conjoin_columns(batch: "RowBatch") -> Sequence[Any]:
@@ -481,13 +512,13 @@ def compile_batch_expression(
 
         return disjoin_columns
     if isinstance(expression, Not):
-        operand = compile_batch_expression(expression.operand, schema)
+        operand = _compile_batch_node(expression.operand, schema)
         return lambda batch: [
             None if value is None else not value for value in operand(batch)
         ]
     if isinstance(expression, Arithmetic):
-        left = compile_batch_expression(expression.left, schema)
-        right = compile_batch_expression(expression.right, schema)
+        left = _compile_batch_node(expression.left, schema)
+        right = _compile_batch_node(expression.right, schema)
         fast = _FAST_ARITHMETIC[expression.op]
         arith = _ARITHMETIC[expression.op]
         op = expression.op
@@ -517,7 +548,7 @@ def compile_batch_expression(
         return apply_columns
     if isinstance(expression, FunctionCall) and expression.implementation is not None:
         args = tuple(
-            compile_batch_expression(arg, schema) for arg in expression.args
+            _compile_batch_node(arg, schema) for arg in expression.args
         )
         implementation = expression.implementation
         if not args:

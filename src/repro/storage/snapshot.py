@@ -1,0 +1,177 @@
+"""Versioned, atomic engine snapshots + exact-round-trip value packing.
+
+A snapshot is one JSON file, ``snapshot-<LSN 12 digits>.json``, written
+with the classic temp-then-rename dance (write, flush, fsync, rename,
+fsync directory) so a crash mid-write leaves either the previous
+snapshot or a complete new one — never a half file.  Each file carries a
+format version, the WAL LSN it is consistent with, and a CRC32 over the
+canonical JSON encoding of the state; :func:`load_latest_snapshot` walks
+snapshots newest-first and falls back to an older file when the newest
+fails its checksum or decode.
+
+Because engine state includes dict keys and cached values built from
+tuples (task-cache keys, JOIN_BLOCK reductions), plain JSON would
+silently lower tuples to lists and break key equality on restore.
+:func:`pack_value` / :func:`unpack_value` tag every value with its
+concrete type so the round trip is *exact* — and raise
+:class:`~repro.errors.SnapshotError` on anything unsupported, because a
+silently-dropped cache entry would diverge recovery fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SnapshotError
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "pack_value",
+    "unpack_value",
+    "pack_rng_state",
+    "unpack_rng_state",
+    "write_snapshot",
+    "load_latest_snapshot",
+    "snapshot_path",
+]
+
+SNAPSHOT_VERSION = 1
+
+_SNAPSHOT_GLOB = "snapshot-*.json"
+
+#: JSON-native scalars that survive a round trip unchanged (bool before
+#: int matters only for isinstance checks; json keeps them distinct).
+_SCALARS = (bool, int, float, str)
+
+
+def pack_value(value: Any) -> Any:
+    """Encode ``value`` as a JSON-safe tagged structure; exact round trip."""
+    if value is None or isinstance(value, _SCALARS):
+        return {"t": "s", "v": value}
+    if isinstance(value, tuple):
+        return {"t": "t", "v": [pack_value(item) for item in value]}
+    if isinstance(value, list):
+        return {"t": "l", "v": [pack_value(item) for item in value]}
+    if isinstance(value, dict):
+        pairs = []
+        for key, item in value.items():
+            pairs.append([pack_value(key), pack_value(item)])
+        return {"t": "d", "v": pairs}
+    raise SnapshotError(
+        f"cannot snapshot a value of type {type(value).__name__!r}: {value!r}"
+    )
+
+
+def unpack_value(packed: Any) -> Any:
+    """Inverse of :func:`pack_value`."""
+    try:
+        tag, value = packed["t"], packed["v"]
+    except (TypeError, KeyError) as error:
+        raise SnapshotError(f"malformed packed value: {packed!r}") from error
+    if tag == "s":
+        return value
+    if tag == "t":
+        return tuple(unpack_value(item) for item in value)
+    if tag == "l":
+        return [unpack_value(item) for item in value]
+    if tag == "d":
+        return {unpack_value(key): unpack_value(item) for key, item in value}
+    raise SnapshotError(f"unknown pack tag {tag!r}")
+
+
+def pack_rng_state(state: tuple) -> list:
+    """``random.Random.getstate()`` -> JSON-safe list."""
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def unpack_rng_state(packed: list) -> tuple:
+    """Inverse of :func:`pack_rng_state` (for ``Random.setstate``)."""
+    version, internal, gauss = packed
+    return (version, tuple(internal), gauss)
+
+
+def snapshot_path(directory: str | Path, lsn: int) -> Path:
+    return Path(directory) / f"snapshot-{lsn:012d}.json"
+
+
+def _canonical(state: dict[str, Any]) -> str:
+    try:
+        return json.dumps(state, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as error:
+        raise SnapshotError(f"snapshot state is not JSON-serialisable: {error}") from error
+
+
+def write_snapshot(
+    directory: str | Path, state: dict[str, Any], *, lsn: int, keep: int = 2
+) -> Path:
+    """Atomically persist ``state`` as the snapshot consistent with ``lsn``.
+
+    Keeps the newest ``keep`` snapshot files and prunes the rest — one
+    spare generation survives so a corrupt newest file still recovers.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    body = _canonical(state)
+    document = {
+        "version": SNAPSHOT_VERSION,
+        "lsn": lsn,
+        "checksum": zlib.crc32(body.encode("utf-8")),
+        "state": state,
+    }
+    target = snapshot_path(directory, lsn)
+    tmp_path = target.with_suffix(".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, target)
+    _fsync_directory(directory)
+    for stale in sorted(directory.glob(_SNAPSHOT_GLOB))[:-keep]:
+        stale.unlink(missing_ok=True)
+    return target
+
+
+def load_latest_snapshot(directory: str | Path) -> tuple[int, dict[str, Any]] | None:
+    """Newest readable snapshot as ``(lsn, state)``, or None if none exist.
+
+    Corrupt files (bad JSON, wrong version, checksum mismatch) are skipped
+    in favour of the next-newest; if files exist but *none* is readable
+    that is a :class:`~repro.errors.SnapshotError`, not a silent cold
+    start — recovery must not quietly discard paid-for state.
+    """
+    candidates = sorted(Path(directory).glob(_SNAPSHOT_GLOB), reverse=True)
+    if not candidates:
+        return None
+    failures: list[str] = []
+    for path in candidates:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if document["version"] != SNAPSHOT_VERSION:
+                raise SnapshotError(f"unsupported snapshot version {document['version']}")
+            state = document["state"]
+            body = _canonical(state)
+            if zlib.crc32(body.encode("utf-8")) != document["checksum"]:
+                raise SnapshotError("checksum mismatch")
+            return int(document["lsn"]), state
+        except (OSError, ValueError, KeyError, TypeError, SnapshotError) as error:
+            failures.append(f"{path.name}: {error}")
+    raise SnapshotError(
+        "no readable snapshot in "
+        f"{directory} ({'; '.join(failures)})"
+    )
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

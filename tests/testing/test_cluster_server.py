@@ -14,6 +14,7 @@ import pytest
 from repro.cluster import EngineSpec, ShardCoordinator
 from repro.cluster.serialization import decode_rows
 from repro.cluster.server import ClusterServer, request
+from repro.errors import ClusterError
 
 FILTER_SQL = "SELECT name FROM products WHERE isTargetColor(name)"
 SPEC = EngineSpec(
@@ -66,5 +67,8 @@ def test_server_round_trip():
 
 
 def test_request_helper_rejects_dead_port():
-    with pytest.raises(OSError):
-        asyncio.run(request("127.0.0.1", 1, {"op": "stats"}))
+    """Connect failures retry with backoff, then raise a terminal error."""
+    with pytest.raises(ClusterError, match=r"failed after 2 attempt\(s\)"):
+        asyncio.run(
+            request("127.0.0.1", 1, {"op": "stats"}, attempts=2, backoff=0.01)
+        )

@@ -1,0 +1,143 @@
+"""Kill-at-K recovery invariants: every crash point recovers byte-identically.
+
+The invariant under test is the strongest the engine can offer: for ANY
+WAL append K and ANY fsync policy, killing a durable run at K and
+recovering from disk yields an engine whose ``fingerprint_engine`` output
+equals an uninterrupted, non-durable run of the submissions that made it
+into the log.  Determinism turns "recovery looks right" into "recovery is
+bit-exact".
+"""
+
+import random
+
+import pytest
+
+from repro.engine import QurkEngine
+from repro.testing.crashpoints import (
+    all_crash_scenarios,
+    corrupt_tail,
+    count_wal_events,
+    crash_points,
+    faulty_crash_scenario,
+    plain_crash_scenario,
+    quality_crash_scenario,
+    recovered_fingerprint,
+    recovered_query_count,
+    reference_fingerprint,
+    run_durable,
+)
+
+SCENARIOS = {scenario.name: scenario for scenario in all_crash_scenarios()}
+
+
+def _assert_crash_recovers_exactly(scenario, tmp_path, *, crash_at, fsync):
+    run_durable(scenario, tmp_path, fsync=fsync, crash_at=crash_at)
+    result = QurkEngine.recover(tmp_path, fsync=fsync)
+    n = recovered_query_count(result)
+    assert recovered_fingerprint(result) == reference_fingerprint(scenario, n)
+    return result
+
+
+class TestKillAtKSweep:
+    """Seeded crash-point schedules over each scenario's full event range."""
+
+    @pytest.mark.parametrize("name", list(SCENARIOS))
+    def test_sweep(self, name, tmp_path):
+        scenario = SCENARIOS[name]
+        total = count_wal_events(scenario)
+        assert total > 20, "scenario too small to be an interesting sweep"
+        rng = random.Random(hash(name) & 0xFFFF)
+        for crash_at in crash_points(total, 5, seed=rng.randint(0, 1_000)):
+            fsync = rng.choice(("always", "interval", "off"))
+            directory = tmp_path / f"k{crash_at}"
+            _assert_crash_recovers_exactly(
+                scenario, directory, crash_at=crash_at, fsync=fsync
+            )
+
+    def test_crash_on_very_first_append(self, tmp_path):
+        """K=1 dies inside the first query() — before its group commit.
+
+        The submission was still in the WAL buffer, so recovery yields an
+        empty (but consistent) engine; with ``fsync="always"`` the same
+        crash point keeps the submission.
+        """
+        result = _assert_crash_recovers_exactly(
+            plain_crash_scenario(), tmp_path / "interval", crash_at=1, fsync="interval"
+        )
+        assert recovered_query_count(result) == 0
+        result = _assert_crash_recovers_exactly(
+            plain_crash_scenario(), tmp_path / "always", crash_at=1, fsync="always"
+        )
+        assert recovered_query_count(result) == 1
+
+    def test_drain_barrier_commits_pending_submissions(self, tmp_path):
+        """Crashing right past a drain record never loses its submissions."""
+        scenario = plain_crash_scenario()
+        # Find the first drain record's LSN, then crash just after it.
+        probe = tmp_path / "probe"
+        run_durable(scenario, probe, fsync="off")
+        from repro.storage.wal import WriteAheadLog
+
+        info, _ = WriteAheadLog.scan(probe / "wal.log")
+        drain_lsn = next(r.lsn for r in info.records if r.type == "drain")
+        n_before = sum(
+            1
+            for r in info.records
+            if r.type == "query_submitted" and r.lsn < drain_lsn
+        )
+        assert n_before >= 1
+        result = _assert_crash_recovers_exactly(
+            scenario, tmp_path / "crash", crash_at=drain_lsn + 1, fsync="off"
+        )
+        assert recovered_query_count(result) >= n_before
+
+    def test_crash_beyond_the_end_recovers_the_full_run(self, tmp_path):
+        scenario = plain_crash_scenario()
+        result = _assert_crash_recovers_exactly(
+            scenario, tmp_path, crash_at=10_000, fsync="off"
+        )
+        assert recovered_query_count(result) == scenario.total_submissions
+
+
+class TestCrashSmoke:
+    """The fast fixed-point subset CI's crash-matrix job runs by name."""
+
+    @pytest.mark.parametrize("crash_at", [1, 40, 120])
+    def test_fixed_points(self, crash_at, tmp_path):
+        _assert_crash_recovers_exactly(
+            plain_crash_scenario(), tmp_path, crash_at=crash_at, fsync="interval"
+        )
+
+    def test_corruption_case(self, tmp_path):
+        scenario = plain_crash_scenario()
+        run_durable(scenario, tmp_path, fsync="always")
+        corrupt_tail(tmp_path / "wal.log", mode="truncate", seed=5)
+        result = QurkEngine.recover(tmp_path)
+        assert result.corruption is not None
+        assert result.truncated_bytes > 0
+        n = recovered_query_count(result)
+        assert recovered_fingerprint(result) == reference_fingerprint(scenario, n)
+
+
+class TestCorruptedTails:
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_damage_is_detected_and_recovery_is_clean(self, mode, seed, tmp_path):
+        scenario = faulty_crash_scenario()
+        run_durable(scenario, tmp_path, fsync="always")
+        corrupt_tail(tmp_path / "wal.log", mode=mode, seed=seed)
+        result = QurkEngine.recover(tmp_path)
+        assert result.corruption is not None
+        n = recovered_query_count(result)
+        assert recovered_fingerprint(result) == reference_fingerprint(scenario, n)
+
+    def test_double_crash_recover_crash_recover(self, tmp_path):
+        """Recovery itself is durable: crash again after recovering."""
+        scenario = quality_crash_scenario()
+        run_durable(scenario, tmp_path, fsync="interval", crash_at=30)
+        first = QurkEngine.recover(tmp_path)
+        first.engine.journal.wal.simulate_crash()
+        second = QurkEngine.recover(tmp_path)
+        n = recovered_query_count(second)
+        assert recovered_fingerprint(second) == reference_fingerprint(scenario, n)
+        assert recovered_fingerprint(second) == recovered_fingerprint(first)
