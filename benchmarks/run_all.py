@@ -36,11 +36,12 @@ sys.path.insert(0, str(BENCH_DIR))
 
 #: The ``--quick`` smoke subset: one cheap end-to-end caching experiment, the
 #: adaptive re-planning experiment, the engine-overhead benchmark, the
-#: worker quality-control experiment, the control-plane scaling benchmark
-#: and the sharded scale-out curve, so plan-layer, data-plane,
-#: quality-control, control-plane, cluster-runtime and durability
-#: regressions surface in CI without paying for the full sweep.
-QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15", "e16", "e17")
+#: worker quality-control experiment, the control-plane scaling benchmark,
+#: the sharded scale-out curve and the traffic-replay amortization check,
+#: so plan-layer, data-plane, quality-control, control-plane,
+#: cluster-runtime, durability and answer-tier regressions surface in CI
+#: without paying for the full sweep.
+QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15", "e16", "e17", "e18")
 
 #: Quick-mode size overrides for benchmarks whose full curve is minutes
 #: long; keys are module stems, values are kwargs for every ``run_*``
@@ -61,6 +62,13 @@ QUICK_OVERRIDES = {
         "query_counts": (8, 32),
         "intervals": (None, 100),
         "batches": 4,
+    },
+    # The quick pytest gate's trace sizes; the 10k-query replay stays the
+    # default for `run_all.py e18`.
+    "bench_e18_traffic_replay": {
+        "n_queries": 600,
+        "n_companies": 30,
+        "rounds": 4,
     },
 }
 

@@ -22,6 +22,7 @@ drain of an N-shard cluster all N engines make progress at once.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -77,6 +78,8 @@ class ClusterStats:
     queries: dict[str, dict[str, Any]] = field(default_factory=dict)
     peak_rss_kb_sum: int = 0
     peak_rss_kb_max: int = 0
+    answer_directory_entries: int = 0
+    answers_pushed: int = 0
 
 
 class _Shard:
@@ -119,6 +122,15 @@ class ShardCoordinator:
         Seconds the coordinator waits for one op reply before declaring the
         worker hung.  Liveness is checked every 100ms regardless, so a
         *dead* worker is detected within a poll slice, not the timeout.
+    share_answers:
+        With ``True`` the coordinator keeps an answer directory: around
+        every drain it pulls each shard's fresh cache stores
+        (``cache_export``), merges them keep-first in shard order, and
+        pushes the deltas back out (``cache_import``) — so a task answered
+        on shard 2 is a cache hit on shard 5.  Workers never talk to each
+        other; the coordinator mediates, which keeps the protocol
+        pull/push over the existing pipes.  Off by default: a non-sharing
+        cluster is byte-identical to the pre-directory behaviour.
     """
 
     def __init__(
@@ -133,6 +145,7 @@ class ShardCoordinator:
         durability_fsync: str = "interval",
         durability_fsync_every: int = 256,
         call_timeout: float = 300.0,
+        share_answers: bool = False,
     ):
         if n_shards < 1:
             raise ClusterError(f"a cluster needs at least 1 shard, got {n_shards}")
@@ -153,6 +166,15 @@ class ShardCoordinator:
         self._durability_fsync_every = durability_fsync_every
         self.call_timeout = call_timeout
         self.heals: int = 0
+        self.share_answers = share_answers
+        # The answer directory: every entry any shard has exported, merged
+        # keep-first in shard order (deterministic), plus per-shard export
+        # cursors and per-shard push positions into the directory.
+        self._answer_directory: list[dict[str, Any]] = []
+        self._answer_keys: set[str] = set()
+        self._cache_cursors: dict[int, int] = {}
+        self._pushed: dict[int, int] = {}
+        self.answers_pushed: int = 0
         self._shards: list[_Shard] = []
         self._routes: dict[str, int] = {}
         self._admitted = 0
@@ -303,6 +325,13 @@ class ShardCoordinator:
         old.process.join(timeout=5)
         self._shards[shard_id] = self._spawn(shard_id)
         self.heals += 1
+        # The healed worker replayed its WAL, which deterministically
+        # rebuilt its *local* store log — but imported entries were never
+        # journalled there.  Restart this shard's sharing from scratch:
+        # re-exports dedup against the directory and re-imports are
+        # idempotent (local entries win).
+        self._cache_cursors[shard_id] = 0
+        self._pushed[shard_id] = 0
         shard = self._shards[shard_id]
         self._send(shard, {"op": "ping"})
         reply = self._recv(shard, "ping")
@@ -452,11 +481,59 @@ class ShardCoordinator:
         replies = self._broadcast({"op": "pump", "max_passes": 0})
         return any(reply["has_work"] for reply in replies)
 
+    def sync_answers(self) -> dict[str, int]:
+        """One pull/merge/push round of the cross-shard answer directory.
+
+        Pull: ask each shard (in shard order) for cache stores made since
+        the coordinator's cursor.  Merge: first shard to export a
+        ``(task name, cache key)`` wins — shard order makes the merge
+        deterministic.  Push: ship each shard the directory entries it has
+        not seen yet; the shard's own entries come back to it too, but
+        imports never displace local entries, so the round-trip is a no-op
+        there.  Returns ``{"pulled", "merged", "pushed"}`` counts.
+        """
+        if not self._shards:
+            raise ClusterError("coordinator not started (use start() or a with-block)")
+        pulled = merged = pushed = 0
+        for shard in self._shards:
+            shard_id = shard.shard_id
+            reply = self._call(
+                shard_id,
+                {"op": "cache_export", "since": self._cache_cursors.get(shard_id, 0)},
+            )
+            self._cache_cursors[shard_id] = reply["cursor"]
+            for item in reply["entries"]:
+                pulled += 1
+                dedup = json.dumps([item["name"], item["key"]], sort_keys=True)
+                if dedup in self._answer_keys:
+                    continue
+                self._answer_keys.add(dedup)
+                self._answer_directory.append(item)
+                merged += 1
+        for shard in self._shards:
+            shard_id = shard.shard_id
+            start = self._pushed.get(shard_id, 0)
+            delta = self._answer_directory[start:]
+            if delta:
+                self._call(shard_id, {"op": "cache_import", "entries": delta})
+                pushed += len(delta)
+            self._pushed[shard_id] = len(self._answer_directory)
+        self.answers_pushed += pushed
+        return {"pulled": pulled, "merged": merged, "pushed": pushed}
+
     def drain(self) -> dict[str, str]:
         """Run every shard to quiescence; statuses keyed by cluster query id."""
+        if self.share_answers:
+            # Answers from earlier rounds become hits for the queries this
+            # drain is about to run...
+            self.sync_answers()
         statuses: dict[str, str] = {}
         for reply in self._broadcast({"op": "drain"}):
             statuses.update(reply["statuses"])
+        if self.share_answers:
+            # ...and answers produced by this drain enter the directory so
+            # the *next* submission round hits anywhere in the cluster.
+            self.sync_answers()
         return statuses
 
     def stats(self) -> ClusterStats:
@@ -477,6 +554,8 @@ class ShardCoordinator:
                     merged.totals[key] = merged.totals.get(key, 0) + value
             merged.peak_rss_kb_sum += reply["peak_rss_kb"]
             merged.peak_rss_kb_max = max(merged.peak_rss_kb_max, reply["peak_rss_kb"])
+        merged.answer_directory_entries = len(self._answer_directory)
+        merged.answers_pushed = self.answers_pushed
         return merged
 
     def dashboard(self) -> str:

@@ -272,6 +272,7 @@ class ShardWorker:
         manager = self.engine.task_manager.stats
         platform = self.engine.platform.stats
         scheduler = self.engine.scheduler.metrics
+        cache = self.engine.task_cache.stats
         queries = {}
         for qid in self._order:
             stats = self._handles[qid].stats
@@ -301,6 +302,11 @@ class ShardWorker:
                 "tasks_completed": manager.tasks_completed,
                 "cache_answers": manager.cache_answers,
                 "model_answers": manager.model_answers,
+                "cache_entries": cache.entries,
+                "cache_entries_imported": cache.entries_imported,
+                "cross_shard_hits": cache.cross_shard_hits,
+                "cache_expirations": cache.expirations,
+                "cache_admissions_rejected": cache.admissions_rejected,
                 "hits_posted": manager.hits_posted,
                 "cross_query_hits": manager.cross_query_hits,
                 "scheduler_passes": scheduler.passes,
@@ -309,6 +315,21 @@ class ShardWorker:
             },
             peak_rss_kb=_peak_rss_kb(),
         )
+
+    def _op_cache_export(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Ship cache stores made since the coordinator's cursor.
+
+        Entries arrive pack_value-encoded (JSON-safe), so the reply crosses
+        the pipe without any engine object leaking across the boundary.
+        """
+        cursor, entries = self.engine.task_cache.export_since(
+            int(message.get("since", 0))
+        )
+        return reply_ok(shard=self.shard_id, cursor=cursor, entries=entries)
+
+    def _op_cache_import(self, message: dict[str, Any]) -> dict[str, Any]:
+        imported = self.engine.task_cache.import_entries(message.get("entries", []))
+        return reply_ok(shard=self.shard_id, imported=imported)
 
     def _op_dashboard(self, message: dict[str, Any]) -> dict[str, Any]:
         dashboard = QueryDashboard(self.engine)

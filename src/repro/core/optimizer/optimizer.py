@@ -44,6 +44,7 @@ __all__ = [
     "CostingPass",
     "QueryOptimizer",
     "majority_accuracy",
+    "MODEL_RESIDUAL_FRACTION",
 ]
 
 
@@ -112,6 +113,14 @@ class JoinChoice:
     estimate: CostEstimate = CostEstimate()
 
 
+#: Residual cost fraction for a spec served by a trusted Task Model: the
+#: model answers most tasks for free, but predictions below its confidence
+#: threshold still fall through to the crowd, so the optimizer keeps a small
+#: non-zero remainder ("~zero", not zero) rather than pretending escalated
+#: specs are entirely free.
+MODEL_RESIDUAL_FRACTION = 0.05
+
+
 class CostingPass:
     """One plan-costing pass: cached statistics plus shared knobs.
 
@@ -127,12 +136,17 @@ class CostingPass:
         cost_model: CostModel,
         config: OptimizerConfig,
         reputation: WorkerReputation | None = None,
+        models=None,
     ) -> None:
         self.statistics = statistics
         self.cost_model = cost_model
         self.config = config
         self.reputation = reputation
+        # Optional TaskModelRegistry: trusted models escalate — they answer
+        # instead of the crowd — so costing discounts their specs to ~zero.
+        self.models = models
         self._spec_stats: dict[str, SpecStats] = {}
+        self._model_residual: dict[str, float] = {}
 
     def spec_stats(self, name: str) -> SpecStats:
         """The (cached) statistics snapshot for one task spec."""
@@ -155,6 +169,40 @@ class CostingPass:
         if prior is None:
             prior = StatisticsManager.DEFAULT_SELECTIVITY_PRIOR
         return blend_selectivity(self.spec_stats(name), prior)
+
+    def model_residual(self, spec: TaskSpec) -> float:
+        """Fraction of ``spec``'s crowd cost that survives model escalation.
+
+        1.0 while the crowd answers; :data:`MODEL_RESIDUAL_FRACTION` once a
+        trusted learned model answers instead (its holdout posterior cleared
+        the trust threshold).  Memoized per pass so every node costing the
+        same spec sees one consistent answer.
+        """
+        if self.models is None:
+            return 1.0
+        if spec.name not in self._model_residual:
+            model = self.models.model_for(spec.name)
+            trusted = model is not None and getattr(model, "is_trusted", False)
+            self._model_residual[spec.name] = MODEL_RESIDUAL_FRACTION if trusted else 1.0
+        return self._model_residual[spec.name]
+
+    def discount_for_model(self, spec: TaskSpec, estimate: CostEstimate) -> CostEstimate:
+        """Scale a crowd estimate by the spec's model-escalation residual.
+
+        Dollars, HITs and latency shrink (the model answers synchronously
+        and for free); task count and local work stay — each tuple is still
+        touched, just not by a human.
+        """
+        residual = self.model_residual(spec)
+        if residual >= 1.0:
+            return estimate
+        return CostEstimate(
+            tasks=estimate.tasks,
+            hits=estimate.hits * residual,
+            dollars=estimate.dollars * residual,
+            latency_seconds=estimate.latency_seconds * residual,
+            local_work=estimate.local_work,
+        )
 
 
 def _worker_accuracy(
@@ -217,6 +265,7 @@ class QueryOptimizer:
         config: OptimizerConfig | None = None,
         *,
         reputation: WorkerReputation | None = None,
+        models=None,
     ) -> None:
         self.statistics = statistics
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -226,6 +275,10 @@ class QueryOptimizer:
         # observed from gold probes and vote agreement, which re-costs
         # redundancy mid-query as the marketplace reveals its quality.
         self.reputation = reputation
+        # Optional TaskModelRegistry for model-escalation-aware costing:
+        # specs whose learned model is trusted cost ~zero, closing the
+        # paper's Task Model optimizer loop.
+        self.models = models
 
     # -- redundancy -------------------------------------------------------------------------
 
@@ -316,7 +369,9 @@ class QueryOptimizer:
 
     def costing_pass(self) -> CostingPass:
         """A fresh costing context (statistics snapshotted once per spec)."""
-        return CostingPass(self.statistics, self.cost_model, self.config, self.reputation)
+        return CostingPass(
+            self.statistics, self.cost_model, self.config, self.reputation, self.models
+        )
 
     def estimate_logical_cost(self, root) -> CostEstimate:
         """Cost a logical plan; annotates every node's rows/cost en route.

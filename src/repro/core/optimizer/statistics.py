@@ -190,12 +190,15 @@ class StatisticsManager:
             spec_stats.cache_hits += 1
             if query_stats is not None:
                 query_stats.cache_hits += 1
-                query_stats.dollars_saved_cache += spec_stats.mean_cost or 0.0
+                # The Task Manager computed what this task would have spent
+                # (assignment_cost x redundancy); the old mean-cost proxy
+                # misattributed whatever the *stored* answer happened to cost.
+                query_stats.dollars_saved_cache += result.avoided_cost
         elif result.source is ResultSource.MODEL:
             spec_stats.model_answers += 1
             if query_stats is not None:
                 query_stats.model_answers += 1
-                query_stats.dollars_saved_model += spec_stats.mean_cost or 0.0
+                query_stats.dollars_saved_model += result.avoided_cost
 
         if isinstance(result.reduced, bool):
             spec_stats.boolean_total += 1

@@ -286,9 +286,11 @@ class LogicalFilter(LogicalNode):
         rows = child_rows[0] if child_rows else 0.0
         if not self.is_crowd:
             return CostEstimate(local_work=FILTER_WORK_PER_ROW * rows)
-        return costing.cost_model.filter_cost(
+        estimate = costing.cost_model.filter_cost(
             self.spec, rows, assignments=costing.assignments_for(self.spec)
         )
+        # A trusted learned model answers instead of the crowd: ~zero cost.
+        return costing.discount_for_model(self.spec, estimate)
 
 
 class LogicalJoin(LogicalNode):
@@ -365,7 +367,14 @@ class LogicalJoin(LogicalNode):
                 left_per_hit=self.left_per_hit,
                 right_per_hit=self.right_per_hit,
             )
-        return costs
+        # A trusted learned model answers pair judgements instead of the
+        # crowd — every interface shrinks by the same residual, so the
+        # strategy choice itself is unchanged but join placement competes
+        # on the ~zero escalated cost.
+        return {
+            strategy: costing.discount_for_model(self.spec, estimate)
+            for strategy, estimate in costs.items()
+        }
 
     def estimate_cost(self, child_rows: list[float], costing) -> CostEstimate:
         n_left = child_rows[0] if child_rows else 0.0

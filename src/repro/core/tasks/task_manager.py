@@ -234,17 +234,25 @@ class TaskManager:
         """
         self.stats.tasks_submitted += 1
         self.statistics.record_task_submitted(task.query_id)
-        self._submitted_at[task.task_id] = self.platform.clock.now
+        now = self.platform.clock.now
+        self._submitted_at[task.task_id] = now
 
-        cached = self.cache.lookup(task.spec.name, task.cache_key)
+        cached = self.cache.lookup(task.spec.name, task.cache_key, now=now)
         if cached is not None:
+            # The savings are what *this* task would have spent on the
+            # crowd — reward + fee, times its redundancy — mirroring the
+            # model path's attribution, not the stored answer's own cost.
+            avoided = self.platform.pricing.assignment_cost(task.price) * task.assignments
+            self.cache.credit_savings(avoided)
             self.stats.cache_answers += 1
+            self._submitted_at.pop(task.task_id, None)
             self._deliver(
                 TaskResult(
                     task=task,
                     answers=AnswerList.of(()),
                     reduced=cached.reduced,
                     source=ResultSource.CACHE,
+                    avoided_cost=avoided,
                 )
             )
             return
@@ -253,17 +261,30 @@ class TaskManager:
         if model is not None and task.kind in (TaskKind.FILTER, TaskKind.JOIN_PAIR):
             prediction = model.predict(task)
             if prediction is not None:
-                answer, _confidence = prediction
+                answer, confidence = prediction
                 avoided = self.platform.pricing.assignment_cost(task.price) * task.assignments
                 if isinstance(model, LearnedTaskModel):
                     model.record_savings(avoided)
                 self.stats.model_answers += 1
+                # Cache the escalated answer (at zero cost) so identical
+                # follow-up tasks hit the cache instead of re-running
+                # predict, and the answer survives restarts via the tier.
+                self.cache.store(
+                    task.spec.name,
+                    task.cache_key,
+                    answer,
+                    cost=0.0,
+                    now=now,
+                    confidence=confidence,
+                )
+                self._submitted_at.pop(task.task_id, None)
                 self._deliver(
                     TaskResult(
                         task=task,
                         answers=AnswerList.of(()),
                         reduced=answer,
                         source=ResultSource.MODEL,
+                        avoided_cost=avoided,
                     )
                 )
                 return
@@ -480,6 +501,12 @@ class TaskManager:
                     query_id=query_id,
                 )
                 if raise_on_budget and single_query_batch:
+                    # The batch was already popped from the pending queue and
+                    # never comes back — reap its bookkeeping like the drop
+                    # path below does, or the stamps leak forever.
+                    for task in tasks:
+                        self._progress.pop(task.task_id, None)
+                        self._submitted_at.pop(task.task_id, None)
                     raise error
                 unaffordable.add(query_id)
                 self._budget_errors[query_id] = error
@@ -493,6 +520,7 @@ class TaskManager:
                 # headed for BUDGET_EXCEEDED); reap any accumulated wave
                 # progress so a long-lived engine does not leak it.
                 self._progress.pop(task.task_id, None)
+                self._submitted_at.pop(task.task_id, None)
             tasks = [task for task in tasks if task.query_id not in unaffordable]
             if not tasks:
                 return 0
@@ -699,7 +727,7 @@ class TaskManager:
         self._record_votes(answers, reduced)
         if progress.received < progress.target and not degraded:
             self.stats.early_stopped_tasks += 1
-        latency = now - self._submitted_at.get(task.task_id, posted_at)
+        latency = now - self._submitted_at.pop(task.task_id, posted_at)
         result = TaskResult(
             task=task,
             answers=answers,
@@ -709,7 +737,14 @@ class TaskManager:
             latency=latency,
             hit_id=hit_id,
         )
-        self.cache.store(task.spec.name, task.cache_key, reduced, cost=progress.cost, now=now)
+        self.cache.store(
+            task.spec.name,
+            task.cache_key,
+            reduced,
+            cost=progress.cost,
+            now=now,
+            confidence=self._answer_confidence(progress),
+        )
         model = self.models.model_for(task.spec.name)
         if model is not None and task.kind in (TaskKind.FILTER, TaskKind.JOIN_PAIR):
             model.observe(task, reduced)
@@ -729,6 +764,7 @@ class TaskManager:
             # budget); posting fresh HITs for it would spend money nobody is
             # waiting on — and deliver into closed operators.
             self._progress.pop(task.task_id, None)
+            self._submitted_at.pop(task.task_id, None)
             return
         progress = self._progress.get(task.task_id)
         if progress is None:
@@ -739,6 +775,7 @@ class TaskManager:
             if progress.attempts > self.max_attempts:
                 self.stats.tasks_exhausted += 1
                 del self._progress[task.task_id]
+                self._submitted_at.pop(task.task_id, None)
                 error = TaskError(
                     f"task {task.task_id} ({task.spec.name}) abandoned after "
                     f"{progress.attempts} failed HIT attempts "
@@ -776,6 +813,19 @@ class TaskManager:
         ):
             return None
         return self.reputation.vote_weights(answers.worker_ids)
+
+    def _answer_confidence(self, progress: _TaskProgress) -> float:
+        """Aggregate trust in a finalized answer, for cache admission.
+
+        The mean posterior accuracy (Beta posterior mean, prior included) of
+        the workers whose answers were reduced — the ``crowd/quality``
+        reputations the admission policy gates on.  Without a reputation
+        tracker every answer is fully trusted (legacy behaviour).
+        """
+        if self.reputation is None or not progress.workers:
+            return 1.0
+        total = sum(self.reputation.accuracy(worker) for worker in progress.workers)
+        return total / len(progress.workers)
 
     def _reduce(self, task: Task, answers: AnswerList):
         weights = self._vote_weights(answers)
@@ -973,6 +1023,7 @@ class TaskManager:
                 for task in queue:
                     if task.query_id == query_id:
                         self._progress.pop(task.task_id, None)
+                        self._submitted_at.pop(task.task_id, None)
                 dropped = len(queue) - len(kept)
                 removed += dropped
                 self._pending_total -= dropped

@@ -73,6 +73,12 @@ class QueryDashboard:
             mean_worker_accuracy = quality_summary["mean_accuracy"]
             flagged_workers = quality_summary["flagged"]
         fault_profile = getattr(self.engine.platform, "faults", None)
+        cache_stats = self.engine.task_cache.stats
+        trusted_models = sum(
+            1
+            for model in self.engine.task_models.models().values()
+            if getattr(model, "is_trusted", False)
+        )
         return QueryDashboardSnapshot(
             query_id=handle.query_id,
             sql=handle.sql,
@@ -117,6 +123,12 @@ class QueryDashboard:
             duplicate_submissions_ignored=platform_stats.duplicate_submissions_ignored,
             tasks_requeued=manager_stats.tasks_requeued,
             tasks_exhausted=manager_stats.tasks_exhausted,
+            cache_entries=cache_stats.entries,
+            cache_expirations=cache_stats.expirations,
+            cache_admissions_rejected=cache_stats.admissions_rejected,
+            cache_entries_imported=cache_stats.entries_imported,
+            cross_shard_hits=cache_stats.cross_shard_hits,
+            trusted_models=trusted_models,
         )
 
     def _operator_snapshots(self, handle: QueryHandle) -> list[OperatorSnapshot]:
@@ -179,6 +191,20 @@ class QueryDashboard:
             f"savings — cache: ${snapshot.cache_savings:,.2f} ({snapshot.cache_hits} hits)"
             f" | classifier: ${snapshot.model_savings:,.2f} ({snapshot.model_answers} answers)"
         )
+        if snapshot.cache_entries or snapshot.trusted_models or snapshot.cross_shard_hits:
+            tier = (
+                f"answer tier (engine-wide): {snapshot.cache_entries} entries"
+                f" | expired {snapshot.cache_expirations}"
+                f" | rejected {snapshot.cache_admissions_rejected}"
+            )
+            if snapshot.cache_entries_imported or snapshot.cross_shard_hits:
+                tier += (
+                    f" | imported {snapshot.cache_entries_imported}"
+                    f" | cross-shard hits {snapshot.cross_shard_hits}"
+                )
+            if snapshot.trusted_models:
+                tier += f" | trusted models {snapshot.trusted_models}"
+            lines.append(tier)
         if snapshot.workers_tracked:
             accuracy = (
                 f"{snapshot.mean_worker_accuracy:.0%}"

@@ -89,6 +89,15 @@ class QueryDashboardSnapshot:
     duplicate_submissions_ignored: int = 0
     tasks_requeued: int = 0
     tasks_exhausted: int = 0
+    # Answer tier (engine-wide): the shared cache's population and churn,
+    # plus how many learned models are trusted to answer in place of the
+    # crowd.  Zero while the cache is empty and no model has earned trust.
+    cache_entries: int = 0
+    cache_expirations: int = 0
+    cache_admissions_rejected: int = 0
+    cache_entries_imported: int = 0
+    cross_shard_hits: int = 0
+    trusted_models: int = 0
 
     @property
     def budget_utilisation(self) -> float | None:

@@ -49,7 +49,7 @@ from repro.core.tasks.batching import BatchingPolicy
 from repro.core.tasks.hit_compiler import HITCompiler
 from repro.core.tasks.spec import TaskSpec
 from repro.core.tasks.task import TaskKind
-from repro.core.tasks.task_cache import TaskCache
+from repro.core.tasks.task_cache import CachePolicy, TaskCache
 from repro.core.tasks.task_manager import TaskManager
 from repro.core.tasks.task_model import TaskModelRegistry
 from repro.crowd.clock import SimulationClock
@@ -94,6 +94,11 @@ class QurkEngine:
     enable_cache / enable_task_model:
         Toggle the Task Cache and the learned Task Model (both on by
         default, as in the paper's dashboard discussion).
+    cache_policy:
+        Optional :class:`~repro.core.tasks.task_cache.CachePolicy` adding
+        TTL expiry and reputation-gated admission to the Task Cache.
+        ``None`` (the default) keeps the legacy never-expiring,
+        admit-everything cache byte-identical.
     optimizer_config, default_query_config:
         Tuning knobs for the optimizer and for queries that do not override
         them.
@@ -130,6 +135,7 @@ class QurkEngine:
         pricing: PricingPolicy = DEFAULT_PRICING,
         enable_cache: bool = True,
         enable_task_model: bool = True,
+        cache_policy: CachePolicy | None = None,
         optimizer_config: OptimizerConfig | None = None,
         default_query_config: QueryConfig | None = None,
         max_concurrent_queries: int | None = None,
@@ -152,7 +158,7 @@ class QurkEngine:
         )
         self.statistics = StatisticsManager()
         self.budget_ledger = BudgetLedger()
-        self.task_cache = TaskCache(enabled=enable_cache)
+        self.task_cache = TaskCache(enabled=enable_cache, policy=cache_policy)
         self.task_models = TaskModelRegistry(enabled=enable_task_model)
         self.hit_compiler = HITCompiler()
         self.task_manager = TaskManager(
@@ -168,7 +174,11 @@ class QurkEngine:
         )
         self.cost_model = CostModel(pricing)
         self.optimizer = QueryOptimizer(
-            self.statistics, self.cost_model, optimizer_config, reputation=self.reputation
+            self.statistics,
+            self.cost_model,
+            optimizer_config,
+            reputation=self.reputation,
+            models=self.task_models,
         )
         self.replanner = AdaptiveReplanner(self.optimizer, self.statistics)
         self.scheduler = EngineScheduler(
@@ -186,6 +196,8 @@ class QurkEngine:
         # Durability is opt-in via enable_durability()/recover().
         self.durability: DurabilityConfig | None = None
         self.journal: EngineJournal | None = None
+        # The durable answer tier is opt-in via attach_answer_tier().
+        self.answer_tier = None
         # Outcomes (status + rows) of queries that finished before the
         # snapshot this engine was recovered from; their query_submitted
         # records were truncated out of the WAL, so these are the only
@@ -394,6 +406,36 @@ class QurkEngine:
         self.task_manager.attach_journal(self.journal)
         self.scheduler.attach_journal(self.journal, checkpoint_hook=self._maybe_checkpoint)
         return self.journal
+
+    def attach_answer_tier(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_every: int = 64,
+    ):
+        """Back the Task Cache with a durable answer tier at ``directory``.
+
+        Opens (or creates) a :class:`~repro.storage.answer_tier.DurableAnswerTier`,
+        warms the cache with every answer it holds, and mirrors all future
+        admitted stores into its WAL — so cached answers survive restarts
+        and can be shared by the next engine pointed at the same directory.
+        The tier wants its own directory, separate from ``enable_durability``'s
+        (their snapshot files would collide).
+
+        Warming the cache changes which tasks reach the crowd, so attach a
+        *non-empty* tier only when cross-run reuse is wanted; a fresh
+        (empty) tier keeps the run byte-identical while recording answers.
+        """
+        from repro.storage.answer_tier import DurableAnswerTier
+
+        if self.answer_tier is not None:
+            raise QurkError("an answer tier is already attached to this engine")
+        tier = DurableAnswerTier(directory, fsync=fsync, fsync_every=fsync_every)
+        tier.load_into(self.task_cache)
+        self.task_cache.attach_tier(tier)
+        self.answer_tier = tier
+        return tier
 
     def checkpoint(self) -> Path:
         """Snapshot the engine and truncate the WAL up to the snapshot LSN.

@@ -47,6 +47,7 @@ __all__ = [
     "plain_crash_scenario",
     "faulty_crash_scenario",
     "quality_crash_scenario",
+    "cached_companies_crash_scenario",
     "all_crash_scenarios",
     "run_phases",
     "run_durable",
@@ -230,9 +231,43 @@ def quality_crash_scenario() -> CrashScenario:
     )
 
 
+COMPANIES_SQL = (
+    "SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone "
+    "FROM companies"
+)
+
+
+def cached_companies_crash_scenario() -> CrashScenario:
+    """Answer-cache state must survive snapshots and mid-hit crashes.
+
+    Phase 1 pays the crowd for every company and fills the Task Cache;
+    phase 2 re-runs the same query, so its tasks are served from cache —
+    crash points land while cached answers are being delivered, and the
+    checkpoint after phase 1 forces recovery to rebuild the cache from a
+    snapshot rather than pure replay.  A recovered engine that lost (or
+    duplicated) cache entries would re-buy answers and diverge in
+    ``total_cost``, which the fingerprint comparison catches.
+    """
+    return CrashScenario(
+        name="cached-companies",
+        factory="repro.experiments.harness:build_companies_engine",
+        kwargs={"n_companies": 6, "assignments": 3, "seed": 7},
+        phases=(
+            (_sub(COMPANIES_SQL),),
+            (_sub(COMPANIES_SQL), _sub(COMPANIES_SQL, budget=10.0)),
+        ),
+        checkpoint_after=(0,),
+    )
+
+
 def all_crash_scenarios() -> list[CrashScenario]:
     """Every canned crash scenario, cheapest first."""
-    return [plain_crash_scenario(), faulty_crash_scenario(), quality_crash_scenario()]
+    return [
+        plain_crash_scenario(),
+        cached_companies_crash_scenario(),
+        faulty_crash_scenario(),
+        quality_crash_scenario(),
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,368 @@
+"""Answer-tier policies and Task Manager bookkeeping regressions.
+
+Covers the cache's TTL expiry against both clock substrates (simulated and
+wall), reputation-weighted admission, the model-answers-are-cached path, the
+corrected savings attribution, and the ``_submitted_at`` leak regression —
+the dict must be empty once a workload has fully drained, whatever terminal
+path each task took.
+"""
+
+import pytest
+
+from repro.core.optimizer.budget import BudgetLedger
+from repro.core.optimizer.statistics import StatisticsManager
+from repro.core.tasks.spec import Parameter, TaskSpec, TaskType, YesNoResponse
+from repro.core.tasks.task import ResultSource, Task, TaskKind
+from repro.core.tasks.task_cache import CacheEntry, CachePolicy, TaskCache
+from repro.core.tasks.task_manager import TaskManager
+from repro.core.tasks.task_model import TaskModelRegistry
+from repro.crowd import (
+    CallbackOracle,
+    MTurkSimulator,
+    PopulationMix,
+    SimulationClock,
+    WorkerPool,
+)
+from repro.crowd.quality import WorkerReputation
+from repro.crowd.wallclock import WallClock
+from repro.errors import BudgetExceededError
+
+FILTER_SPEC = TaskSpec(
+    name="isRed",
+    task_type=TaskType.FILTER,
+    text="Is %s red?",
+    response=YesNoResponse(),
+    parameters=(Parameter("name"),),
+    price=0.01,
+    assignments=3,
+    feature_extractor=lambda payload: payload.get("features"),
+)
+
+ORACLE = CallbackOracle(predicate=lambda item: item.payload.get("is_red", False))
+
+
+def build_manager(*, cache=None, models=None, reputation=None, seed=1, pool_size=50):
+    clock = SimulationClock()
+    pool = WorkerPool(
+        size=pool_size, seed=seed, mix=PopulationMix(diligent=1, noisy=0, lazy=0, spammer=0)
+    )
+    platform = MTurkSimulator(clock, pool, ORACLE)
+    manager = TaskManager(
+        platform,
+        StatisticsManager(),
+        BudgetLedger(),
+        cache=cache,
+        models=models,
+        reputation=reputation,
+    )
+    return clock, platform, manager
+
+
+def filter_task(results, name="mug", is_red=True, query_id="q1", cache_key=None, features=None):
+    payload = {"args": (name,), "name": name, "is_red": is_red}
+    if features is not None:
+        payload["features"] = features
+    return Task(
+        kind=TaskKind.FILTER,
+        spec=FILTER_SPEC,
+        payload=payload,
+        callback=results.append,
+        cache_key=cache_key,
+        query_id=query_id,
+    )
+
+
+class TestCachePolicyValidation:
+    def test_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            CachePolicy(ttl=-1.0)
+
+    def test_rejects_out_of_range_confidence(self):
+        with pytest.raises(ValueError):
+            CachePolicy(min_confidence=1.5)
+
+
+class TestTTLExpiry:
+    def test_entries_expire_against_the_simulation_clock(self):
+        cache = TaskCache(policy=CachePolicy(ttl=100.0))
+        clock, platform, manager = build_manager(cache=cache)
+        results = []
+        manager.submit(filter_task(results, cache_key=("mug",)))
+        manager.flush()
+        clock.run_until_idle()
+        assert platform.stats.hits_created == 1
+
+        # Within the TTL the answer is reused...
+        manager.submit(filter_task(results, cache_key=("mug",), query_id="q2"))
+        assert results[-1].source is ResultSource.CACHE
+
+        # ...but once the (simulated) clock outruns it, the crowd pays again.
+        clock.advance_by(500.0)
+        manager.submit(filter_task(results, cache_key=("mug",), query_id="q3"))
+        manager.flush()
+        clock.run_until_idle()
+        assert results[-1].source is ResultSource.CROWD
+        assert platform.stats.hits_created == 2
+        assert cache.stats.expirations == 1
+
+    def test_entries_expire_against_a_wall_clock(self):
+        # A deterministic wall clock: each now() reading pops the next time.
+        times = iter([0.0, 0.0, 10.0, 200.0])
+        clock = WallClock(time_source=lambda: next(times), sleep=lambda s: None)
+        cache = TaskCache(policy=CachePolicy(ttl=100.0))
+        cache.store("findCEO", ("Acme",), {"CEO": "Jane"}, cost=0.075, now=clock.now)
+        assert cache.lookup("findCEO", ("Acme",), now=clock.now) is not None
+        assert cache.lookup("findCEO", ("Acme",), now=clock.now) is None
+        assert cache.stats.expirations == 1
+
+    def test_no_ttl_never_expires(self):
+        cache = TaskCache()
+        cache.store("f", ("x",), True, cost=0.1, now=0.0)
+        assert cache.lookup("f", ("x",), now=1e12) is not None
+        assert cache.stats.expirations == 0
+
+    def test_legacy_lookup_without_now_skips_ttl(self):
+        cache = TaskCache(policy=CachePolicy(ttl=1.0))
+        cache.store("f", ("x",), True, cost=0.1, now=0.0)
+        assert cache.lookup("f", ("x",)) is not None
+
+
+class TestReputationWeightedAdmission:
+    def test_low_confidence_store_is_rejected(self):
+        cache = TaskCache(policy=CachePolicy(min_confidence=0.9))
+        assert not cache.store("f", ("x",), True, cost=0.1, now=0.0, confidence=0.5)
+        assert cache.stats.admissions_rejected == 1
+        assert cache.lookup("f", ("x",)) is None
+
+    def test_untrusted_workers_cannot_seed_the_cache(self):
+        # The reputation prior mean is 0.8; with the admission bar at 0.9
+        # an answer produced by unproven workers is not cached, so the
+        # second identical task pays the crowd again.
+        cache = TaskCache(policy=CachePolicy(min_confidence=0.9))
+        clock, platform, manager = build_manager(
+            cache=cache, reputation=WorkerReputation()
+        )
+        results = []
+        manager.submit(filter_task(results, cache_key=("mug",)))
+        manager.flush()
+        clock.run_until_idle()
+        assert cache.stats.admissions_rejected == 1
+        manager.submit(filter_task(results, cache_key=("mug",), query_id="q2"))
+        manager.flush()
+        clock.run_until_idle()
+        assert results[-1].source is ResultSource.CROWD
+        assert platform.stats.hits_created == 2
+
+    def test_proven_workers_clear_the_bar(self):
+        # A three-worker pool with three assignments: the same workers answer
+        # every task, so vouching for them lifts later answers over the bar.
+        cache = TaskCache(policy=CachePolicy(min_confidence=0.9))
+        reputation = WorkerReputation()
+        clock, platform, manager = build_manager(
+            cache=cache, reputation=reputation, pool_size=3
+        )
+        results = []
+        manager.submit(filter_task(results, cache_key=("mug",)))
+        manager.flush()
+        clock.run_until_idle()
+        # Vouch for the exact workers who answered, then retry.
+        for worker_id in results[0].answers.worker_ids:
+            for _ in range(50):
+                reputation.record_gold(worker_id, True)
+        manager.submit(filter_task(results, name="cup", cache_key=("cup",), query_id="q2"))
+        manager.flush()
+        clock.run_until_idle()
+        assert cache.stats.admissions_rejected == 1  # only the first store
+        manager.submit(filter_task(results, name="cup", cache_key=("cup",), query_id="q3"))
+        assert results[-1].source is ResultSource.CACHE
+
+
+class TestSavingsAttribution:
+    def test_cache_hit_credits_what_the_requester_avoided(self):
+        cache = TaskCache()
+        clock, platform, manager = build_manager(cache=cache)
+        results = []
+        manager.submit(filter_task(results, cache_key=("mug",)))
+        manager.flush()
+        clock.run_until_idle()
+        assert cache.stats.dollars_saved == 0.0
+        manager.submit(filter_task(results, cache_key=("mug",), query_id="q2"))
+        # assignment_cost(0.01) = 0.01 + max(0.001, 0.005) = 0.015, x3.
+        assert cache.stats.dollars_saved == pytest.approx(0.045)
+        assert results[-1].avoided_cost == pytest.approx(0.045)
+        assert manager.statistics.query("q2").dollars_saved_cache == pytest.approx(0.045)
+
+
+class TestModelAnswersAreCached:
+    def _trained_manager(self):
+        models = TaskModelRegistry()
+        model = models.register_default(
+            FILTER_SPEC,
+            min_observations=10,
+            trust_accuracy=0.8,
+            confidence_threshold=0.3,
+            learning_rate=0.5,
+        )
+        cache = TaskCache()
+        clock, platform, manager = build_manager(cache=cache, models=models)
+        results = []
+        for index in range(40):
+            is_red = index % 2 == 0
+            manager.submit(
+                filter_task(
+                    results,
+                    name=f"item{index}",
+                    is_red=is_red,
+                    query_id="train",
+                    features=[1.0, 0.0] if is_red else [0.0, 1.0],
+                )
+            )
+        manager.flush()
+        clock.run_until_idle()
+        assert model.is_trusted
+        return clock, platform, manager, cache, results
+
+    def test_model_answer_is_stored_at_zero_cost(self):
+        clock, platform, manager, cache, results = self._trained_manager()
+        manager.submit(
+            filter_task(
+                results, name="new", cache_key=("new",), query_id="q9", features=[1.0, 0.0]
+            )
+        )
+        assert results[-1].source is ResultSource.MODEL
+        entry = cache.lookup("isRed", ("new",))
+        assert entry is not None
+        assert entry.original_cost == 0.0
+        assert 0.0 < entry.confidence <= 1.0
+
+    def test_second_identical_task_hits_the_cache_not_the_model(self):
+        clock, platform, manager, cache, results = self._trained_manager()
+        manager.submit(
+            filter_task(
+                results, name="new", cache_key=("new",), query_id="q9", features=[1.0, 0.0]
+            )
+        )
+        hits_before = platform.stats.hits_created
+        manager.submit(
+            filter_task(
+                results, name="new", cache_key=("new",), query_id="q10", features=[1.0, 0.0]
+            )
+        )
+        assert results[-1].source is ResultSource.CACHE
+        assert results[-1].reduced == results[-2].reduced
+        assert platform.stats.hits_created == hits_before
+
+
+class TestSubmittedAtBookkeeping:
+    def test_empty_after_crowd_and_cache_paths_drain(self):
+        cache = TaskCache()
+        clock, _platform, manager = build_manager(cache=cache)
+        results = []
+        for index in range(4):
+            manager.submit(filter_task(results, name=f"n{index}", cache_key=(f"n{index}",)))
+        manager.flush()
+        clock.run_until_idle()
+        # Cache hits resolve synchronously and must not leave stamps behind.
+        for index in range(4):
+            manager.submit(
+                filter_task(results, name=f"n{index}", cache_key=(f"n{index}",), query_id="q2")
+            )
+        assert len(results) == 8
+        assert manager._submitted_at == {}
+
+    def test_empty_after_model_answers(self):
+        models = TaskModelRegistry()
+        models.register_default(
+            FILTER_SPEC,
+            min_observations=10,
+            trust_accuracy=0.8,
+            confidence_threshold=0.3,
+            learning_rate=0.5,
+        )
+        clock, _platform, manager = build_manager(cache=TaskCache(), models=models)
+        results = []
+        for index in range(40):
+            is_red = index % 2 == 0
+            manager.submit(
+                filter_task(
+                    results,
+                    name=f"item{index}",
+                    is_red=is_red,
+                    query_id="train",
+                    features=[1.0, 0.0] if is_red else [0.0, 1.0],
+                )
+            )
+        manager.flush()
+        clock.run_until_idle()
+        manager.submit(
+            filter_task(results, name="new", query_id="q9", features=[1.0, 0.0])
+        )
+        assert results[-1].source is ResultSource.MODEL
+        assert manager._submitted_at == {}
+
+    def test_empty_after_cancellation(self):
+        clock, _platform, manager = build_manager()
+        results = []
+        for index in range(3):
+            manager.submit(filter_task(results, name=f"n{index}"))
+        manager.cancel_query("q1")
+        clock.run_until_idle()
+        assert manager._submitted_at == {}
+
+    def test_empty_after_over_budget_drop(self):
+        clock, _platform, manager = build_manager()
+        manager.budget.register("q1", 0.05)  # one HIT costs 3 * 0.015 = 0.045
+        results = []
+        manager.submit(filter_task(results, name="a"))
+        manager.submit(filter_task(results, name="b"))
+        with pytest.raises(BudgetExceededError):
+            manager.flush()
+        clock.run_until_idle()
+        assert len(results) == 1
+        assert manager._submitted_at == {}
+
+
+class TestExportImport:
+    def test_round_trip_preserves_entries_and_attributes_cross_shard_hits(self):
+        source = TaskCache()
+        source.store("findCEO", ("Acme",), {"CEO": "Jane"}, cost=0.075, now=5.0)
+        source.store("findCEO", ("Bolt",), {"CEO": "Ana"}, cost=0.075, now=6.0)
+        cursor, items = source.export_since(0)
+        assert cursor == 2 and len(items) == 2
+
+        sink = TaskCache()
+        assert sink.import_entries(items) == 2
+        assert sink.stats.entries_imported == 2
+        entry = sink.lookup("findCEO", ("Acme",))
+        assert entry is not None and entry.reduced == {"CEO": "Jane"}
+        assert sink.stats.cross_shard_hits == 1
+        # Imports are not re-exported: the sink only ships its own answers.
+        assert sink.export_since(0) == (0, [])
+
+    def test_local_entries_win_over_imports(self):
+        source = TaskCache()
+        source.store("f", ("x",), "theirs", cost=0.1, now=1.0)
+        _, items = source.export_since(0)
+        sink = TaskCache()
+        sink.store("f", ("x",), "mine", cost=0.1, now=2.0)
+        assert sink.import_entries(items) == 0
+        assert sink.lookup("f", ("x",)).reduced == "mine"
+        assert sink.stats.cross_shard_hits == 0
+
+    def test_incremental_export_cursor(self):
+        cache = TaskCache()
+        cache.store("f", ("x",), 1, cost=0.1, now=0.0)
+        cursor, items = cache.export_since(0)
+        assert len(items) == 1
+        cache.store("f", ("y",), 2, cost=0.1, now=1.0)
+        cursor, items = cache.export_since(cursor)
+        assert [item["name"] for item in items] == ["f"]
+        assert len(items) == 1
+
+    def test_preload_respects_live_entries(self):
+        cache = TaskCache()
+        cache.store("f", ("x",), "live", cost=0.1, now=5.0)
+        stale = CacheEntry(reduced="stale", original_cost=0.1, stored_at=0.0)
+        assert not cache.preload("f", ("x",), stale)
+        assert cache.preload("f", ("y",), stale)
+        assert cache.lookup("f", ("x",)).reduced == "live"

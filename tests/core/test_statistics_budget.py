@@ -25,9 +25,18 @@ def crowd_result(reduced=True, cost=0.045, latency=120.0, query_id="q1", answers
     )
 
 
-def cheap_result(source, reduced=True, query_id="q1"):
+def cheap_result(source, reduced=True, query_id="q1", avoided_cost=0.075):
+    # The Task Manager stamps cache/model results with the spend the
+    # requester avoided (assignment_cost x redundancy); the statistics
+    # manager just attributes whatever arrives.
     task = Task(kind=TaskKind.FILTER, spec=SPEC, payload={}, callback=lambda r: None, query_id=query_id)
-    return TaskResult(task=task, answers=AnswerList.of(()), reduced=reduced, source=source)
+    return TaskResult(
+        task=task,
+        answers=AnswerList.of(()),
+        reduced=reduced,
+        source=source,
+        avoided_cost=avoided_cost,
+    )
 
 
 class TestStatisticsManager:

@@ -20,6 +20,10 @@ class TestTaskCache:
         assert entry.reduced == {"CEO": "Jane"}
         assert cache.stats.hits == 1
         assert cache.stats.misses == 1
+        # Savings are credited by the Task Manager with what the requesting
+        # task avoided spending — a lookup alone credits nothing.
+        assert cache.stats.dollars_saved == 0.0
+        cache.credit_savings(0.075)
         assert cache.stats.dollars_saved == pytest.approx(0.075)
 
     def test_disabled_cache_never_hits(self):

@@ -1,0 +1,152 @@
+"""Durability tests for the answer tier (WAL + snapshot backed Task Cache)."""
+
+import pytest
+
+from repro.core.tasks.task_cache import CachePolicy, TaskCache
+from repro.errors import StorageError
+from repro.storage.answer_tier import ANSWERS_WAL_FILENAME, DurableAnswerTier
+from repro.storage.wal import WriteAheadLog
+
+
+def _warm_cache(tier):
+    cache = TaskCache()
+    cache.attach_tier(tier)
+    cache.store("findCEO", ("Acme",), {"CEO": "Jane"}, cost=0.075, now=1.0)
+    cache.store("findCEO", ("Bolt",), {"CEO": "Ana"}, cost=0.075, now=2.0)
+    cache.store("isRed", ("mug",), True, cost=0.045, now=3.0, confidence=0.95)
+    return cache
+
+
+class TestDurableAnswerTier:
+    def test_round_trip_across_restarts(self, tmp_path):
+        tier = DurableAnswerTier(tmp_path)
+        _warm_cache(tier)
+        tier.close()
+
+        reopened = DurableAnswerTier(tmp_path)
+        assert reopened.entry_count == 3
+        fresh = TaskCache()
+        assert reopened.load_into(fresh) == 3
+        entry = fresh.lookup("findCEO", ("Acme",))
+        assert entry is not None and entry.reduced == {"CEO": "Jane"}
+        assert fresh.lookup("isRed", ("mug",)).confidence == pytest.approx(0.95)
+        reopened.close()
+
+    def test_checkpoint_compacts_and_survives(self, tmp_path):
+        tier = DurableAnswerTier(tmp_path)
+        _warm_cache(tier)
+        tier.checkpoint()
+        assert list(tmp_path.glob("snapshot-*"))
+        tier.close()
+
+        reopened = DurableAnswerTier(tmp_path)
+        assert reopened.entry_count == 3
+        # Post-checkpoint stores land in the truncated log and still replay.
+        cache = TaskCache()
+        reopened.load_into(cache)
+        cache.attach_tier(reopened)
+        cache.store("isRed", ("cup",), False, cost=0.045, now=4.0)
+        reopened.close()
+        third = DurableAnswerTier(tmp_path)
+        assert third.entry_count == 4
+        third.close()
+
+    def test_invalidate_is_durable(self, tmp_path):
+        tier = DurableAnswerTier(tmp_path)
+        cache = _warm_cache(tier)
+        cache.invalidate("findCEO")
+        tier.close()
+        reopened = DurableAnswerTier(tmp_path)
+        assert reopened.entry_count == 1
+        fresh = TaskCache()
+        reopened.load_into(fresh)
+        assert fresh.lookup("findCEO", ("Acme",)) is None
+        assert fresh.lookup("isRed", ("mug",)) is not None
+        reopened.close()
+
+    def test_refuses_an_engine_wal_directory(self, tmp_path):
+        (tmp_path / "wal.log").write_bytes(b"")
+        with pytest.raises(StorageError):
+            DurableAnswerTier(tmp_path)
+
+    def test_fsync_always_survives_a_crash(self, tmp_path):
+        tier = DurableAnswerTier(tmp_path, fsync="always")
+        _warm_cache(tier)
+        tier.wal.simulate_crash()
+        reopened = DurableAnswerTier(tmp_path)
+        assert reopened.entry_count == 3
+        reopened.close()
+
+    def test_unflushed_interval_tail_may_be_lost_but_log_stays_readable(self, tmp_path):
+        tier = DurableAnswerTier(tmp_path, fsync="off")
+        _warm_cache(tier)
+        tier.wal.simulate_crash()
+        # Whatever survived, reopening must not raise and must replay a
+        # consistent prefix.
+        reopened = DurableAnswerTier(tmp_path)
+        assert 0 <= reopened.entry_count <= 3
+        reopened.close()
+
+    def test_preloaded_entries_do_not_echo_into_the_wal(self, tmp_path):
+        tier = DurableAnswerTier(tmp_path)
+        _warm_cache(tier)
+        tier.close()
+        reopened = DurableAnswerTier(tmp_path)
+        cache = TaskCache()
+        reopened.load_into(cache)
+        cache.attach_tier(reopened)
+        reopened.close()
+        _, info = WriteAheadLog.open(tmp_path / ANSWERS_WAL_FILENAME)
+        stored = [r for r in info.records if r.type == "answer_stored"]
+        assert len(stored) == 3  # the original stores only, no replay echo
+
+    def test_rejected_admissions_are_not_journaled(self, tmp_path):
+        tier = DurableAnswerTier(tmp_path)
+        cache = TaskCache(policy=CachePolicy(min_confidence=0.9))
+        cache.attach_tier(tier)
+        assert not cache.store("f", ("x",), True, cost=0.1, now=0.0, confidence=0.2)
+        tier.close()
+        reopened = DurableAnswerTier(tmp_path)
+        assert reopened.entry_count == 0
+        reopened.close()
+
+
+class TestEngineWarmRestart:
+    def test_second_engine_answers_from_the_shared_tier(self, tmp_path):
+        from repro.experiments import build_companies_engine
+
+        sql = (
+            "SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone "
+            "FROM companies"
+        )
+
+        def run_once():
+            run = build_companies_engine(n_companies=5, seed=11)
+            engine = run.engine
+            engine.attach_answer_tier(tmp_path / "answers")
+            handle = engine.query(sql)
+            engine.scheduler.drain()
+            engine.clock.run_until_idle()
+            assert handle.is_complete
+            cost = engine.total_crowd_cost
+            cache_answers = engine.task_manager.stats.cache_answers
+            engine.answer_tier.close()
+            return cost, cache_answers
+
+        first_cost, first_cache = run_once()
+        assert first_cost > 0
+        assert first_cache == 0
+
+        second_cost, second_cache = run_once()
+        assert second_cost == 0.0
+        assert second_cache > 0
+
+    def test_attach_twice_is_an_error(self, tmp_path):
+        from repro.errors import QurkError
+        from repro.experiments import build_companies_engine
+
+        engine = build_companies_engine(n_companies=2, seed=11).engine
+        engine.attach_answer_tier(tmp_path / "answers")
+        with pytest.raises(QurkError):
+            engine.attach_answer_tier(tmp_path / "other")
+        engine.answer_tier.close()

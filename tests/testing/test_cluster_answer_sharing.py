@@ -1,0 +1,113 @@
+"""Cross-shard answer sharing through the coordinator's answer directory.
+
+A task answered on one shard must become a cache hit on every other shard
+once the coordinator has synced (``share_answers=True``); with sharing off
+(the default) shards stay fully isolated and the e1-e17 fingerprints are
+untouched.  Placement is round-robin, so query routing in these tests is
+deterministic: cq1 -> shard 0, cq2 -> shard 1, cq3 -> shard 0, ...
+"""
+
+from repro.cluster import EngineSpec, ShardCoordinator, ShardWorker
+from repro.cluster.serialization import encode_query
+from repro.experiments import build_companies_engine
+
+SEED = 11
+SPEC = EngineSpec(
+    factory="repro.experiments.harness:build_companies_engine",
+    kwargs={"n_companies": 2, "seed": SEED},
+)
+
+QUERY_TEMPLATE = (
+    "SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone "
+    "FROM companies WHERE companyName = '{company}'"
+)
+
+
+def _company_sql(index: int = 0) -> str:
+    records = build_companies_engine(n_companies=2, seed=SEED).workload.records
+    return QUERY_TEMPLATE.format(company=records[index].name)
+
+
+class TestCrossShardHits:
+    def test_answer_from_shard_zero_is_a_hit_on_shard_one(self):
+        sql = _company_sql()
+        with ShardCoordinator(SPEC, n_shards=2, share_answers=True) as cluster:
+            # Round 1: cq1 lands on shard 0 and pays the crowd; the drain's
+            # exit sync pulls its answer into the coordinator directory.
+            cluster.submit_many([{"sql": sql}])
+            statuses = cluster.drain()
+            assert set(statuses.values()) == {"completed"}
+            hits_after_round1 = cluster.stats().totals["hits_posted"]
+            assert hits_after_round1 > 0
+
+            # Round 2: cq2 -> shard 1 (served from the imported entry),
+            # cq3 -> shard 0 (served from its own cache).  No new HITs.
+            cluster.submit_many([{"sql": sql}, {"sql": sql}])
+            statuses = cluster.drain()
+            assert set(statuses.values()) == {"completed"}
+            stats = cluster.stats()
+            assert stats.totals["hits_posted"] == hits_after_round1
+            assert stats.totals["cross_shard_hits"] >= 1
+            assert stats.totals["cache_entries_imported"] >= 1
+            assert stats.answer_directory_entries >= 1
+            assert stats.answers_pushed >= 1
+
+    def test_sync_is_incremental(self):
+        sql = _company_sql()
+        with ShardCoordinator(SPEC, n_shards=2, share_answers=True) as cluster:
+            cluster.submit_many([{"sql": sql}])
+            cluster.drain()
+            # Everything was pulled and pushed at the drain boundary; an
+            # extra manual round finds nothing new to move.
+            assert cluster.sync_answers() == {"pulled": 0, "merged": 0, "pushed": 0}
+
+    def test_isolated_shards_rebuy_answers(self):
+        sql = _company_sql()
+        with ShardCoordinator(SPEC, n_shards=2, share_answers=False) as cluster:
+            cluster.submit_many([{"sql": sql}])
+            cluster.drain()
+            hits_after_round1 = cluster.stats().totals["hits_posted"]
+            cluster.submit_many([{"sql": sql}, {"sql": sql}])
+            cluster.drain()
+            stats = cluster.stats()
+            # Shard 1 never saw the answer: it posts its own HITs.
+            assert stats.totals["hits_posted"] > hits_after_round1
+            assert stats.totals["cross_shard_hits"] == 0
+            assert stats.totals["cache_entries_imported"] == 0
+            assert stats.answer_directory_entries == 0
+
+
+class TestWorkerCacheOps:
+    """The shard protocol ops, driven in-process without forking."""
+
+    def test_export_then_import_transfers_the_answer(self):
+        sql = _company_sql()
+        source = ShardWorker(SPEC, shard_id=0)
+        assert source.handle(
+            {"op": "submit_many", "queries": [encode_query(sql, query_id="cq1")]}
+        )["ok"]
+        assert source.handle({"op": "drain"})["ok"]
+        export = source.handle({"op": "cache_export", "since": 0})
+        assert export["ok"] and export["cursor"] > 0 and export["entries"]
+
+        sink = ShardWorker(SPEC, shard_id=1)
+        imported = sink.handle({"op": "cache_import", "entries": export["entries"]})
+        assert imported["ok"] and imported["imported"] == len(export["entries"])
+        assert sink.handle(
+            {"op": "submit_many", "queries": [encode_query(sql, query_id="cq2")]}
+        )["ok"]
+        assert sink.handle({"op": "drain"})["ok"]
+        totals = sink.handle({"op": "stats"})["totals"]
+        assert totals["hits_posted"] == 0
+        assert totals["total_cost"] == 0.0
+        assert totals["cross_shard_hits"] >= 1
+
+    def test_export_cursor_resumes_where_it_left_off(self):
+        sql = _company_sql()
+        worker = ShardWorker(SPEC, shard_id=0)
+        worker.handle({"op": "submit_many", "queries": [encode_query(sql, query_id="cq1")]})
+        worker.handle({"op": "drain"})
+        first = worker.handle({"op": "cache_export", "since": 0})
+        again = worker.handle({"op": "cache_export", "since": first["cursor"]})
+        assert again["entries"] == []
+        assert again["cursor"] == first["cursor"]
