@@ -37,11 +37,11 @@ sys.path.insert(0, str(BENCH_DIR))
 #: The ``--quick`` smoke subset: one cheap end-to-end caching experiment, the
 #: adaptive re-planning experiment, the engine-overhead benchmark, the
 #: worker quality-control experiment, the control-plane scaling benchmark,
-#: the sharded scale-out curve and the traffic-replay amortization check,
-#: so plan-layer, data-plane, quality-control, control-plane,
-#: cluster-runtime, durability and answer-tier regressions surface in CI
-#: without paying for the full sweep.
-QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15", "e16", "e17", "e18")
+#: the sharded scale-out curve, the traffic-replay amortization check and
+#: the overload-protection goodput gate, so plan-layer, data-plane,
+#: quality-control, control-plane, cluster-runtime, durability, answer-tier
+#: and overload regressions surface in CI without paying for the full sweep.
+QUICK_SELECTORS = ("e2", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19")
 
 #: Quick-mode size overrides for benchmarks whose full curve is minutes
 #: long; keys are module stems, values are kwargs for every ``run_*``
@@ -69,6 +69,13 @@ QUICK_OVERRIDES = {
         "n_queries": 600,
         "n_companies": 30,
         "rounds": 4,
+    },
+    # The quick pytest gate's burst size; the full 32-query burst on
+    # capacity 8 stays the default for `run_all.py e19`.
+    "bench_e19_overload": {
+        "n_queries": 16,
+        "capacity": 4,
+        "queue_limit": 8,
     },
 }
 

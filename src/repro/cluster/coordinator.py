@@ -30,13 +30,69 @@ from pathlib import Path
 from typing import Any
 
 from repro.cluster.messages import PipeTransport
-from repro.cluster.placement import Placement, make_placement
+from repro.cluster.placement import HealthAwarePlacement, Placement, make_placement
 from repro.cluster.serialization import decode_rows, encode_query
 from repro.cluster.worker import EngineSpec, worker_main
 from repro.core.exec.context import QueryConfig
-from repro.errors import ClusterError, ShardCrashedError
+from repro.errors import ClusterError, EngineOverloadedError, ShardCrashedError
 
-__all__ = ["ClusterQueryHandle", "ClusterStats", "ShardCoordinator"]
+__all__ = ["ClusterQueryHandle", "ClusterStats", "ShardCoordinator", "ShardHealth"]
+
+#: Smoothing factor of the per-shard op-latency EWMA (higher = more reactive).
+_LATENCY_EWMA_ALPHA = 0.2
+
+
+@dataclass
+class ShardHealth:
+    """Coordinator-side health record for one shard.
+
+    Everything here is observed on the coordinator's side of the pipe —
+    op round-trip latency (EWMA), crash/heal count, last-reply heartbeat,
+    and the queue depth the shard last reported — so health costs no extra
+    protocol traffic.  ``marked_unhealthy`` is the routing verdict; it flips
+    only at explicit points (a manual mark, or the crash count crossing the
+    coordinator's threshold), never from timing noise, which is what keeps
+    health-aware placement deterministic.
+    """
+
+    shard_id: int
+    latency_ewma: float = 0.0
+    samples: int = 0
+    crashes: int = 0
+    queue_depth: int = 0
+    last_heartbeat: float | None = None
+    marked_unhealthy: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        return not self.marked_unhealthy
+
+    def observe(self, latency: float, now: float) -> None:
+        """Fold one successful op round-trip into the record."""
+        if self.samples == 0:
+            self.latency_ewma = latency
+        else:
+            self.latency_ewma += _LATENCY_EWMA_ALPHA * (latency - self.latency_ewma)
+        self.samples += 1
+        self.last_heartbeat = now
+
+    def heartbeat_age(self, now: float) -> float | None:
+        """Seconds since the last successful reply; None before the first."""
+        if self.last_heartbeat is None:
+            return None
+        return max(0.0, now - self.last_heartbeat)
+
+    def report(self, now: float) -> dict[str, Any]:
+        """JSON-safe summary for merged stats and the cluster dashboard."""
+        return {
+            "shard": self.shard_id,
+            "healthy": self.healthy,
+            "latency_ewma": self.latency_ewma,
+            "samples": self.samples,
+            "crashes": self.crashes,
+            "queue_depth": self.queue_depth,
+            "heartbeat_age": self.heartbeat_age(now),
+        }
 
 
 @dataclass(frozen=True)
@@ -80,6 +136,10 @@ class ClusterStats:
     peak_rss_kb_max: int = 0
     answer_directory_entries: int = 0
     answers_pushed: int = 0
+    #: Per-shard health reports (heartbeat age, latency EWMA, crashes).
+    health: list[dict[str, Any]] = field(default_factory=list)
+    #: Queries moved off unhealthy shards by :meth:`rebalance_pending`.
+    rebalanced: int = 0
 
 
 class _Shard:
@@ -120,8 +180,21 @@ class ShardCoordinator:
         WAL fsync policy the workers journal under.
     call_timeout:
         Seconds the coordinator waits for one op reply before declaring the
-        worker hung.  Liveness is checked every 100ms regardless, so a
-        *dead* worker is detected within a poll slice, not the timeout.
+        worker hung.  Liveness is checked every ``poll_interval`` seconds
+        regardless, so a *dead* worker is detected within a poll slice, not
+        the timeout.
+    poll_interval:
+        Seconds per liveness-poll slice while waiting on a reply (default
+        0.1).  Lower values detect worker deaths faster at the cost of more
+        ``is_alive()`` checks; it also bounds how stale a shard's
+        last-heartbeat age can be while an op is in flight.
+    unhealthy_crash_threshold:
+        With an integer N, a shard whose crash/heal count reaches N is
+        automatically marked unhealthy: a ``"health"`` placement stops
+        routing new queries to it and :meth:`rebalance_pending` can move its
+        never-started queries elsewhere.  ``None`` (the default) never
+        auto-marks, keeping existing cluster behaviour untouched; manual
+        verdicts via :meth:`mark_shard_unhealthy` work either way.
     share_answers:
         With ``True`` the coordinator keeps an answer directory: around
         every drain it pulls each shard's fresh cache stores
@@ -145,10 +218,19 @@ class ShardCoordinator:
         durability_fsync: str = "interval",
         durability_fsync_every: int = 256,
         call_timeout: float = 300.0,
+        poll_interval: float = 0.1,
+        unhealthy_crash_threshold: int | None = None,
         share_answers: bool = False,
     ):
         if n_shards < 1:
             raise ClusterError(f"a cluster needs at least 1 shard, got {n_shards}")
+        if poll_interval <= 0:
+            raise ClusterError(f"poll_interval must be positive, got {poll_interval}")
+        if unhealthy_crash_threshold is not None and unhealthy_crash_threshold < 1:
+            raise ClusterError(
+                "unhealthy_crash_threshold must be >= 1 or None, "
+                f"got {unhealthy_crash_threshold}"
+            )
         self.spec = spec
         self.n_shards = n_shards
         self.placement = (
@@ -165,6 +247,10 @@ class ShardCoordinator:
         self._durability_fsync = durability_fsync
         self._durability_fsync_every = durability_fsync_every
         self.call_timeout = call_timeout
+        self.poll_interval = poll_interval
+        self.unhealthy_crash_threshold = unhealthy_crash_threshold
+        self.health: list[ShardHealth] = [ShardHealth(i) for i in range(n_shards)]
+        self.rebalanced: int = 0
         self.heals: int = 0
         self.share_answers = share_answers
         # The answer directory: every entry any shard has exported, merged
@@ -242,9 +328,6 @@ class ShardCoordinator:
 
     # -- messaging ---------------------------------------------------------
 
-    #: Seconds per liveness-poll slice while waiting for a reply.
-    _POLL_SLICE = 0.1
-
     def _send(self, shard: _Shard, message: dict[str, Any]) -> None:
         """Send one op, converting a dead peer into :class:`ShardCrashedError`.
 
@@ -277,7 +360,7 @@ class ShardCoordinator:
         deadline = time.monotonic() + self.call_timeout
         while True:
             try:
-                if shard.transport.poll(self._POLL_SLICE):
+                if shard.transport.poll(self.poll_interval):
                     return shard.transport.recv()
             except (ClusterError, OSError, EOFError) as error:
                 raise ShardCrashedError(
@@ -325,6 +408,13 @@ class ShardCoordinator:
         old.process.join(timeout=5)
         self._shards[shard_id] = self._spawn(shard_id)
         self.heals += 1
+        health = self.health[shard_id]
+        health.crashes += 1
+        if (
+            self.unhealthy_crash_threshold is not None
+            and health.crashes >= self.unhealthy_crash_threshold
+        ):
+            self.mark_shard_unhealthy(shard_id)
         # The healed worker replayed its WAL, which deterministically
         # rebuilt its *local* store log — but imported entries were never
         # journalled there.  Restart this shard's sharing from scratch:
@@ -341,11 +431,26 @@ class ShardCoordinator:
                 f"{reply.get('error', 'unknown failure')}"
             )
 
+    def _observe(self, shard_id: int, started: float) -> None:
+        """Record one successful op round-trip in the shard's health."""
+        now = time.monotonic()
+        self.health[shard_id].observe(now - started, now)
+
+    def _raise_reply(self, shard_id: int, reply: dict[str, Any]) -> None:
+        """Rebuild the typed error carried by a structured failure reply."""
+        message = f"shard {shard_id}: {reply.get('error', 'unknown failure')}"
+        if reply.get("error_type") == "overloaded":
+            raise EngineOverloadedError(
+                message, retry_after=float(reply.get("retry_after", 1.0))
+            )
+        raise ClusterError(message)
+
     def _call(self, shard_id: int, message: dict[str, Any]) -> dict[str, Any]:
         if not self._shards:
             raise ClusterError("coordinator not started (use start() or a with-block)")
         shard = self._shards[shard_id]
         op = message.get("op")
+        started = time.monotonic()
         try:
             self._send(shard, message)
             reply = self._recv(shard, op)
@@ -358,10 +463,12 @@ class ShardCoordinator:
             # same state), so crash-during-op is exactly-once overall.
             self.heal(shard_id)
             shard = self._shards[shard_id]
+            started = time.monotonic()
             self._send(shard, message)
             reply = self._recv(shard, op)
+        self._observe(shard_id, started)
         if not reply.get("ok"):
-            raise ClusterError(f"shard {shard_id}: {reply.get('error', 'unknown failure')}")
+            self._raise_reply(shard_id, reply)
         return reply
 
     def _broadcast(self, message: dict[str, Any]) -> list[dict[str, Any]]:
@@ -376,6 +483,7 @@ class ShardCoordinator:
                     raise
                 self.heal(shard.shard_id)
                 self._send(self._shards[shard.shard_id], message)
+        started = time.monotonic()
         replies = []
         for shard in self._shards:
             try:
@@ -387,10 +495,9 @@ class ShardCoordinator:
                 healed = self._shards[shard.shard_id]
                 self._send(healed, message)
                 reply = self._recv(healed, message.get("op"))
+            self._observe(shard.shard_id, started)
             if not reply.get("ok"):
-                raise ClusterError(
-                    f"shard {shard.shard_id}: {reply.get('error', 'unknown failure')}"
-                )
+                self._raise_reply(shard.shard_id, reply)
             replies.append(reply)
         return replies
 
@@ -399,6 +506,71 @@ class ShardCoordinator:
             return self._routes[query_id]
         except KeyError:
             raise ClusterError(f"unknown cluster query {query_id!r}")
+
+    # -- shard health ------------------------------------------------------
+
+    def mark_shard_unhealthy(self, shard_id: int) -> None:
+        """Route new queries away from this shard until it is re-marked.
+
+        The verdict is recorded in the shard's health and, when the cluster
+        uses a ``"health"`` placement, removed from the routing pool.  The
+        shard itself keeps running — admitted queries finish where they are.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ClusterError(f"no shard {shard_id} in a {self.n_shards}-shard cluster")
+        self.health[shard_id].marked_unhealthy = True
+        if isinstance(self.placement, HealthAwarePlacement):
+            self.placement.set_healthy(shard_id, False)
+
+    def mark_shard_healthy(self, shard_id: int) -> None:
+        """Return a recovered shard to the routing pool."""
+        if not 0 <= shard_id < self.n_shards:
+            raise ClusterError(f"no shard {shard_id} in a {self.n_shards}-shard cluster")
+        self.health[shard_id].marked_unhealthy = False
+        if isinstance(self.placement, HealthAwarePlacement):
+            self.placement.set_healthy(shard_id, True)
+
+    def healthy_shards(self) -> list[int]:
+        """Shard ids currently considered healthy (all, if none are marked)."""
+        healthy = [record.shard_id for record in self.health if record.healthy]
+        return healthy or list(range(self.n_shards))
+
+    def shard_health(self) -> list[dict[str, Any]]:
+        """Per-shard health reports (latency EWMA, crashes, heartbeat age)."""
+        now = time.monotonic()
+        return [record.report(now) for record in self.health]
+
+    def rebalance_pending(self, shard_id: int) -> int:
+        """Move a shard's never-started queries onto the healthy shards.
+
+        Asks the worker to withdraw every submission its scheduler has not
+        yet admitted, then replays the original payloads — same cluster ids,
+        budgets, priorities, configs — round-robin across the healthy shards
+        (excluding the source), updating the routing table.  Admitted
+        queries stay put: their operators may hold in-flight crowd work that
+        cannot move between marketplaces.  Returns the number of queries
+        moved; deterministic because both the withdraw order (the shard's
+        admission order) and the target rotation are fixed.
+        """
+        reply = self._call(shard_id, {"op": "withdraw_pending"})
+        payloads = reply["queries"]
+        if not payloads:
+            return 0
+        targets = [sid for sid in self.healthy_shards() if sid != shard_id]
+        if not targets:
+            raise ClusterError(
+                f"cannot rebalance shard {shard_id}: no other healthy shard"
+            )
+        by_shard: dict[int, list[dict[str, Any]]] = {}
+        for index, payload in enumerate(payloads):
+            target = targets[index % len(targets)]
+            by_shard.setdefault(target, []).append(payload)
+        for target in sorted(by_shard):
+            self._call(target, {"op": "submit_many", "queries": by_shard[target]})
+            for payload in by_shard[target]:
+                self._routes[payload["query_id"]] = target
+        self.rebalanced += len(payloads)
+        return len(payloads)
 
     # -- submission --------------------------------------------------------
 
@@ -540,6 +712,9 @@ class ShardCoordinator:
         """Merged statistics: summed totals, per-shard reports, RSS sum/max."""
         merged = ClusterStats()
         for reply in self._broadcast({"op": "stats"}):
+            self.health[reply["shard"]].queue_depth = int(
+                reply["totals"].get("queue_depth", 0)
+            )
             shard_report = {
                 "shard": reply["shard"],
                 "totals": reply["totals"],
@@ -556,6 +731,8 @@ class ShardCoordinator:
             merged.peak_rss_kb_max = max(merged.peak_rss_kb_max, reply["peak_rss_kb"])
         merged.answer_directory_entries = len(self._answer_directory)
         merged.answers_pushed = self.answers_pushed
+        merged.health = self.shard_health()
+        merged.rebalanced = self.rebalanced
         return merged
 
     def dashboard(self) -> str:

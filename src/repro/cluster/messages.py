@@ -67,6 +67,22 @@ def reply_ok(**fields: Any) -> dict[str, Any]:
     return reply
 
 
-def reply_error(message: str) -> dict[str, Any]:
-    """A failed reply; the coordinator re-raises it as :class:`ClusterError`."""
-    return {"ok": False, "error": message}
+def reply_error(
+    message: str,
+    *,
+    error_type: str | None = None,
+    retry_after: float | None = None,
+) -> dict[str, Any]:
+    """A failed reply; the coordinator re-raises it as a typed error.
+
+    ``error_type`` lets the receiving side rebuild the right exception class
+    instead of a generic :class:`ClusterError`; ``retry_after`` carries the
+    backpressure hint of an ``"overloaded"`` rejection so clients can pace
+    their retry instead of hammering a saturated shard.
+    """
+    reply: dict[str, Any] = {"ok": False, "error": message}
+    if error_type is not None:
+        reply["error_type"] = error_type
+    if retry_after is not None:
+        reply["retry_after"] = retry_after
+    return reply

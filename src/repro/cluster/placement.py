@@ -14,6 +14,13 @@ fingerprints could never be stable.  Two policies are provided:
     and does not depend on what else was submitted.  Python's builtin
     ``hash`` is *not* used — it is salted per process, which would break
     cross-run stability.
+
+``health``
+    Round-robin over the shards the coordinator currently considers
+    healthy.  The healthy set changes only at explicit, recorded points
+    (a crash crossing the coordinator's threshold, or a manual mark), so
+    routing is still a pure function of (admission index, healthy set) —
+    the same fault script reproduces the same placement.
 """
 
 from __future__ import annotations
@@ -22,7 +29,13 @@ import hashlib
 
 from repro.errors import ClusterError
 
-__all__ = ["Placement", "RoundRobinPlacement", "HashPlacement", "make_placement"]
+__all__ = [
+    "Placement",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "HealthAwarePlacement",
+    "make_placement",
+]
 
 
 class Placement:
@@ -56,10 +69,54 @@ class HashPlacement(Placement):
         return int.from_bytes(digest[:8], "big") % self.n_shards
 
 
+class HealthAwarePlacement(Placement):
+    """Round-robin restricted to the currently-healthy shards.
+
+    The coordinator owns the health verdicts and feeds them in through
+    :meth:`set_healthy`; placement itself stays a pure function of the
+    admission index and the healthy set.  With every shard healthy this is
+    exactly :class:`RoundRobinPlacement`, which is what keeps default runs
+    byte-identical.  If everything is marked unhealthy the full shard set is
+    used — a fully-degraded cluster still accepts work rather than failing
+    placement.
+    """
+
+    def __init__(self, n_shards: int, seed: int = 0):
+        super().__init__(n_shards)
+        self.seed = seed
+        self._healthy: set[int] = set(range(n_shards))
+
+    def set_healthy(self, shard_id: int, healthy: bool = True) -> None:
+        """Record the coordinator's verdict for one shard."""
+        if not 0 <= shard_id < self.n_shards:
+            raise ClusterError(
+                f"shard {shard_id} out of range for {self.n_shards}-shard placement"
+            )
+        if healthy:
+            self._healthy.add(shard_id)
+        else:
+            self._healthy.discard(shard_id)
+
+    @property
+    def healthy_shards(self) -> tuple[int, ...]:
+        """Sorted routing pool; every shard when none are marked healthy."""
+        if not self._healthy:
+            return tuple(range(self.n_shards))
+        return tuple(sorted(self._healthy))
+
+    def shard_of(self, index: int, key: str) -> int:
+        pool = self.healthy_shards
+        return pool[index % len(pool)]
+
+
 def make_placement(kind: str, n_shards: int, seed: int = 0) -> Placement:
     """Build the placement policy named ``kind``."""
     if kind == "round-robin":
         return RoundRobinPlacement(n_shards)
     if kind == "hash":
         return HashPlacement(n_shards, seed)
-    raise ClusterError(f"unknown placement policy {kind!r} (use 'round-robin' or 'hash')")
+    if kind == "health":
+        return HealthAwarePlacement(n_shards, seed)
+    raise ClusterError(
+        f"unknown placement policy {kind!r} (use 'round-robin', 'hash', or 'health')"
+    )

@@ -24,13 +24,14 @@ time).
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any
 
 from repro.cluster.coordinator import ShardCoordinator
 from repro.cluster.serialization import decode_message, encode_rows, frame_message
-from repro.errors import ClusterError, QurkError
+from repro.errors import ClusterError, EngineOverloadedError, QurkError
 
-__all__ = ["ClusterServer", "request"]
+__all__ = ["ClusterServer", "raise_for_reply", "request"]
 
 _HEADER_BYTES = 4
 #: Idle delay between pump slices when no shard reported progress.
@@ -107,8 +108,22 @@ class ClusterServer:
                 body = await reader.readexactly(length)
                 try:
                     reply = await self._dispatch(decode_message(body))
+                except EngineOverloadedError as error:
+                    # Backpressure is a structured, terminal response: the
+                    # client gets the class name and a retry-after hint so
+                    # it can pace itself instead of retrying blind.
+                    reply = {
+                        "ok": False,
+                        "error": f"EngineOverloadedError: {error}",
+                        "error_type": "overloaded",
+                        "retry_after": error.retry_after,
+                    }
                 except QurkError as error:
-                    reply = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                    reply = {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                        "error_type": type(error).__name__,
+                    }
                 writer.write(frame_message(reply))
                 await writer.drain()
         finally:
@@ -179,6 +194,33 @@ async def _request_once(host: str, port: int, message: dict[str, Any]) -> dict[s
             pass
 
 
+#: Terminal ``error_type`` values a retry can never fix: the server took the
+#: request and rejected it deliberately (overload backpressure) or the
+#: request itself is malformed (validation).  Retrying would re-offer the
+#: same load to a saturated cluster — exactly what backpressure exists to
+#: prevent.
+_TERMINAL_ERROR_TYPES = frozenset({"overloaded", "ClusterError", "ParseError"})
+
+
+def raise_for_reply(reply: dict[str, Any]) -> dict[str, Any]:
+    """Convert a structured error reply into its typed exception.
+
+    Successful replies pass straight through.  An ``"overloaded"`` reply
+    becomes :class:`~repro.errors.EngineOverloadedError` with its
+    ``retry_after`` hint intact; anything else raises
+    :class:`~repro.errors.ClusterError`.  Clients that prefer inspecting the
+    dict can simply not call this.
+    """
+    if reply.get("ok"):
+        return reply
+    message = str(reply.get("error", "unknown failure"))
+    if reply.get("error_type") == "overloaded":
+        raise EngineOverloadedError(
+            message, retry_after=float(reply.get("retry_after", 1.0))
+        )
+    raise ClusterError(message)
+
+
 async def request(
     host: str,
     port: int,
@@ -186,6 +228,8 @@ async def request(
     *,
     attempts: int = _REQUEST_ATTEMPTS,
     backoff: float = _REQUEST_BACKOFF,
+    jitter: float = 0.0,
+    seed: int = 0,
 ) -> dict[str, Any]:
     """One-shot client: send a frame, await the reply frame.
 
@@ -193,15 +237,31 @@ async def request(
     reply) are retried with exponential backoff up to ``attempts`` times,
     then surface as a terminal :class:`~repro.errors.ClusterError` naming
     every attempt's failure — never an infinite hang, never a bare socket
-    traceback.  Application-level errors (``{"ok": false}`` replies) are
-    returned to the caller, not retried.
+    traceback.
+
+    Application-level errors are terminal immediately: an ``{"ok": false}``
+    reply means the server is up and answered deliberately, so overload
+    rejections and validation failures are returned on the first attempt —
+    retrying an overloaded cluster inside the retry loop would amplify the
+    very load that triggered the rejection (honor ``retry_after`` instead).
+
+    ``jitter`` spreads the backoff by up to that fraction (e.g. ``0.5`` →
+    sleeps scaled by 1.0–1.5×) from a stream seeded by ``seed``, so a herd
+    of clients recovering from a server restart does not reconnect in
+    lockstep while tests still see reproducible delays.
     """
     if attempts < 1:
         raise ClusterError(f"request needs at least 1 attempt, got {attempts}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ClusterError(f"jitter must be in [0, 1], got {jitter}")
+    rng = random.Random(seed) if jitter > 0.0 else None
     failures: list[str] = []
     for attempt in range(attempts):
         if attempt:
-            await asyncio.sleep(backoff * 2 ** (attempt - 1))
+            delay = backoff * 2 ** (attempt - 1)
+            if rng is not None:
+                delay *= 1.0 + jitter * rng.random()
+            await asyncio.sleep(delay)
         try:
             return await _request_once(host, port, message)
         except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:

@@ -28,7 +28,7 @@ from repro.cluster.messages import PipeTransport, reply_error, reply_ok
 from repro.cluster.serialization import decode_query, encode_rows
 from repro.crowd.wallclock import WallClock
 from repro.dashboard import QueryDashboard
-from repro.errors import ClusterError, QurkError
+from repro.errors import ClusterError, EngineOverloadedError, QurkError
 from repro.testing.chaos import fingerprint_engine
 
 __all__ = ["EngineSpec", "ShardWorker", "worker_main"]
@@ -97,6 +97,9 @@ class ShardWorker:
         self.durability = durability
         self._handles: dict[str, Any] = {}
         self._order: list[str] = []
+        # Original submission payloads, kept so the coordinator can withdraw
+        # a still-pending query and replay it verbatim on another shard.
+        self._submissions: dict[str, dict[str, Any]] = {}
         if durability is None:
             self.engine = spec.build()
             return
@@ -154,8 +157,20 @@ class ShardWorker:
             return reply_error(f"unknown cluster op {op!r}")
         try:
             return handler(message)
+        except EngineOverloadedError as error:
+            # Backpressure is structured, not a generic fault: the reply
+            # names the class and carries the retry-after hint so the
+            # coordinator (and the TCP server beyond it) can rebuild the
+            # typed error for the client instead of a bare ClusterError.
+            return reply_error(
+                f"EngineOverloadedError: {error}",
+                error_type="overloaded",
+                retry_after=error.retry_after,
+            )
         except QurkError as error:
-            return reply_error(f"{type(error).__name__}: {error}")
+            return reply_error(
+                f"{type(error).__name__}: {error}", error_type=type(error).__name__
+            )
 
     def _handle_of(self, query_id: str):
         try:
@@ -203,6 +218,7 @@ class ShardWorker:
         )
         self._handles[query_id] = handle
         self._order.append(query_id)
+        self._submissions[query_id] = dict(payload)
         return query_id
 
     def _flush_journal(self) -> None:
@@ -262,6 +278,32 @@ class ShardWorker:
                 self.engine.clock.run_until_idle()
         return reply_ok(progressed=progressed, has_work=self.engine.scheduler.has_work())
 
+    def _op_withdraw_pending(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Hand back every still-pending (never admitted) submission.
+
+        The coordinator calls this on a shard it has judged unhealthy: each
+        query the scheduler can still :meth:`~EngineScheduler.withdraw` is
+        forgotten here and its original submission payload returned, so the
+        coordinator can replay it verbatim on a healthy shard under the same
+        cluster id.  Admitted queries (which may hold in-flight crowd work)
+        stay put.  Only submissions this process has seen are eligible — a
+        WAL-recovered worker keeps its recovered queries, which are durable
+        where they are.
+        """
+        withdrawn: list[dict[str, Any]] = []
+        for cluster_id in list(self._order):
+            payload = self._submissions.get(cluster_id)
+            if payload is None:
+                continue
+            handle = self._handles[cluster_id]
+            if not self.engine.scheduler.withdraw(handle.query_id):
+                continue
+            withdrawn.append(payload)
+            del self._handles[cluster_id]
+            self._order.remove(cluster_id)
+            del self._submissions[cluster_id]
+        return reply_ok(shard=self.shard_id, queries=withdrawn)
+
     def _op_drain(self, message: dict[str, Any]) -> dict[str, Any]:
         finished = self.engine.scheduler.drain()
         self.engine.clock.run_until_idle()
@@ -312,6 +354,18 @@ class ShardWorker:
                 "scheduler_passes": scheduler.passes,
                 "clock_advances": scheduler.clock_advances,
                 "simulated_time": self.engine.clock.now,
+                "queue_depth": len(self.engine.scheduler.active_queries())
+                + len(self.engine.scheduler.queued_queries()),
+                "queries_rejected": scheduler.queries_rejected,
+                "queries_shed": scheduler.queries_shed,
+                "deadline_misses": scheduler.deadline_misses,
+                "queries_degraded": scheduler.queries_degraded,
+                "queries_pressured": scheduler.queries_pressured,
+                "breaker_trips": (
+                    self.engine.breaker.stats.trips
+                    if getattr(self.engine, "breaker", None) is not None
+                    else 0
+                ),
             },
             peak_rss_kb=_peak_rss_kb(),
         )

@@ -34,6 +34,17 @@ class QueryConfig:
     adaptive: bool = True
     use_cache: bool = True
     use_task_model: bool = True
+    #: Seconds (on the engine clock, simulated or wall) the query may run
+    #: after admission before the deadline fires.  ``None`` disables it.
+    deadline: float | None = None
+    #: What happens when the deadline fires: ``"error"`` raises
+    #: :class:`~repro.errors.QueryDeadlineError` from ``wait()``;
+    #: ``"partial"`` finishes ``DEGRADED`` with the rows landed so far.
+    degradation: str = "error"
+    #: Under deadline/budget pressure, shrink waves to a single assignment
+    #: and stop burning retry attempts instead of stalling.  Default off so
+    #: existing workloads keep byte-identical HIT counts.
+    shed_under_pressure: bool = False
 
     def clone(self, **overrides) -> "QueryConfig":
         """A copy of this config with ``overrides`` applied.

@@ -42,6 +42,13 @@ class QueryStatus(enum.Enum):
     BUDGET_EXCEEDED = "budget_exceeded"
     STALLED = "stalled"
     FAILED = "failed"
+    #: The deadline elapsed under ``degradation="error"``.
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    #: The deadline elapsed under ``degradation="partial"``; the handle holds
+    #: whatever rows had landed — a correct prefix of the full-run result.
+    DEGRADED = "degraded"
+    #: Evicted from the pending-admission queue by a higher-priority arrival.
+    SHED = "shed"
 
 
 #: Statuses a query can never leave.
@@ -51,6 +58,9 @@ TERMINAL_STATUSES = frozenset(
         QueryStatus.BUDGET_EXCEEDED,
         QueryStatus.STALLED,
         QueryStatus.FAILED,
+        QueryStatus.DEADLINE_EXCEEDED,
+        QueryStatus.DEGRADED,
+        QueryStatus.SHED,
     }
 )
 

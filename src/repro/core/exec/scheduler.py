@@ -37,6 +37,7 @@ active query on one simulated marketplace:
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass
@@ -45,8 +46,14 @@ from typing import TYPE_CHECKING
 
 from repro.core.exec.handle import QueryHandle, QueryStatus
 from repro.core.tasks.task_manager import TaskManager
-from repro.crowd.clock import SimulationClock
-from repro.errors import BudgetExceededError, ExecutionError, QueryStalledError
+from repro.crowd.clock import ScheduledEvent, SimulationClock
+from repro.errors import (
+    BudgetExceededError,
+    EngineOverloadedError,
+    ExecutionError,
+    QueryDeadlineError,
+    QueryStalledError,
+)
 from repro.storage.row import Row
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -81,6 +88,14 @@ class SchedulerMetrics:
     noop_clock_advances: int = 0
     queries_admitted: int = 0
     queries_finished: int = 0
+    # Overload protection: submissions refused outright, waiting queries
+    # evicted for higher-priority arrivals, deadlines that raised, deadlines
+    # that degraded to partial results, and queries switched to shed mode.
+    queries_rejected: int = 0
+    queries_shed: int = 0
+    deadline_misses: int = 0
+    queries_degraded: int = 0
+    queries_pressured: int = 0
 
 
 @dataclass
@@ -94,6 +109,13 @@ class _ScheduledQuery:
     #: Admission sequence number: runnable queries are stepped in this
     #: order, so the ready queue preserves the admission-order round-robin.
     seq: int = 0
+    #: Absolute clock time the query's deadline maps to (None = no deadline).
+    deadline_at: float | None = None
+    #: The no-op clock event pinned at ``deadline_at`` so the event loop
+    #: always has something to advance to; cancelled on early completion.
+    deadline_event: ScheduledEvent | None = None
+    #: Whether the Task Manager has been told to shed this query's redundancy.
+    pressured: bool = False
 
 
 class EngineScheduler:
@@ -106,13 +128,34 @@ class EngineScheduler:
         *,
         max_concurrent_queries: int | None = None,
         replanner: "AdaptiveReplanner | None" = None,
+        admission_queue_limit: int | None = None,
+        overload_policy: str = "reject",
+        overload_retry_after: float = 30.0,
     ) -> None:
         if max_concurrent_queries is not None and max_concurrent_queries < 1:
             raise ExecutionError("max_concurrent_queries must be >= 1 (or None for unlimited)")
+        if admission_queue_limit is not None and admission_queue_limit < 0:
+            raise ExecutionError(
+                "admission_queue_limit must be >= 0 (or None for an unbounded queue)"
+            )
+        if overload_policy not in ("reject", "shed"):
+            raise ExecutionError(
+                f"overload_policy must be 'reject' or 'shed', got {overload_policy!r}"
+            )
+        if overload_retry_after <= 0:
+            raise ExecutionError("overload_retry_after must be positive")
         self.clock = clock
         self.task_manager = task_manager
         self.max_concurrent_queries = max_concurrent_queries
         self.replanner = replanner
+        #: Bound on the pending-admission queue (None = unbounded, the
+        #: legacy behaviour).  Past it, new submissions are rejected with
+        #: :class:`EngineOverloadedError` (``overload_policy="reject"``) or
+        #: the lowest-priority waiting query is shed to make room
+        #: (``overload_policy="shed"``).
+        self.admission_queue_limit = admission_queue_limit
+        self.overload_policy = overload_policy
+        self.overload_retry_after = overload_retry_after
         self.metrics = SchedulerMetrics()
         self.events: list[SchedulerEvent] = []
         self._events_by_query: dict[str, list[SchedulerEvent]] = {}
@@ -130,6 +173,16 @@ class EngineScheduler:
         #: event-fed, so reaping never scans the active set.
         self._to_reap: list[str] = []
         self._errors_pending = False
+        # Deadline bookkeeping: a lazy min-heap of (deadline_at, seq, id)
+        # plus id -> record for queries that carry a deadline (waiting or
+        # active).  Both empty unless deadlines are actually configured, so
+        # the default path never touches them.
+        self._deadlines: list[tuple[float, int, str]] = []
+        self._deadline_seq = itertools.count()
+        self._deadline_records: dict[str, _ScheduledQuery] = {}
+        #: Queries that opted into ``shed_under_pressure`` and are not yet
+        #: pressured — the only ones the per-pass pressure check visits.
+        self._pressure_watch: dict[str, _ScheduledQuery] = {}
         # Durability wiring (both set by QurkEngine.enable_durability): the
         # journal receives every lifecycle event; the checkpoint hook runs
         # after a drain quiesces the engine, the natural snapshot point.
@@ -149,16 +202,48 @@ class EngineScheduler:
 
         The query is admitted immediately if a concurrency slot is free,
         otherwise it joins the pending-admission queue (status ``PENDING``)
-        and is admitted when a running query finishes.
+        and is admitted when a running query finishes.  With a bounded
+        admission queue, a submission that would overflow it is refused with
+        :class:`~repro.errors.EngineOverloadedError` — or, under the
+        ``shed`` policy, the lowest-priority waiting query is evicted to
+        make room when the newcomer outranks it.
         """
         if priority <= 0:
             raise ExecutionError(f"query priority must be positive, got {priority}")
         record = _ScheduledQuery(handle=handle, priority=priority)
+        # Stub executors (tests, tooling) may not carry an execution context;
+        # they simply cannot opt into deadlines or pressure shedding.
+        context = getattr(handle.executor, "context", None)
+        config = context.config if context is not None else None
+        if config is not None and config.deadline is not None:
+            if config.deadline <= 0:
+                raise ExecutionError(f"query deadline must be positive, got {config.deadline}")
+            if config.degradation not in ("error", "partial"):
+                raise ExecutionError(
+                    f"degradation must be 'error' or 'partial', got {config.degradation!r}"
+                )
+            record.deadline_at = self.clock.now + config.deadline
+            # A pinned no-op event guarantees the clock can always advance
+            # *to* the deadline, even when the marketplace has gone silent.
+            record.deadline_event = self.clock.schedule_at(
+                record.deadline_at, lambda: None, label=f"deadline:{handle.query_id}"
+            )
+            heapq.heappush(
+                self._deadlines, (record.deadline_at, next(self._deadline_seq), handle.query_id)
+            )
+            self._deadline_records[handle.query_id] = record
+        if config is not None and config.shed_under_pressure:
+            self._pressure_watch[handle.query_id] = record
         handle.scheduler = self
         self._record_event(handle.query_id, "submitted", f"priority {priority:g}")
         self._waiting.append(record)
         self._waiting_ids.add(handle.query_id)
         self._admit()
+        if (
+            self.admission_queue_limit is not None
+            and len(self._waiting) > self.admission_queue_limit
+        ):
+            self._handle_overload(record)
         return handle
 
     def _admit(self) -> None:
@@ -176,6 +261,76 @@ class EngineScheduler:
             self.metrics.queries_admitted += 1
             self._record_event(record.handle.query_id, "admitted")
 
+    # -- overload protection --------------------------------------------------------------
+
+    def _handle_overload(self, newcomer: _ScheduledQuery) -> None:
+        """The admission queue overflowed: shed someone, or refuse the newcomer.
+
+        Under ``shed``, the victim is the lowest-priority waiting query
+        (ties broken oldest-first); when that victim is the newcomer itself
+        — it outranks nobody — the outcome is the same as ``reject``.  A
+        rejected submission raises so the caller gets the structured
+        retry-after signal; a shed victim's error surfaces through its own
+        handle instead.
+        """
+        victim = newcomer
+        if self.overload_policy == "shed":
+            victim = min(self._waiting, key=lambda record: record.priority)
+        queue_depth = len(self._waiting) - 1
+        error = EngineOverloadedError(
+            f"query {victim.handle.query_id} refused: the pending-admission queue is full "
+            f"({queue_depth} waiting, limit {self.admission_queue_limit}); "
+            f"retry in {self.overload_retry_after:g}s",
+            retry_after=self.overload_retry_after,
+            query_id=victim.handle.query_id,
+        )
+        self._waiting.remove(victim)
+        self._waiting_ids.discard(victim.handle.query_id)
+        self._forget_overload_state(victim)
+        victim.handle.status = QueryStatus.SHED
+        victim.handle.error = error
+        self.task_manager.cancel_query(victim.handle.query_id)
+        if victim is newcomer:
+            self.metrics.queries_rejected += 1
+            self._record_event(victim.handle.query_id, "rejected", "admission queue full")
+            raise error
+        self.metrics.queries_shed += 1
+        self._record_event(
+            victim.handle.query_id,
+            "shed",
+            f"evicted for {newcomer.handle.query_id} (priority {newcomer.priority:g} "
+            f"> {victim.priority:g})",
+        )
+
+    def withdraw(self, query_id: str) -> bool:
+        """Pull a never-admitted query back out of the pending queue.
+
+        The cluster coordinator uses this to rebalance pending (unstarted)
+        queries off an unhealthy shard: the handle stays ``PENDING`` and is
+        simply forgotten by this scheduler, so the caller can resubmit the
+        same statement elsewhere.  Admitted queries cannot be withdrawn —
+        their operators may already hold in-flight crowd work.
+        """
+        if query_id not in self._waiting_ids:
+            return False
+        for index, record in enumerate(self._waiting):
+            if record.handle.query_id == query_id:
+                del self._waiting[index]
+                self._waiting_ids.discard(query_id)
+                self._forget_overload_state(record)
+                self._record_event(query_id, "withdrawn", "rebalanced off this engine")
+                return True
+        return False
+
+    def _forget_overload_state(self, record: _ScheduledQuery) -> None:
+        """Drop a query's deadline/pressure bookkeeping (idempotent)."""
+        query_id = record.handle.query_id
+        if record.deadline_event is not None:
+            record.deadline_event.cancel()
+            record.deadline_event = None
+        self._deadline_records.pop(query_id, None)
+        self._pressure_watch.pop(query_id, None)
+
     # -- event-driven wakeups -------------------------------------------------------------
 
     def _on_result_delivered(self, result) -> None:
@@ -191,6 +346,9 @@ class EngineScheduler:
     def _retire(self, record: _ScheduledQuery) -> None:
         """A query turned terminal: leave the ready queue, await the reap."""
         query_id = record.handle.query_id
+        self._forget_overload_state(record)
+        if record.pressured:
+            self.task_manager.set_pressure(query_id, False)
         self._runnable.pop(query_id, None)
         self._to_reap.append(query_id)
 
@@ -233,6 +391,105 @@ class EngineScheduler:
                 {"query_id": query_id, "event": event, "detail": detail, "time": record.time},
             )
 
+    # -- deadlines and pressure -----------------------------------------------------------
+
+    def _next_deadline(self) -> float | None:
+        """Earliest live deadline, or None.  Lazily prunes dead heap entries."""
+        while self._deadlines:
+            deadline_at, _, query_id = self._deadlines[0]
+            record = self._deadline_records.get(query_id)
+            if record is None or record.handle.is_terminal or record.deadline_at != deadline_at:
+                heapq.heappop(self._deadlines)
+                continue
+            return deadline_at
+        return None
+
+    def _check_deadlines(self) -> bool:
+        """Expire every query whose deadline has passed.  True if any did."""
+        expired_any = False
+        while True:
+            deadline_at = self._next_deadline()
+            if deadline_at is None or deadline_at > self.clock.now:
+                return expired_any
+            _, _, query_id = heapq.heappop(self._deadlines)
+            record = self._deadline_records.get(query_id)
+            if record is None or record.handle.is_terminal:
+                continue
+            self._expire_deadline(record)
+            expired_any = True
+
+    def _expire_deadline(self, record: _ScheduledQuery) -> None:
+        """A deadline fired: degrade to partial results, or fail the query.
+
+        Cutting at the deadline only cancels *future* work — everything that
+        already happened is identical to an unconstrained same-seed run, so
+        a degraded result is a strict prefix of the full result (same rows,
+        subset of HITs, never over-billed).
+        """
+        handle = record.handle
+        config = handle.executor.context.config
+        rows = len(handle.results_table)
+        was_active = handle.query_id in self._active
+        if config.degradation == "partial":
+            handle.status = QueryStatus.DEGRADED
+            self.metrics.queries_degraded += 1
+            event = "degraded"
+            detail = f"deadline {config.deadline:g}s elapsed, keeping {rows} row(s)"
+        else:
+            handle.status = QueryStatus.DEADLINE_EXCEEDED
+            handle.error = QueryDeadlineError(
+                f"query {handle.query_id} missed its {config.deadline:g}s deadline "
+                f"after emitting {rows} row(s)",
+                query_id=handle.query_id,
+                deadline=record.deadline_at or 0.0,
+                rows_produced=rows,
+            )
+            self.metrics.deadline_misses += 1
+            event = "deadline_exceeded"
+            detail = f"deadline {config.deadline:g}s elapsed after {rows} row(s)"
+        cancelled = self.task_manager.cancel_query(handle.query_id)
+        if cancelled:
+            detail += f", {cancelled} pending task(s) cancelled"
+        self._record_event(handle.query_id, event, detail)
+        if was_active:
+            self._retire(record)
+        else:
+            # Still waiting for admission: the terminal record is discarded
+            # by the next _admit() pass; only the bookkeeping goes now.
+            self._forget_overload_state(record)
+
+    def _apply_pressure(self) -> None:
+        """Switch watched queries into shed mode once pressure builds.
+
+        Pressure means: past half the deadline, or over 80% of the budget
+        committed.  Only queries that opted in via ``shed_under_pressure``
+        are watched, so the default path pays one empty-dict check per pass.
+        """
+        if not self._pressure_watch:
+            return
+        for query_id, record in list(self._pressure_watch.items()):
+            handle = record.handle
+            if record.pressured or handle.is_terminal:
+                continue
+            config = handle.executor.context.config
+            reason = None
+            if record.deadline_at is not None and config.deadline:
+                if self.clock.now >= record.deadline_at - 0.5 * config.deadline:
+                    reason = "past 50% of deadline"
+            if reason is None:
+                budget = handle.executor.context.budget.budget(query_id)
+                if budget.limit and budget.committed >= 0.8 * budget.limit:
+                    reason = (
+                        f"${budget.committed:.2f} of ${budget.limit:.2f} budget committed"
+                    )
+            if reason is None:
+                continue
+            record.pressured = True
+            self.task_manager.set_pressure(query_id, True)
+            self.metrics.queries_pressured += 1
+            self._pressure_watch.pop(query_id, None)
+            self._record_event(query_id, "pressure_shed", reason)
+
     # -- the shared run loop --------------------------------------------------------------
 
     def step(self, *, until: float | None = None) -> bool:
@@ -252,6 +509,12 @@ class EngineScheduler:
             return False
         self.metrics.passes += 1
         progress = False
+        if self._check_deadlines():
+            # Expiring a query is progress: slots free up and waiters learn
+            # their fate.  Reap now so successors are admitted this pass.
+            self._reap()
+            progress = True
+        self._apply_pressure()
 
         runnable = sorted(self._runnable.values(), key=lambda record: record.seq)
         if runnable:
@@ -295,6 +558,7 @@ class EngineScheduler:
         if posted > 0 or self._reap() > 0:
             return True
         if self._advance_clock(until):
+            self._check_deadlines()
             self._reap()
             return True
 
@@ -325,8 +589,13 @@ class EngineScheduler:
         pushed.  Anything else — partial submissions, abandonment
         replacements, duplicate-submission noise — is counted as a no-op
         advance and absorbed here instead of costing a full pass.  ``until``
-        stops the batch once the clock reaches a caller's deadline.
+        stops the batch once the clock reaches a caller's deadline, and the
+        earliest live *query* deadline bounds it the same way so an expiring
+        query is noticed the moment the clock crosses its deadline.
         """
+        deadline = self._next_deadline()
+        if deadline is not None and (until is None or deadline < until):
+            until = deadline
         advanced = False
         while self.clock.run_next():
             self.metrics.clock_advances += 1
@@ -563,9 +832,16 @@ class EngineScheduler:
                 self._retire(record)
                 self._reap()
             raise handle.error
-        if handle.status is QueryStatus.STALLED and handle.error is not None:
-            # A targeted stall (task attempts exhausted) set the status
-            # without raising; waiting on the handle must still surface it
-            # rather than silently returning an incomplete result set.
+        if (
+            handle.status
+            in (QueryStatus.STALLED, QueryStatus.DEADLINE_EXCEEDED, QueryStatus.SHED)
+            and handle.error is not None
+        ):
+            # A targeted stall (task attempts exhausted), a missed deadline
+            # under ``degradation="error"`` or a load-shedding eviction set
+            # the status without raising; waiting on the handle must still
+            # surface it rather than silently returning an incomplete result
+            # set.  ``DEGRADED`` intentionally falls through — partial
+            # results are the contract of ``degradation="partial"``.
             raise handle.error
         return handle.results()

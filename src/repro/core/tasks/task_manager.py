@@ -95,6 +95,9 @@ class TaskManagerStats:
     tasks_degraded: int = 0
     gold_probes_posted: int = 0
     gold_answers_scored: int = 0
+    #: HIT waves shrunk (and finalizations taken early) because the owning
+    #: query was marked under deadline/budget pressure by the scheduler.
+    pressure_waves: int = 0
 
 
 @dataclass
@@ -147,10 +150,14 @@ class TaskManager:
         reputation: WorkerReputation | None = None,
         gold: GoldStandardPool | None = None,
         max_attempts: int | None = None,
+        breaker=None,
     ) -> None:
         self.platform = platform
         self.statistics = statistics
         self.budget = budget
+        #: Optional :class:`~repro.crowd.breaker.MarketplaceCircuitBreaker`
+        #: guarding the posting choke point (None = always post).
+        self.breaker = breaker
         self.cache = cache if cache is not None else TaskCache()
         self.models = models if models is not None else TaskModelRegistry()
         self.compiler = compiler if compiler is not None else HITCompiler()
@@ -194,6 +201,10 @@ class TaskManager:
         self._budget_errors: dict[str, BudgetExceededError] = {}
         self._exhausted_errors: dict[str, TaskError] = {}
         self._cancelled_queries: set[str] = set()
+        #: Queries the scheduler marked as under deadline/budget pressure:
+        #: their waves shrink to one assignment, any received answer
+        #: finalizes, and fault re-posts stop after a single attempt.
+        self._pressured: set[str] = set()
         self._delivery_listeners: list = []
         self._error_listeners: list = []
         self._quality_rng = random.Random(quality.seed) if quality is not None else None
@@ -357,6 +368,13 @@ class TaskManager:
             kind = queue[0].kind
             policy = self.policy_for(spec, kind)
             while queue and policy.should_flush(len(queue), force=force):
+                if self.breaker is not None and not self.breaker.allow_posting():
+                    # The marketplace breaker is open (or out of half-open
+                    # probes): stop posting, leave everything queued, and
+                    # re-mark the group dirty so the next flush retries it.
+                    self.breaker.record_blocked()
+                    self._dirty.add(key)
+                    return posted
                 size = min(policy.batch_size(len(queue)), len(queue))
                 batch = [self._pop_pending(key) for _ in range(size)]
                 posted += self._post_batch(batch, raise_on_budget=raise_on_budget)
@@ -422,6 +440,12 @@ class TaskManager:
         progress = self._progress.get(task.task_id)
         received = progress.received if progress is not None else 0
         remaining = max(task.assignments - received, 1)
+        if task.query_id in self._pressured:
+            # Under deadline/budget pressure redundancy is shed entirely:
+            # one assignment per wave, and any received answer finalizes
+            # (see :meth:`_should_finalize`) instead of buying more votes.
+            self.stats.pressure_waves += 1
+            return 1
         if self.quality is not None and self.quality.adaptive_redundancy:
             return min(self.quality.wave_size, remaining)
         return remaining
@@ -481,6 +505,14 @@ class TaskManager:
         ``needs`` comes from :meth:`_batch_needs` (None = legacy single-shot
         HIT with attribution by full redundancy).
         """
+        if self.breaker is not None and not self.breaker.allow_posting():
+            # A multi-HIT batch (join blocks, mixed wave sizes) can exhaust
+            # the half-open probe budget mid-batch; the remainder goes back
+            # on the pending queue rather than slipping past the breaker.
+            self.breaker.record_blocked()
+            for task in tasks:
+                self._push_pending(task)
+            return 0
         single_query_batch = len({task.query_id for task in tasks}) == 1
         # Dropping an unaffordable query shifts its slice of the (fixed) HIT
         # cost onto the survivors, so re-check affordability to a fixed point
@@ -554,6 +586,8 @@ class TaskManager:
             excluded_workers=excluded,
         )
         self.stats.hits_posted += 1
+        if self.breaker is not None:
+            self.breaker.record_post()
         if len(shares) > 1:
             self.stats.cross_query_hits += 1
         self.stats.hit_dollars_committed += cost
@@ -635,6 +669,13 @@ class TaskManager:
                     "submissions": len(submissions),
                 },
             )
+        if self.breaker is not None:
+            # Breaker feedback: an expiry is a fault-driven failure, a fully
+            # submitted HIT is proof the market is serving.
+            if expired:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
         if expired:
             self._refund_unfilled_slots(hit, inflight, submissions)
         self._score_gold(inflight.compiled, submissions)
@@ -703,6 +744,10 @@ class TaskManager:
         """Whether a task's accumulated answers are enough to deliver."""
         if progress.received >= progress.target:
             return True
+        if progress.task.query_id in self._pressured:
+            # Pressure mode: the first answer is good enough — finishing
+            # before the deadline beats finishing with full redundancy.
+            return progress.received > 0
         if self.quality is None or not self.quality.adaptive_redundancy:
             return False
         if progress.received < min(self.quality.wave_size, progress.target):
@@ -772,7 +817,10 @@ class TaskManager:
             self._progress[task.task_id] = progress
         if count_attempt:
             progress.attempts += 1
-            if progress.attempts > self.max_attempts:
+            # Pressure mode lowers the fault re-post cap to a single attempt:
+            # hammering a degraded market cannot beat the deadline anyway.
+            cap = 1 if task.query_id in self._pressured else self.max_attempts
+            if progress.attempts > cap:
                 self.stats.tasks_exhausted += 1
                 del self._progress[task.task_id]
                 self._submitted_at.pop(task.task_id, None)
@@ -966,6 +1014,20 @@ class TaskManager:
 
     # -- scheduler / executor integration -----------------------------------------------
 
+    def set_pressure(self, query_id: str, pressured: bool = True) -> None:
+        """Mark (or clear) a query as under deadline/budget pressure.
+
+        Called by the engine scheduler for queries that opted into
+        ``shed_under_pressure``: while marked, the query's waves shrink to a
+        single assignment, any received answer finalizes, and fault re-posts
+        stop after one attempt — trading redundancy for latency instead of
+        stalling at the deadline.
+        """
+        if pressured:
+            self._pressured.add(query_id)
+        else:
+            self._pressured.discard(query_id)
+
     def pending_tasks(self, query_id: str | None = None) -> int:
         """Tasks queued but not yet posted in a HIT (optionally one query's).
 
@@ -1011,6 +1073,7 @@ class TaskManager:
         can never requeue — and re-bill — work on its behalf.
         """
         self._cancelled_queries.add(query_id)
+        self._pressured.discard(query_id)
         removed = 0
         if self._pending_by_query.get(query_id, 0):
             # Only the groups this query actually queued into are touched

@@ -50,6 +50,12 @@ class FaultProfile:
         Override for the lifetime of every posted HIT, in simulated seconds
         (None keeps the platform default of 24 h).  Expired HITs fire the
         simulator's expiry listeners so the engine can requeue their tasks.
+    congestion_per_open_hit:
+        Marketplace congestion: each already-open HIT stretches a new
+        assignment's pick-up delay by this fraction (delay is scaled by
+        ``1 + rate * open_hits``).  Models the saturation a burst of queries
+        causes on a finite worker pool — the overload benchmarks use it to
+        make flooding the market actively harmful.
     """
 
     seed: int = 0
@@ -58,6 +64,7 @@ class FaultProfile:
     late_rate: float = 0.0
     pickup_slowdown: float = 1.0
     hit_lifetime: float | None = None
+    congestion_per_open_hit: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("abandonment_rate", "duplicate_rate", "late_rate"):
@@ -68,6 +75,10 @@ class FaultProfile:
             raise CrowdError(f"pickup_slowdown must be positive, got {self.pickup_slowdown}")
         if self.hit_lifetime is not None and self.hit_lifetime <= 0:
             raise CrowdError(f"hit_lifetime must be positive, got {self.hit_lifetime}")
+        if self.congestion_per_open_hit < 0:
+            raise CrowdError(
+                f"congestion_per_open_hit must be >= 0, got {self.congestion_per_open_hit}"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -78,6 +89,7 @@ class FaultProfile:
             or self.late_rate > 0.0
             or self.pickup_slowdown != 1.0
             or self.hit_lifetime is not None
+            or self.congestion_per_open_hit > 0.0
         )
 
     def describe(self) -> str:
@@ -95,4 +107,6 @@ class FaultProfile:
             parts.append(f"pickup x{self.pickup_slowdown:g}")
         if self.hit_lifetime is not None:
             parts.append(f"lifetime {self.hit_lifetime:,.0f}s")
+        if self.congestion_per_open_hit:
+            parts.append(f"congestion {self.congestion_per_open_hit:g}/open HIT")
         return ", ".join(parts)

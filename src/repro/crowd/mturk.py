@@ -208,6 +208,11 @@ class MTurkSimulator:
         pickup = self.worker_pool.pickup_delay(hit)
         if self._fault_rng is not None:
             pickup *= self.faults.pickup_slowdown
+            if self.faults.congestion_per_open_hit > 0.0:
+                # Congestion: every *other* open HIT competes for the same
+                # worker pool and stretches this pick-up proportionally.
+                backlog = max(0, self.open_hit_count() - 1)
+                pickup *= 1.0 + self.faults.congestion_per_open_hit * backlog
         accepted_at = self.clock.now + pickup
         if accepted_at > hit.expires_at:
             # The HIT expires before this worker would have picked it up.

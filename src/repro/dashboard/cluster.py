@@ -55,6 +55,33 @@ def render_cluster(stats: "ClusterStats", panels: list[dict[str, Any]]) -> str:
         f"memory: {stats.peak_rss_kb_sum} KiB across workers "
         f"(max shard {stats.peak_rss_kb_max} KiB)",
     ]
+    overload = (
+        int(totals.get("queries_rejected", 0))
+        + int(totals.get("queries_shed", 0))
+        + int(totals.get("deadline_misses", 0))
+        + int(totals.get("queries_degraded", 0))
+        + int(totals.get("breaker_trips", 0))
+    )
+    if overload or stats.rebalanced:
+        lines.append(
+            f"overload: rejected {int(totals.get('queries_rejected', 0))}, "
+            f"shed {int(totals.get('queries_shed', 0))}, "
+            f"deadline misses {int(totals.get('deadline_misses', 0))}, "
+            f"degraded {int(totals.get('queries_degraded', 0))}, "
+            f"breaker trips {int(totals.get('breaker_trips', 0))}, "
+            f"rebalanced {stats.rebalanced}"
+        )
+    for record in stats.health:
+        age = record.get("heartbeat_age")
+        age_text = "never" if age is None else f"{age:.1f}s ago"
+        lines.append(
+            f"health shard {record['shard']}: "
+            f"{'ok' if record.get('healthy', True) else 'DEGRADED'}, "
+            f"heartbeat {age_text}, "
+            f"op latency {record.get('latency_ewma', 0.0) * 1000:.1f}ms, "
+            f"{record.get('crashes', 0)} crash(es), "
+            f"queue depth {record.get('queue_depth', 0)}"
+        )
     for panel in sorted(panels, key=lambda p: p["shard"]):
         lines.append("")
         lines.append(f"--- shard {panel['shard']} ---")

@@ -73,6 +73,7 @@ class QueryDashboard:
             mean_worker_accuracy = quality_summary["mean_accuracy"]
             flagged_workers = quality_summary["flagged"]
         fault_profile = getattr(self.engine.platform, "faults", None)
+        breaker = getattr(self.engine, "breaker", None)
         cache_stats = self.engine.task_cache.stats
         trusted_models = sum(
             1
@@ -129,6 +130,24 @@ class QueryDashboard:
             cache_entries_imported=cache_stats.entries_imported,
             cross_shard_hits=cache_stats.cross_shard_hits,
             trusted_models=trusted_models,
+            queries_rejected=(
+                scheduler.metrics.queries_rejected if scheduler is not None else 0
+            ),
+            queries_shed=scheduler.metrics.queries_shed if scheduler is not None else 0,
+            deadline_misses=(
+                scheduler.metrics.deadline_misses if scheduler is not None else 0
+            ),
+            queries_degraded=(
+                scheduler.metrics.queries_degraded if scheduler is not None else 0
+            ),
+            queries_pressured=(
+                scheduler.metrics.queries_pressured if scheduler is not None else 0
+            ),
+            breaker_state=breaker.state if breaker is not None else "",
+            breaker_trips=breaker.stats.trips if breaker is not None else 0,
+            breaker_posts_blocked=(
+                breaker.stats.posts_blocked if breaker is not None else 0
+            ),
         )
 
     def _operator_snapshots(self, handle: QueryHandle) -> list[OperatorSnapshot]:
@@ -228,6 +247,32 @@ class QueryDashboard:
                 f" | requeued tasks {snapshot.tasks_requeued}"
                 f" | exhausted {snapshot.tasks_exhausted}"
             )
+        overload_counts = (
+            snapshot.queries_rejected
+            or snapshot.queries_shed
+            or snapshot.deadline_misses
+            or snapshot.queries_degraded
+            or snapshot.queries_pressured
+            # A recovered breaker (closed again, but with trips on record)
+            # is still part of the run's story.
+            or snapshot.breaker_trips
+            or snapshot.breaker_posts_blocked
+        )
+        if overload_counts or snapshot.breaker_state not in ("", "closed"):
+            line = (
+                f"overload (engine-wide): rejected {snapshot.queries_rejected}"
+                f" | shed {snapshot.queries_shed}"
+                f" | deadline misses {snapshot.deadline_misses}"
+                f" | degraded {snapshot.queries_degraded}"
+                f" | pressured {snapshot.queries_pressured}"
+            )
+            if snapshot.breaker_state:
+                line += (
+                    f" | breaker {snapshot.breaker_state}"
+                    f" (trips {snapshot.breaker_trips},"
+                    f" blocked {snapshot.breaker_posts_blocked})"
+                )
+            lines.append(line)
         if snapshot.scheduler_state:
             lifecycle = " -> ".join(snapshot.lifecycle) or "<no events>"
             lines.append(f"scheduler: {snapshot.scheduler_state} | {lifecycle}")

@@ -98,6 +98,17 @@ class QueryDashboardSnapshot:
     cache_entries_imported: int = 0
     cross_shard_hits: int = 0
     trusted_models: int = 0
+    # Overload protection (engine-wide; all zero/empty with the knobs off).
+    # Admission rejections and sheds, deadline outcomes, pressure-mode
+    # entries, and the marketplace circuit breaker's state line.
+    queries_rejected: int = 0
+    queries_shed: int = 0
+    deadline_misses: int = 0
+    queries_degraded: int = 0
+    queries_pressured: int = 0
+    breaker_state: str = ""
+    breaker_trips: int = 0
+    breaker_posts_blocked: int = 0
 
     @property
     def budget_utilisation(self) -> float | None:

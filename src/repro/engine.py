@@ -52,6 +52,7 @@ from repro.core.tasks.task import TaskKind
 from repro.core.tasks.task_cache import CachePolicy, TaskCache
 from repro.core.tasks.task_manager import TaskManager
 from repro.core.tasks.task_model import TaskModelRegistry
+from repro.crowd.breaker import BreakerConfig, MarketplaceCircuitBreaker
 from repro.crowd.clock import SimulationClock
 from repro.crowd.faults import FaultProfile
 from repro.crowd.mturk import MTurkSimulator
@@ -124,6 +125,20 @@ class QurkEngine:
         :class:`~repro.crowd.clock.SimulationClock`; pass a
         :class:`~repro.crowd.wallclock.WallClock` to make simulated delays
         take real time (live-traffic mode behind the cluster front end).
+    admission_queue_limit, overload_policy, overload_retry_after:
+        Admission backpressure: bound the pending-admission queue at
+        ``admission_queue_limit`` waiting queries.  Past it, a submission is
+        refused with :class:`~repro.errors.EngineOverloadedError` carrying
+        ``retry_after`` seconds (``overload_policy="reject"``), or the
+        lowest-priority waiting query is shed to make room when the
+        newcomer outranks it (``overload_policy="shed"``).  ``None`` (the
+        default) keeps the queue unbounded.
+    circuit_breaker:
+        Optional :class:`~repro.crowd.breaker.BreakerConfig` wrapping HIT
+        posting in a closed → open → half-open circuit breaker: consecutive
+        fault-driven HIT expiries pause posting for an exponentially
+        backed-off cooldown instead of hammering a degraded marketplace.
+        ``None`` (the default) posts unconditionally.
     """
 
     def __init__(
@@ -142,6 +157,10 @@ class QurkEngine:
         fault_profile: FaultProfile | None = None,
         quality: QualityConfig | None = None,
         clock: SimulationClock | None = None,
+        admission_queue_limit: int | None = None,
+        overload_policy: str = "reject",
+        overload_retry_after: float = 30.0,
+        circuit_breaker: BreakerConfig | None = None,
     ) -> None:
         self.database = Database()
         self.clock = clock if clock is not None else SimulationClock()
@@ -161,6 +180,11 @@ class QurkEngine:
         self.task_cache = TaskCache(enabled=enable_cache, policy=cache_policy)
         self.task_models = TaskModelRegistry(enabled=enable_task_model)
         self.hit_compiler = HITCompiler()
+        self.breaker = (
+            MarketplaceCircuitBreaker(circuit_breaker, clock=self.clock)
+            if circuit_breaker is not None
+            else None
+        )
         self.task_manager = TaskManager(
             self.platform,
             self.statistics,
@@ -171,6 +195,7 @@ class QurkEngine:
             quality=quality,
             reputation=self.reputation,
             gold=self.gold_pool,
+            breaker=self.breaker,
         )
         self.cost_model = CostModel(pricing)
         self.optimizer = QueryOptimizer(
@@ -186,6 +211,9 @@ class QurkEngine:
             self.task_manager,
             max_concurrent_queries=max_concurrent_queries,
             replanner=self.replanner,
+            admission_queue_limit=admission_queue_limit,
+            overload_policy=overload_policy,
+            overload_retry_after=overload_retry_after,
         )
         self.registry = TaskRegistry()
         self.default_query_config = default_query_config or QueryConfig()

@@ -26,6 +26,8 @@ __all__ = [
     "OperatorError",
     "BudgetExceededError",
     "QueryStalledError",
+    "QueryDeadlineError",
+    "EngineOverloadedError",
     "CrowdError",
     "HITError",
     "AssignmentError",
@@ -147,6 +149,47 @@ class BudgetExceededError(ExecutionError):
 
 class QueryStalledError(ExecutionError):
     """A query stopped making progress before producing all of its results."""
+
+
+class QueryDeadlineError(ExecutionError):
+    """A query's deadline elapsed before execution finished.
+
+    Raised from :meth:`QueryHandle.wait` when the query was configured with
+    ``degradation="error"``; under ``degradation="partial"`` the query instead
+    finishes ``DEGRADED`` with the rows produced so far.
+
+    Attributes
+    ----------
+    query_id:
+        The query whose deadline elapsed.
+    deadline:
+        The absolute clock time (simulated or wall) the deadline mapped to.
+    rows_produced:
+        How many result rows had landed when the deadline fired.
+    """
+
+    def __init__(
+        self, message: str, *, query_id: str = "", deadline: float = 0.0, rows_produced: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.query_id = query_id
+        self.deadline = deadline
+        self.rows_produced = rows_produced
+
+
+class EngineOverloadedError(ExecutionError):
+    """The engine's pending-admission queue is full and the query was refused.
+
+    Raised either at submission time (the new query is rejected outright) or
+    from :meth:`QueryHandle.wait` on a lower-priority query that was shed to
+    make room.  ``retry_after`` is the engine's advisory backoff in seconds —
+    the cluster front end forwards it as a structured retry-after reply.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0, query_id: str = "") -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.query_id = query_id
 
 
 # ---------------------------------------------------------------------------

@@ -62,6 +62,7 @@ def build_companies_engine(
     adaptive: bool = False,
     fault_profile: FaultProfile | None = None,
     quality: QualityConfig | None = None,
+    engine_kwargs: dict[str, Any] | None = None,
 ) -> ExperimentRun:
     """Engine prepared for Query 1 (findCEO schema extension)."""
     workload = CompaniesWorkload(n_companies=n_companies, seed=seed)
@@ -73,6 +74,7 @@ def build_companies_engine(
         default_query_config=QueryConfig(adaptive=adaptive),
         fault_profile=fault_profile,
         quality=quality,
+        **(engine_kwargs or {}),
     )
     workload.install(engine.database)
     engine.register_oracle("findCEO", workload.oracle())
@@ -97,6 +99,7 @@ def build_celebrity_engine(
     adaptive: bool = False,
     fault_profile: FaultProfile | None = None,
     quality: QualityConfig | None = None,
+    engine_kwargs: dict[str, Any] | None = None,
 ) -> ExperimentRun:
     """Engine prepared for Query 2 (celebrity join) with a chosen interface."""
     workload = CelebrityWorkload(n_celebrities=n_celebrities, n_spotted=n_spotted, seed=seed)
@@ -108,6 +111,7 @@ def build_celebrity_engine(
         default_query_config=QueryConfig(adaptive=adaptive),
         fault_profile=fault_profile,
         quality=quality,
+        **(engine_kwargs or {}),
     )
     workload.install(engine.database)
     engine.register_oracle("samePerson", workload.oracle())
@@ -149,8 +153,14 @@ def build_products_engine(
     adaptive: bool = False,
     fault_profile: FaultProfile | None = None,
     quality: QualityConfig | None = None,
+    engine_kwargs: dict[str, Any] | None = None,
 ) -> ExperimentRun:
-    """Engine prepared for filter / sort / batching experiments on products."""
+    """Engine prepared for filter / sort / batching experiments on products.
+
+    ``engine_kwargs`` passes extra :class:`QurkEngine` knobs straight
+    through (admission limits, circuit breaker config, ...) without the
+    harness needing to re-declare every engine parameter.
+    """
     workload = ProductsWorkload(n_products=n_products, seed=seed)
     engine = QurkEngine(
         seed=seed,
@@ -160,6 +170,7 @@ def build_products_engine(
         default_query_config=QueryConfig(adaptive=adaptive),
         fault_profile=fault_profile,
         quality=quality,
+        **(engine_kwargs or {}),
     )
     workload.install(engine.database)
     if quality is not None and quality.gold_frequency > 0:

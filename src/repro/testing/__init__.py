@@ -22,6 +22,7 @@ from repro.testing.invariants import check_invariants
 from repro.testing.scenarios import (
     abandonment_scenario,
     all_scenarios,
+    breaker_recovery_scenario,
     duplicate_and_late_scenario,
     exhaustion_scenario,
     expiry_requeue_scenario,
@@ -39,5 +40,6 @@ __all__ = [
     "duplicate_and_late_scenario",
     "spammer_quality_scenario",
     "exhaustion_scenario",
+    "breaker_recovery_scenario",
     "all_scenarios",
 ]

@@ -10,6 +10,7 @@ it to :func:`all_scenarios` (see the README's "Testing" section).
 
 from __future__ import annotations
 
+from repro.crowd.breaker import BreakerConfig
 from repro.crowd.faults import FaultProfile
 from repro.crowd.quality import QualityConfig
 from repro.crowd.worker_pool import PopulationMix
@@ -22,6 +23,7 @@ __all__ = [
     "duplicate_and_late_scenario",
     "spammer_quality_scenario",
     "exhaustion_scenario",
+    "breaker_recovery_scenario",
     "all_scenarios",
 ]
 
@@ -136,6 +138,49 @@ def exhaustion_scenario() -> ChaosScenario:
     )
 
 
+def breaker_recovery_scenario() -> ChaosScenario:
+    """A sick market trips the circuit breaker; recovery closes it again.
+
+    Expiries and abandonments pile up until the breaker opens, pausing all
+    posting (pending tasks stay queued, expired HITs refund normally).  The
+    scheduled reopen probes the market; once a probe fully submits the
+    breaker closes and the query finishes.  The run must stay invariant-
+    clean — budget conserved, nothing stranded — through the whole
+    closed → open → half-open → closed cycle.
+    """
+    return ChaosScenario(
+        name="breaker-recovery",
+        description=(
+            "Pickup is 3x slower with 5%-per-open-HIT congestion, 30% "
+            "abandonment and 20% duplicates on 450-second HITs, so enough "
+            "consecutive expiries hit the 4-failure threshold to trip the "
+            "marketplace circuit breaker.  Posting pauses, the cooldown "
+            "elapses on the engine clock, half-open probes go out, and the "
+            "query still completes with the breaker closed again."
+        ),
+        build=lambda: build_products_engine(
+            n_products=12,
+            assignments=3,
+            filter_batch=4,
+            seed=1106,
+            fault_profile=FaultProfile(
+                seed=16,
+                hit_lifetime=450.0,
+                pickup_slowdown=3.0,
+                abandonment_rate=0.3,
+                duplicate_rate=0.2,
+                congestion_per_open_hit=0.05,
+            ),
+            engine_kwargs={
+                "circuit_breaker": BreakerConfig(
+                    failure_threshold=4, cooldown=600.0, seed=16
+                )
+            },
+        ),
+        queries=(PRODUCTS_SQL,),
+    )
+
+
 def all_scenarios() -> list[ChaosScenario]:
     """Every canned scenario, cheap ones first."""
     return [
@@ -144,4 +189,5 @@ def all_scenarios() -> list[ChaosScenario]:
         abandonment_scenario(),
         duplicate_and_late_scenario(),
         spammer_quality_scenario(),
+        breaker_recovery_scenario(),
     ]

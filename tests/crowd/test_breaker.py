@@ -1,0 +1,221 @@
+"""Unit tests for the marketplace circuit breaker state machine.
+
+Everything here drives a bare :class:`MarketplaceCircuitBreaker` against a
+:class:`SimulationClock` directly — no engine, no marketplace — so each
+transition of the closed → open → half-open machine is pinned down in
+isolation.  The integrated behaviour (breaker + faults + Task Manager) is
+covered by the ``breaker-recovery`` chaos scenario and the e19 benchmark.
+"""
+
+import pytest
+
+from repro.crowd.breaker import BreakerConfig, BreakerStats, MarketplaceCircuitBreaker
+from repro.crowd.clock import SimulationClock
+from repro.errors import CrowdError
+
+pytestmark = pytest.mark.overload
+
+
+def make_breaker(clock=None, **overrides) -> MarketplaceCircuitBreaker:
+    defaults = dict(failure_threshold=3, cooldown=100.0, backoff=2.0, max_cooldown=400.0)
+    defaults.update(overrides)
+    return MarketplaceCircuitBreaker(
+        BreakerConfig(**defaults), clock=clock if clock is not None else SimulationClock()
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown": 0.0},
+            {"cooldown": -5.0},
+            {"backoff": 0.5},
+            {"cooldown": 100.0, "max_cooldown": 50.0},
+            {"half_open_probes": 0},
+            {"jitter": -0.1},
+            {"jitter": 1.0},
+        ],
+        ids=lambda kwargs: next(iter(kwargs)),
+    )
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(CrowdError):
+            BreakerConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        config = BreakerConfig()
+        assert config.failure_threshold == 5
+        assert config.jitter == 0.0
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows_posting(self):
+        breaker = make_breaker()
+        assert breaker.state == breaker.CLOSED
+        assert breaker.allow_posting()
+        assert breaker.retry_at is None
+
+    def test_trips_open_after_consecutive_failures(self):
+        breaker = make_breaker()
+        for _ in range(3):
+            assert breaker.state == breaker.CLOSED
+            breaker.record_failure()
+        assert breaker.state == breaker.OPEN
+        assert breaker.stats.trips == 1
+        assert not breaker.allow_posting()
+        assert breaker.retry_at == breaker.clock.now + 100.0
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == breaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == breaker.OPEN
+
+    def test_failures_while_open_carry_no_new_information(self):
+        breaker = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        retry_at = breaker.retry_at
+        # Stragglers: HITs posted before the trip keep expiring while open.
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == breaker.OPEN
+        assert breaker.stats.trips == 1
+        assert breaker.retry_at == retry_at
+        assert breaker.stats.failures == 5
+
+    def test_scheduled_reopen_turns_half_open_on_the_clock(self):
+        clock = SimulationClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert clock.pending_events == 1  # the breaker:reopen event
+        clock.run_until_idle()
+        assert clock.now == 100.0
+        assert breaker.state == breaker.HALF_OPEN
+        assert breaker.stats.reopens == 1
+
+    def test_half_open_admits_only_the_configured_probes(self):
+        clock = SimulationClock()
+        breaker = make_breaker(clock, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.run_until_idle()
+        assert breaker.allow_posting()
+        breaker.record_post()
+        assert breaker.stats.probes_posted == 1
+        assert not breaker.allow_posting()  # one probe in flight, cap reached
+
+    def test_probe_success_closes_and_resets_the_cooldown(self):
+        clock = SimulationClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.run_until_idle()
+        breaker.record_post()
+        breaker.record_success()
+        assert breaker.state == breaker.CLOSED
+        assert breaker.stats.closes == 1
+        assert breaker.retry_at is None
+        # The cooldown reset: a fresh trip waits the base 100s again.
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_at == clock.now + 100.0
+
+    def test_probe_failure_retrips_with_exponential_backoff(self):
+        clock = SimulationClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.run_until_idle()
+        breaker.record_post()
+        breaker.record_failure()  # the probe died
+        assert breaker.state == breaker.OPEN
+        assert breaker.stats.trips == 2
+        assert breaker.retry_at == clock.now + 200.0  # 100 * backoff 2.0
+
+    def test_backoff_is_capped_at_max_cooldown(self):
+        clock = SimulationClock()
+        breaker = make_breaker(clock)  # 100 -> 200 -> 400 (cap) -> 400 ...
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(4):  # four failed probes in a row
+            clock.run_until_idle()
+            breaker.record_post()
+            breaker.record_failure()
+        assert breaker.retry_at == clock.now + 400.0
+
+    def test_lazy_reopen_when_polled_past_the_retry_time(self):
+        clock = SimulationClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        # The clock jumps past the retry point without firing the scheduled
+        # event — exactly what WAL recovery does: clock events are not
+        # journalled, so the reopen event is gone and ``restore_time`` lands
+        # past the retry point.  The first posting poll must lazily reopen
+        # rather than refuse forever.
+        clock._events[0].cancel()  # the lost breaker:reopen event
+        clock.restore_time(150.0)
+        assert breaker.allow_posting()
+        assert breaker.state == breaker.HALF_OPEN
+
+    def test_trip_without_a_clock_is_a_hard_error(self):
+        breaker = MarketplaceCircuitBreaker(BreakerConfig(failure_threshold=1), clock=None)
+        with pytest.raises(CrowdError):
+            breaker.record_failure()
+
+
+class TestJitterDeterminism:
+    def test_same_seed_same_jittered_cooldowns(self):
+        def retry_times(seed: int) -> list[float]:
+            clock = SimulationClock()
+            breaker = make_breaker(clock, jitter=0.5, seed=seed)
+            times = []
+            for _ in range(3):
+                breaker.record_failure()
+                breaker.record_failure()
+                breaker.record_failure()
+                times.append(breaker.retry_at)
+                clock.run_until_idle()
+                breaker.record_post()
+                breaker.record_success()
+            return times
+
+        assert retry_times(7) == retry_times(7)
+        assert retry_times(7) != retry_times(8)
+
+    def test_jitter_stays_within_the_configured_band(self):
+        clock = SimulationClock()
+        breaker = make_breaker(clock, jitter=0.25, seed=3)
+        for _ in range(3):
+            breaker.record_failure()
+        cooldown = breaker.retry_at - clock.now
+        assert 75.0 <= cooldown <= 125.0
+
+
+class TestBookkeeping:
+    def test_blocked_posts_are_counted(self):
+        breaker = make_breaker()
+        breaker.record_blocked()
+        breaker.record_blocked()
+        assert breaker.stats.posts_blocked == 2
+
+    def test_describe_mentions_state_and_blocks(self):
+        breaker = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.record_blocked()
+        text = breaker.describe()
+        assert "state open" in text
+        assert "retry at" in text
+        assert "1 post(s) blocked" in text
+
+    def test_stats_start_zeroed(self):
+        assert MarketplaceCircuitBreaker().stats == BreakerStats()

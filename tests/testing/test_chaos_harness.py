@@ -13,6 +13,7 @@ from repro.testing import (
     abandonment_scenario,
     all_scenarios,
     assert_deterministic,
+    breaker_recovery_scenario,
     duplicate_and_late_scenario,
     exhaustion_scenario,
     expiry_requeue_scenario,
@@ -29,6 +30,7 @@ from repro.testing import (
         abandonment_scenario,
         duplicate_and_late_scenario,
         spammer_quality_scenario,
+        breaker_recovery_scenario,
     ],
     ids=lambda factory: factory.__name__,
 )
@@ -64,6 +66,33 @@ def test_spammer_scenario_engages_quality_control():
     assert manager_stats.gold_probes_posted >= 1
     assert manager_stats.early_stopped_tasks >= 1
     assert result.run.engine.reputation.tracked_workers()
+
+
+@pytest.mark.overload
+def test_breaker_scenario_runs_a_full_cycle_and_still_completes():
+    result = run_scenario(breaker_recovery_scenario())
+    breaker = result.run.engine.breaker
+    assert breaker is not None
+    # The breaker must cycle all the way: closed -> open -> half-open ->
+    # closed, ending closed with the query complete and all rows delivered.
+    assert breaker.stats.trips >= 1
+    assert breaker.stats.reopens >= 1
+    assert breaker.stats.closes >= 1
+    assert breaker.stats.posts_blocked >= 1
+    assert breaker.state == "closed"
+    assert result.statuses == ["completed"]
+    assert result.rows[0], "recovery should still deliver rows"
+    # While the breaker was open the market kept expiring HITs; the pause
+    # must not strand work or leak money (run_scenario already checked the
+    # budget-conservation and no-stranded-work invariants via result.ok).
+    assert result.run.engine.platform.stats.hits_expired >= 1
+    assert result.ok, "\n".join(result.violations)
+
+
+@pytest.mark.overload
+def test_breaker_scenario_is_deterministic():
+    result = assert_deterministic(breaker_recovery_scenario(), runs=2)
+    assert result.ok, "\n".join(result.violations)
 
 
 @pytest.mark.slow

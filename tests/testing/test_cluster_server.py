@@ -13,8 +13,8 @@ import pytest
 
 from repro.cluster import EngineSpec, ShardCoordinator
 from repro.cluster.serialization import decode_rows
-from repro.cluster.server import ClusterServer, request
-from repro.errors import ClusterError
+from repro.cluster.server import ClusterServer, raise_for_reply, request
+from repro.errors import ClusterError, EngineOverloadedError
 
 FILTER_SQL = "SELECT name FROM products WHERE isTargetColor(name)"
 SPEC = EngineSpec(
@@ -72,3 +72,89 @@ def test_request_helper_rejects_dead_port():
         asyncio.run(
             request("127.0.0.1", 1, {"op": "stats"}, attempts=2, backoff=0.01)
         )
+
+
+class TestRequestRetrySemantics:
+    """Transport failures retry; application errors are terminal at once."""
+
+    def _record_retry_delays(self, monkeypatch, **kwargs) -> list[float]:
+        """Drive request() against a dead transport, capturing its sleeps."""
+        from repro.cluster import server as server_module
+
+        delays: list[float] = []
+
+        async def always_refused(host, port, message):
+            raise ConnectionError("refused")
+
+        async def record_sleep(delay):
+            delays.append(delay)
+
+        monkeypatch.setattr(server_module, "_request_once", always_refused)
+        monkeypatch.setattr(server_module.asyncio, "sleep", record_sleep)
+        with pytest.raises(ClusterError):
+            asyncio.run(request("127.0.0.1", 9, {"op": "stats"}, **kwargs))
+        return delays
+
+    def test_application_errors_do_not_burn_retry_attempts(self, monkeypatch):
+        from repro.cluster import server as server_module
+
+        calls = []
+
+        async def deliberate_rejection(host, port, message):
+            calls.append(message)
+            return {"ok": False, "error": "overloaded", "error_type": "overloaded"}
+
+        monkeypatch.setattr(server_module, "_request_once", deliberate_rejection)
+        reply = asyncio.run(
+            request("127.0.0.1", 9, {"op": "submit"}, attempts=5, backoff=0.01)
+        )
+        # The server answered deliberately: one attempt, reply passed through.
+        assert len(calls) == 1
+        assert not reply["ok"]
+
+    def test_backoff_grows_exponentially_without_jitter(self, monkeypatch):
+        delays = self._record_retry_delays(monkeypatch, attempts=4, backoff=0.1)
+        assert delays == [0.1, 0.2, 0.4]
+
+    def test_jittered_backoff_is_seeded_and_bounded(self, monkeypatch):
+        first = self._record_retry_delays(
+            monkeypatch, attempts=4, backoff=0.1, jitter=0.5, seed=3
+        )
+        second = self._record_retry_delays(
+            monkeypatch, attempts=4, backoff=0.1, jitter=0.5, seed=3
+        )
+        other_seed = self._record_retry_delays(
+            monkeypatch, attempts=4, backoff=0.1, jitter=0.5, seed=4
+        )
+        assert first == second  # same seed: reproducible delays
+        assert first != other_seed
+        for base, delay in zip([0.1, 0.2, 0.4], first):
+            assert base <= delay <= base * 1.5
+
+    def test_request_validates_its_knobs(self):
+        with pytest.raises(ClusterError, match="at least 1 attempt"):
+            asyncio.run(request("127.0.0.1", 9, {"op": "stats"}, attempts=0))
+        with pytest.raises(ClusterError, match="jitter"):
+            asyncio.run(request("127.0.0.1", 9, {"op": "stats"}, jitter=1.5))
+
+
+class TestRaiseForReply:
+    def test_ok_reply_passes_through(self):
+        reply = {"ok": True, "rows": []}
+        assert raise_for_reply(reply) is reply
+
+    def test_overloaded_reply_becomes_typed_backpressure(self):
+        with pytest.raises(EngineOverloadedError) as excinfo:
+            raise_for_reply(
+                {
+                    "ok": False,
+                    "error": "EngineOverloadedError: queue full",
+                    "error_type": "overloaded",
+                    "retry_after": 12.5,
+                }
+            )
+        assert excinfo.value.retry_after == 12.5
+
+    def test_other_errors_become_cluster_errors(self):
+        with pytest.raises(ClusterError, match="no such query"):
+            raise_for_reply({"ok": False, "error": "no such query"})
